@@ -1,0 +1,63 @@
+// Ablation (DESIGN.md #3): what the scene overlay contributes.
+//
+// The surrogate layers piecewise-constant scene levels (Section 4.2's
+// observed short-range structure) on top of the fGn/Gamma-Pareto core. This
+// driver rebuilds the surrogate with scenes disabled and compares: the
+// marginal calibration and H must be set by the core (unchanged), while the
+// short-lag ACF and small-buffer queueing are where scenes matter.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/model/starwars_surrogate.hpp"
+#include "vbr/net/qc_analysis.hpp"
+#include "vbr/stats/autocorrelation.hpp"
+#include "vbr/stats/variance_time.hpp"
+
+namespace {
+
+void report(const char* label, const vbr::model::SurrogateTrace& trace) {
+  const auto s = trace.frames.summary();
+  const auto acf = vbr::stats::autocorrelation(trace.frames.samples(), 2000);
+  vbr::stats::VarianceTimeOptions vt;
+  vt.fit_min_m = 200;
+  const double h = vbr::stats::variance_time(trace.frames.samples(), vt).hurst;
+
+  vbr::net::MuxExperiment experiment;
+  experiment.sources = 1;
+  const vbr::net::MuxWorkload workload(trace.frames.samples(), experiment);
+  const double c2ms = vbr::net::required_capacity_bps(workload, 0.002, 1e-3,
+                                                      vbr::net::QosMeasure::kOverallLoss);
+
+  std::printf("  %-16s %8.0f %6.3f %7.3f %7.3f %7.3f %7.3f %10.3f\n", label, s.mean,
+              s.coefficient_of_variation, acf[1], acf[10], acf[100], h, c2ms / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  vbrbench::print_exhibit_header("Ablation (Sec. 4.2)", "scene-structure overlay on/off");
+
+  vbr::model::SurrogateOptions with_scenes;
+  with_scenes.frames = 65536;
+  auto scenes_on = vbr::model::make_starwars_surrogate(with_scenes);
+
+  auto no_scenes = with_scenes;
+  no_scenes.scene_weight = 0.0;
+  auto scenes_off = vbr::model::make_starwars_surrogate(no_scenes);
+
+  std::printf("\n  %-16s %8s %6s %7s %7s %7s %7s %10s\n", "variant", "mean", "CoV",
+              "r(1)", "r(10)", "r(100)", "H(VT)", "C@2ms Mb/s");
+  report("scenes ON", scenes_on);
+  report("scenes OFF", scenes_off);
+
+  std::printf("\n  scene metadata (scenes ON): %zu shots over %zu frames\n",
+              scenes_on.scenes.size(), scenes_on.frames.size());
+  std::printf(
+      "\n  Shape check: mean, CoV and H are set by the calibrated core (nearly\n"
+      "  identical across variants); the scene overlay's contribution is the\n"
+      "  elevated short-lag correlation (plateaus from per-shot constancy),\n"
+      "  mirroring where the paper says its model leaves room for explicit\n"
+      "  short-range augmentation.\n");
+  return 0;
+}

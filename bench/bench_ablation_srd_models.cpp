@@ -1,0 +1,97 @@
+// Ablation: classical SRD source models vs the paper's LRD model.
+//
+// "The use of SRD models when inappropriate will result in overly
+// optimistic estimates of performance [and] insufficient allocation of
+// resources" (Conclusions). We fit an M-state Markov chain and a DAR(1)
+// Gamma/Pareto model — the pre-1994 standard approaches — to the trace,
+// then (i) test whether their realizations carry the trace's LRD, and
+// (ii) compare the capacity each model demands at a large buffer, where
+// long memory dominates.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/model/markov_source.hpp"
+#include "vbr/model/tes.hpp"
+#include "vbr/model/vbr_source.hpp"
+#include "vbr/net/qc_analysis.hpp"
+#include "vbr/stats/autocorrelation.hpp"
+#include "vbr/stats/variance_time.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Ablation (Conclusions)",
+                                 "SRD baseline models vs the LRD source model");
+  const auto& trace = vbrbench::full_trace();
+  const auto frames = trace.frames.samples();
+
+  const auto markov = vbr::model::MarkovChainSource::fit(frames, 16);
+  const auto dar = vbr::model::DarGammaParetoSource::fit(frames);
+  const auto lrd_model = vbr::model::VbrVideoSourceModel::fit(frames);
+
+  std::printf("\n  fitted baselines: 16-state Markov chain (|lambda_2| = %.3f),\n",
+              markov.second_eigenvalue_magnitude());
+  std::printf("  DAR(1) with rho = %.3f; LRD model H = %.3f\n", dar.rho(),
+              lrd_model.params().hurst);
+
+  // TES baseline [JAGE92]: exact Gamma/Pareto marginals, tunable SRD
+  // correlation via the modulo-1 walk; alpha set to roughly match the
+  // trace's lag-1 correlation.
+  const vbr::model::TesGammaParetoSource tes(lrd_model.params().marginal,
+                                             {.alpha = 0.12, .xi = 0.5});
+
+  vbr::Rng rng(31337);
+  const auto markov_trace = markov.generate(frames.size(), rng);
+  const auto dar_trace = dar.generate(frames.size(), rng);
+  const auto tes_trace = tes.generate(frames.size(), rng);
+  const auto lrd_trace = lrd_model.generate(frames.size(), rng);
+
+  struct Row {
+    const char* label;
+    std::span<const double> data;
+  };
+  const std::vector<Row> rows{{"empirical trace", frames},
+                              {"LRD model (full)", lrd_trace},
+                              {"Markov chain", markov_trace},
+                              {"DAR(1) Gam/Par", dar_trace},
+                              {"TES Gam/Par", tes_trace}};
+
+  // (i) Statistical fingerprints.
+  std::printf("\n  %-20s %8s %8s %8s %10s\n", "source", "r(1)", "r(100)", "r(2000)",
+              "H (VT)");
+  for (const auto& row : rows) {
+    const auto acf = vbr::stats::autocorrelation(row.data, 2000);
+    vbr::stats::VarianceTimeOptions vt;
+    vt.fit_min_m = 200;
+    const double h = vbr::stats::variance_time(row.data, vt).hurst;
+    std::printf("  %-20s %8.3f %8.3f %8.3f %10.3f\n", row.label, acf[1], acf[100],
+                acf[2000], h);
+  }
+
+  // (ii) Engineering consequence: required capacity at a large buffer.
+  std::printf("\n  required capacity (Mb/s), N = 1, P_l = 1e-3:\n");
+  std::printf("  %-20s %14s %14s\n", "source", "T_max = 2 ms", "T_max = 1 s");
+  std::vector<double> one_second_capacity;
+  for (const auto& row : rows) {
+    vbr::net::MuxExperiment experiment;
+    experiment.sources = 1;
+    const vbr::net::MuxWorkload workload(row.data, experiment);
+    const double c_small = vbr::net::required_capacity_bps(
+        workload, 0.002, 1e-3, vbr::net::QosMeasure::kOverallLoss);
+    const double c_large = vbr::net::required_capacity_bps(
+        workload, 1.0, 1e-3, vbr::net::QosMeasure::kOverallLoss);
+    one_second_capacity.push_back(c_large);
+    std::printf("  %-20s %14.3f %14.3f\n", row.label, c_small / 1e6, c_large / 1e6);
+  }
+
+  const double optimism_markov = 1.0 - one_second_capacity[2] / one_second_capacity[0];
+  const double optimism_dar = 1.0 - one_second_capacity[3] / one_second_capacity[0];
+  std::printf(
+      "\n  Shape check: the SRD fits match the trace at lag 1 but their\n"
+      "  correlations die exponentially (r(2000) ~ 0, H -> 0.5), so with a\n"
+      "  1-second buffer they under-provision capacity by %.0f%% (Markov) and\n"
+      "  %.0f%% (DAR) relative to the trace -- the 'overly optimistic' failure\n"
+      "  mode the paper warns against. The LRD model stays close.\n",
+      100.0 * optimism_markov, 100.0 * optimism_dar);
+  return 0;
+}

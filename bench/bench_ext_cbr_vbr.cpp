@@ -1,0 +1,59 @@
+// Extension (Introduction): the CBR vs VBR transport tradeoff.
+//
+// "Forcing the transmission rate to be constant results in delay, wasted
+// bandwidth, and modulation of the video quality." We quantify the first
+// two for the trace: the CBR rate needed to meet a smoothing-delay budget
+// (and the bandwidth it wastes relative to the mean), against the VBR
+// alternative -- statistical multiplexing at 2 ms buffers.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/net/qc_analysis.hpp"
+#include "vbr/net/shaper.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Extension (Sec. 1)", "CBR smoothing vs VBR multiplexing");
+  const auto& trace = vbrbench::full_trace();
+  const auto frames = trace.frames.samples();
+  const double dt = trace.frames.dt_seconds();
+  const double mean_rate_mbps = trace.frames.mean_rate_bps() / 1e6;
+
+  std::printf("\n  trace mean rate %.2f Mb/s, peak %.2f Mb/s\n", mean_rate_mbps,
+              trace.frames.peak_rate_bps() / 1e6);
+
+  // CBR side: smoothing delay vs constant rate.
+  std::printf("\n  CBR transport (single source, lossless smoothing buffer):\n");
+  std::printf("  %16s %14s %14s %12s\n", "delay budget", "CBR rate", "vs mean",
+              "buffer");
+  for (double budget : {0.1, 0.5, 2.0, 10.0, 60.0}) {
+    const double rate = vbr::net::min_cbr_rate_for_delay(frames, dt, budget);
+    const auto smoothed = vbr::net::smooth_to_cbr(frames, dt, rate);
+    std::printf("  %13.1f s %11.2f Mb %13.0f%% %9.1f MB\n", budget, rate * 8.0 / 1e6,
+                100.0 * (rate * 8.0 / 1e6 / mean_rate_mbps - 1.0),
+                smoothed.max_backlog_bytes / 1e6);
+  }
+
+  // VBR side: per-source capacity under multiplexing at a 2 ms buffer.
+  std::printf("\n  VBR transport (statistical multiplexing, T_max = 2 ms, P_l = 1e-4):\n");
+  std::printf("  %8s %16s %12s\n", "N", "capacity/source", "vs mean");
+  for (std::size_t n : {1u, 5u, 20u}) {
+    vbr::net::MuxExperiment experiment;
+    experiment.sources = n;
+    experiment.replications = (n > 2) ? 3 : 1;
+    const vbr::net::MuxWorkload workload(frames, experiment);
+    const double c = vbr::net::required_capacity_bps(workload, 0.002, 1e-4,
+                                                     vbr::net::QosMeasure::kOverallLoss);
+    std::printf("  %8zu %13.2f Mb %11.0f%%\n", n, c / 1e6,
+                100.0 * (c / 1e6 / mean_rate_mbps - 1.0));
+  }
+
+  std::printf(
+      "\n  Shape check: a real-time CBR channel must either over-allocate\n"
+      "  substantially or impose seconds-to-minutes of smoothing delay (LRD\n"
+      "  makes the backlog shrink very slowly with rate), whereas VBR\n"
+      "  multiplexing reaches within ~15%% of the mean rate at millisecond\n"
+      "  delays once a handful of sources share the link -- the paper's\n"
+      "  motivation for VBR video transport.\n");
+  return 0;
+}

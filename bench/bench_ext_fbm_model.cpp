@@ -1,0 +1,67 @@
+// Extension: the Norros fractional-Brownian storage model vs the paper's
+// trace-driven simulation.
+//
+// Contemporary LRD queueing theory gives a closed form for the Fig. 14
+// tradeoff: with fBm input, required capacity = mean +
+// K(eps) * b^{-(1-H)/H}. This driver fits the fBm descriptor to the trace
+// (moments + Table-3 H), computes the analytic Q-C curve, and overlays the
+// simulated one — the shapes should agree: weak (power-law) buffer
+// sensitivity, economy of scale in N.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/net/fbm_queue.hpp"
+#include "vbr/net/qc_analysis.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Extension (Norros model)",
+                                 "analytic fBm queue vs trace-driven simulation");
+  const auto& trace = vbrbench::full_trace();
+  const auto frames = trace.frames.samples();
+  const double dt = trace.frames.dt_seconds();
+  const double hurst = 0.8;  // Table 3
+  const auto single = vbr::net::fit_fbm_traffic(frames, hurst);
+  std::printf("\n  fBm descriptor: m = %.0f bytes/frame, sd = %.0f, H = %.2f\n",
+              single.mean_bytes, std::sqrt(single.variance_bytes2), single.hurst);
+
+  const double target = 1e-3;
+  const std::vector<double> delays{0.005, 0.02, 0.1, 0.4, 1.0, 4.0};
+  for (std::size_t n : {1u, 5u, 20u}) {
+    const auto aggregate = vbr::net::superpose(single, n);
+    vbr::net::MuxExperiment experiment;
+    experiment.sources = n;
+    experiment.replications = (n > 2) ? 3 : 1;
+    const vbr::net::MuxWorkload workload(frames, experiment);
+
+    std::printf("\n  N = %zu   capacity per source (Mb/s) at loss ~ %.0e\n", n, target);
+    std::printf("  %14s %16s %16s\n", "T_max", "Norros analytic", "simulated");
+    for (double delay : delays) {
+      // Analytic: buffer in bytes given the analytic capacity is implicit;
+      // iterate once (fixed point): start from the simulated-style sizing
+      // with buffer = delay * mean rate.
+      double buffer = delay * aggregate.mean_bytes / dt;
+      double capacity = 0.0;
+      for (int iter = 0; iter < 20; ++iter) {
+        capacity = vbr::net::fbm_required_capacity(aggregate, buffer, target);
+        buffer = delay * capacity / dt;  // Q = T_max * C, in bytes
+      }
+      const double analytic_bps = capacity * 8.0 / dt / static_cast<double>(n);
+      const double simulated_bps = vbr::net::required_capacity_bps(
+          workload, delay, target, vbr::net::QosMeasure::kOverallLoss);
+      std::printf("  %12.0f ms %13.3f Mb %13.3f Mb\n", delay * 1e3, analytic_bps / 1e6,
+                  simulated_bps / 1e6);
+    }
+  }
+
+  std::printf(
+      "\n  Shape check: both columns decay slowly with the buffer (the\n"
+      "  b^{-(1-H)/H} law: going 5 ms -> 4 s only shaves a modest fraction)\n"
+      "  and show the same economy of scale in N. The analytic model treats\n"
+      "  overflow probability as loss and assumes Gaussian marginals, so\n"
+      "  absolute values differ most at N = 1 where the Pareto tail matters,\n"
+      "  converging as aggregation Gaussianizes the traffic -- consistent\n"
+      "  with the paper's Fig. 16 reasoning.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Extension (Sec. 2 / [GARR93a]): interframe coding.
+//
+// The paper codes intraframe and notes that interframe (MPEG-style) coding
+// yields "greater compression, burstiness and much stronger dependence on
+// motion". We run the same synthetic movie through both coders and compare
+// compression, burstiness, GoP structure and motion sensitivity.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/codec/interframe_coder.hpp"
+#include "vbr/codec/intraframe_coder.hpp"
+#include "vbr/codec/synthetic_movie.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/stats/autocorrelation.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Extension (Sec. 2)",
+                                 "interframe (I/P) vs intraframe coding");
+  vbr::codec::MovieConfig config;
+  config.width = 128;
+  config.height = 128;
+  // Mild film grain: temporal noise is the one component interframe coding
+  // cannot predict, so heavy grain would mask the compression advantage.
+  config.grain = 0.08;
+  const std::size_t frames = 720;  // 30 seconds
+  const vbr::codec::SyntheticMovie movie(config, frames);
+
+  vbr::codec::IntraframeCoder intra;
+  vbr::codec::InterframeConfig inter_config;
+  inter_config.gop_length = 12;
+  vbr::codec::InterframeCoder inter(inter_config);
+
+  std::vector<double> intra_bytes;
+  std::vector<double> inter_bytes;
+  std::vector<double> p_frame_bytes;
+  std::vector<double> i_frame_bytes;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const auto frame = movie.frame(f);
+    intra_bytes.push_back(static_cast<double>(intra.encode(frame).total_bytes()));
+    const auto encoded = inter.encode_next(frame);
+    inter_bytes.push_back(static_cast<double>(encoded.total_bytes()));
+    (encoded.is_intra ? i_frame_bytes : p_frame_bytes).push_back(inter_bytes.back());
+  }
+
+  auto burstiness = [](const std::vector<double>& xs) {
+    return *std::max_element(xs.begin(), xs.end()) / vbr::sample_mean(xs);
+  };
+  auto cov = [](const std::vector<double>& xs) {
+    return std::sqrt(vbr::sample_variance(xs)) / vbr::sample_mean(xs);
+  };
+
+  std::printf("\n  %-22s %12s %12s\n", "metric", "intraframe", "interframe");
+  std::printf("  %-22s %12.0f %12.0f\n", "mean bytes/frame", vbr::sample_mean(intra_bytes),
+              vbr::sample_mean(inter_bytes));
+  std::printf("  %-22s %12.2f %12.2f\n", "compression vs intra", 1.0,
+              vbr::sample_mean(intra_bytes) / vbr::sample_mean(inter_bytes));
+  std::printf("  %-22s %12.2f %12.2f\n", "peak/mean", burstiness(intra_bytes),
+              burstiness(inter_bytes));
+  std::printf("  %-22s %12.2f %12.2f\n", "coef. of variation", cov(intra_bytes),
+              cov(inter_bytes));
+  std::printf("\n  GoP anatomy (gop = 12): %zu I frames, mean %.0f bytes;"
+              " %zu P frames, mean %.0f bytes (ratio %.1fx)\n",
+              i_frame_bytes.size(), vbr::sample_mean(i_frame_bytes), p_frame_bytes.size(),
+              vbr::sample_mean(p_frame_bytes),
+              vbr::sample_mean(i_frame_bytes) / vbr::sample_mean(p_frame_bytes));
+
+  // Change dependence: a P frame that lands on a scene cut must code a
+  // whole new picture as residual; within a shot it codes only pan + grain.
+  double steady_sum = 0.0;
+  double cut_sum = 0.0;
+  std::size_t steady_n = 0;
+  std::size_t cut_n = 0;
+  {
+    vbr::codec::InterframeCoder probe(inter_config);
+    for (std::size_t f = 0; f < frames; ++f) {
+      const auto encoded = probe.encode_next(movie.frame(f));
+      if (encoded.is_intra) continue;
+      const bool at_cut = movie.scene_at(f).start_frame == f;
+      if (at_cut) {
+        cut_sum += static_cast<double>(encoded.total_bytes());
+        ++cut_n;
+      } else {
+        steady_sum += static_cast<double>(encoded.total_bytes());
+        ++steady_n;
+      }
+    }
+  }
+  if (steady_n > 0 && cut_n > 0) {
+    std::printf("\n  change dependence of P frames: within-shot %.0f bytes,"
+                " at scene cuts %.0f bytes (%.1fx) over %zu cuts\n",
+                steady_sum / static_cast<double>(steady_n),
+                cut_sum / static_cast<double>(cut_n),
+                (cut_sum / static_cast<double>(cut_n)) /
+                    (steady_sum / static_cast<double>(steady_n)),
+                cut_n);
+  }
+
+  const auto acf = vbr::stats::autocorrelation(inter_bytes, 24);
+  std::printf("\n  interframe trace ACF shows the GoP period: r(11)=%.2f r(12)=%.2f r(13)=%.2f\n",
+              acf[11], acf[12], acf[13]);
+
+  std::printf(
+      "\n  Shape check: interframe coding compresses harder, is burstier\n"
+      "  (I-frame spikes over a P-frame floor; CoV and peak/mean well above\n"
+      "  the intraframe trace), shows the 12-frame GoP periodicity in its\n"
+      "  ACF, and its P-frame cost jumps at picture changes -- the 'much\n"
+      "  stronger dependence on motion' the paper attributes to interframe\n"
+      "  coding.\n");
+  return 0;
+}

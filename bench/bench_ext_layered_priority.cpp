@@ -1,0 +1,53 @@
+// Extension (Sec. 5.3 / [GARR93]): layered coding with priority queueing.
+//
+// Split the trace into a rate-capped base layer and an enhancement layer,
+// run them through the shared-buffer space-priority queue, and sweep the
+// channel capacity: the base layer stays essentially loss-free far below
+// the capacity a single-class channel would need, because enhancement
+// traffic absorbs the congestion.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/net/fluid_queue.hpp"
+#include "vbr/net/priority_queue.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Extension (Sec. 5.3)",
+                                 "layered video with space-priority queueing");
+  const auto& trace = vbrbench::full_trace();
+  const auto frames = trace.frames.samples();
+  const double dt = trace.frames.dt_seconds();
+  const double mean_bytes = vbr::sample_mean(frames);
+
+  // Base layer capped at the mean rate: guaranteed-quality layer ~77% of
+  // traffic; bursts ride in the enhancement layer.
+  const auto layers = vbr::net::split_layers(frames, mean_bytes);
+  const double base_share =
+      vbr::kahan_total(layers.high) / vbr::kahan_total(frames);
+  std::printf("\n  base layer capped at the mean (%.0f bytes/frame): %.0f%% of traffic\n",
+              mean_bytes, 100.0 * base_share);
+
+  const double mean_rate = mean_bytes / dt;  // bytes/sec
+  const double buffer = mean_rate * 0.002;   // ~2 ms at the mean rate
+
+  std::printf("\n  %12s %14s %14s %14s\n", "capacity", "base loss", "enh. loss",
+              "single-class");
+  for (double load_factor : {1.30, 1.15, 1.05, 1.00, 0.95, 0.90}) {
+    const double capacity = mean_rate * load_factor;
+    const auto layered =
+        vbr::net::run_layered_queue(layers.high, layers.low, dt, capacity, buffer);
+    const auto single = vbr::net::run_fluid_queue(frames, dt, capacity, buffer);
+    std::printf("  %9.2f Mb %14.3e %14.3e %14.3e\n", capacity * 8.0 / 1e6,
+                layered.high_loss_rate(), layered.low_loss_rate(), single.loss_rate());
+  }
+
+  std::printf(
+      "\n  Shape check: at capacities where a single-class channel already\n"
+      "  loses 1e-3..1e-2 of ALL traffic, the priority discipline keeps the\n"
+      "  base layer orders of magnitude cleaner by sacrificing enhancement\n"
+      "  cells -- the graceful-degradation mechanism the paper's conclusions\n"
+      "  recommend for real packet video.\n");
+  return 0;
+}

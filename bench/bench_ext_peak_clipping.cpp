@@ -1,0 +1,54 @@
+// Extension (Conclusions): peak clipping at the coder.
+//
+// "A few extremely high peaks exist in the data, which are problematic for
+// the network. We recommend that a realistic VBR coder should clip such
+// peaks, rather than send them into the network." This driver clips the
+// trace at multiples of its mean and measures the deal: how little traffic
+// (and how few frames) the clip touches versus how much network capacity
+// it saves at a zero-loss allocation.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/net/qc_analysis.hpp"
+#include "vbr/net/shaper.hpp"
+
+namespace {
+
+double zero_loss_capacity(std::span<const double> frames) {
+  vbr::net::MuxExperiment experiment;
+  experiment.sources = 1;
+  const vbr::net::MuxWorkload workload(frames, experiment);
+  return vbr::net::required_capacity_bps(workload, 0.002, 0.0,
+                                         vbr::net::QosMeasure::kOverallLoss);
+}
+
+}  // namespace
+
+int main() {
+  vbrbench::print_exhibit_header("Extension (Sec. 6)", "peak clipping at the coder");
+  const auto& trace = vbrbench::full_trace();
+  const auto frames = trace.frames.samples();
+
+  const double unclipped_capacity = zero_loss_capacity(frames);
+  std::printf("\n  unclipped: peak/mean %.2f, zero-loss capacity %.2f Mb/s (T_max 2 ms)\n",
+              trace.frames.summary().peak_to_mean, unclipped_capacity / 1e6);
+
+  std::printf("\n  %10s %14s %14s %16s %14s\n", "clip level", "frames hit",
+              "traffic cut", "capacity (Mb/s)", "saved");
+  for (double multiple : {2.6, 2.2, 1.9, 1.6}) {
+    const auto clip = vbr::net::clip_peaks(frames, multiple);
+    const double capacity = zero_loss_capacity(clip.clipped);
+    std::printf("  %7.1fx mu %13.3f%% %13.4f%% %16.2f %13.1f%%\n", multiple,
+                100.0 * clip.frames_affected, 100.0 * clip.traffic_removed,
+                capacity / 1e6, 100.0 * (1.0 - capacity / unclipped_capacity));
+  }
+
+  std::printf(
+      "\n  Shape check: clipping at ~2x the mean touches well under 1%% of the\n"
+      "  traffic (the coder would degrade those frames slightly instead of\n"
+      "  shipping the burst) yet cuts the zero-loss capacity requirement by a\n"
+      "  double-digit percentage -- 'a much better trade-off for the coder to\n"
+      "  optimize its use of the available bandwidth'.\n");
+  return 0;
+}

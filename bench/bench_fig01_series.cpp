@@ -1,0 +1,53 @@
+// Figure 1: time series of the entire two-hour VBR video sequence.
+//
+// Emits the series decimated to ~170 printed rows (max over each bucket so
+// the narrow effect peaks stay visible, as they do in the paper's plot) and
+// locates the named events: the wide opening-text elevation, three sharp
+// effect peaks near the center, and the "Death Star" explosion near the
+// end.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_support.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Figure 1", "full two-hour VBR time series");
+  const auto& trace = vbrbench::full_trace();
+  const auto& values = trace.frames.values();
+  const std::size_t n = values.size();
+
+  std::printf("\n  Named events in the realization:\n");
+  for (const auto& event : trace.events) {
+    double peak = 0.0;
+    for (std::size_t f = event.start_frame;
+         f < std::min(n, event.start_frame + event.length); ++f) {
+      peak = std::max(peak, values[f]);
+    }
+    std::printf("    %-24s t = %7.1f s, duration %5.1f s, peak %6.0f bytes/frame\n",
+                event.name.c_str(),
+                static_cast<double>(event.start_frame) * trace.frames.dt_seconds(),
+                static_cast<double>(event.length) * trace.frames.dt_seconds(), peak);
+  }
+
+  const std::size_t buckets = 170;
+  const std::size_t per_bucket = std::max<std::size_t>(1, n / buckets);
+  std::printf("\n  Decimated series (bucket max over %zu frames):\n", per_bucket);
+  std::printf("  %10s %12s  %s\n", "time (s)", "bytes/frame", "profile");
+  for (std::size_t b = 0; b * per_bucket < n; ++b) {
+    const std::size_t lo = b * per_bucket;
+    const std::size_t hi = std::min(n, lo + per_bucket);
+    double bucket_max = 0.0;
+    for (std::size_t f = lo; f < hi; ++f) bucket_max = std::max(bucket_max, values[f]);
+    const auto bar = static_cast<int>(bucket_max / 80459.0 * 60.0);
+    std::printf("  %10.1f %12.0f  %.*s\n",
+                static_cast<double>(lo) * trace.frames.dt_seconds(), bucket_max,
+                std::clamp(bar, 0, 60), "############################################################");
+  }
+
+  const auto s = trace.frames.summary();
+  std::printf("\n  Shape check: sustained level near %.0f bytes/frame with sharp peaks\n",
+              s.mean);
+  std::printf("  to ~%.0f (x%.2f mean) concentrated near the center and the finale.\n",
+              s.max, s.peak_to_mean);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 2: low-frequency content of the VBR video process — a moving
+// average with a 20,000-frame (~14 min) window, revealing the story-arc
+// modulation the paper reads as accessible evidence of LRD.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "vbr/trace/aggregate.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Figure 2", "low-frequency content (20,000-frame MA)");
+  const auto& trace = vbrbench::full_trace();
+  const std::size_t window = std::min<std::size_t>(20000, trace.frames.size() / 4);
+  const auto smooth = vbr::trace::moving_average(trace.frames.samples(), window);
+
+  const std::size_t rows = 100;
+  const std::size_t step = std::max<std::size_t>(1, smooth.size() / rows);
+  const double mean = trace.frames.summary().mean;
+
+  std::printf("\n  window = %zu frames (%.1f minutes)\n", window,
+              static_cast<double>(window) * trace.frames.dt_seconds() / 60.0);
+  std::printf("  %10s %12s %9s  %s\n", "time (min)", "MA bytes/frm", "vs mean", "profile");
+  double lo = 1e18;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < smooth.size(); i += step) {
+    lo = std::min(lo, smooth[i]);
+    hi = std::max(hi, smooth[i]);
+  }
+  for (std::size_t i = 0; i < smooth.size(); i += step) {
+    const double rel = smooth[i] / mean;
+    const auto bar =
+        static_cast<int>((smooth[i] - lo) / std::max(1e-9, hi - lo) * 50.0);
+    std::printf("  %10.1f %12.0f %8.1f%%  %.*s\n",
+                static_cast<double>(i) * trace.frames.dt_seconds() / 60.0, smooth[i],
+                100.0 * (rel - 1.0), std::clamp(bar, 0, 50),
+                "##################################################");
+  }
+  std::printf(
+      "\n  Shape check: the moving average swings %.0f..%.0f (%.0f%% of the mean),\n"
+      "  tracing a story arc -- active opening, placid second quarter, build-up,\n"
+      "  climactic finale -- rather than flattening to the mean as SRD would.\n",
+      lo, hi, 100.0 * (hi - lo) / mean);
+  return 0;
+}

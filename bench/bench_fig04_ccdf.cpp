@@ -1,0 +1,67 @@
+// Figure 4: log-log complementary CDF of the frame data compared to the
+// Normal, Gamma, Lognormal and Pareto models — the Gamma matches the body,
+// every bell-shaped law underestimates the right tail, and the Pareto's
+// straight line tracks it.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/stats/descriptive.hpp"
+#include "vbr/stats/distributions.hpp"
+#include "vbr/stats/gamma_pareto.hpp"
+#include "vbr/stats/goodness_of_fit.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header(
+      "Figure 4", "log-log CCDF (right tail) vs Normal/Gamma/Lognormal/Pareto");
+  const auto& trace = vbrbench::full_trace();
+  const auto data = trace.frames.samples();
+
+  const auto normal = vbr::stats::NormalDistribution::fit(data);
+  const auto gamma = vbr::stats::GammaDistribution::fit(data);
+  const auto lognormal = vbr::stats::LognormalDistribution::fit(data);
+  const auto pareto = vbr::stats::ParetoDistribution::fit_tail(data, 0.03);
+  const vbr::stats::GammaParetoDistribution hybrid(
+      vbr::stats::GammaParetoDistribution::fit(data));
+
+  const vbr::stats::Ecdf ecdf(data);
+  std::printf("\n  fitted Pareto tail: k = %.0f, a (slope) = %.2f\n", pareto.k(),
+              pareto.a());
+  std::printf("\n  %9s %10s %10s %10s %10s %10s %10s\n", "x (bytes)", "empirical",
+              "Normal", "Gamma", "Lognormal", "Pareto", "Gam/Par");
+  const auto grid = vbr::log_spaced(ecdf.quantile(0.5), ecdf.sorted().back(), 28);
+  for (double x : grid) {
+    const double emp = ecdf.ccdf(x);
+    if (emp <= 0.0) break;
+    std::printf("  %9.0f %10.2e %10.2e %10.2e %10.2e %10.2e %10.2e\n", x, emp,
+                normal.ccdf(x), gamma.ccdf(x), lognormal.ccdf(x),
+                x > pareto.k() ? pareto.ccdf(x) : 1.0, hybrid.ccdf(x));
+  }
+
+  // Tail slope of the empirical CCDF over the top 3%..0.05% (log-log).
+  const double q97 = ecdf.quantile(0.97);
+  const double q9995 = ecdf.quantile(0.9995);
+  const double emp_slope = (std::log(ecdf.ccdf(q9995)) - std::log(ecdf.ccdf(q97))) /
+                           (std::log(q9995) - std::log(q97));
+  std::printf("\n  empirical log-log tail slope: %.2f (Pareto fit: -%.2f)\n", emp_slope,
+              pareto.a());
+
+  // Quantitative ranking of the whole-distribution fits (KS distance).
+  std::printf("\n  Kolmogorov-Smirnov distances (smaller = better fit):\n");
+  std::printf("    %-14s %8.4f\n", "Normal", vbr::stats::ks_test(data, normal).statistic);
+  std::printf("    %-14s %8.4f\n", "Gamma", vbr::stats::ks_test(data, gamma).statistic);
+  std::printf("    %-14s %8.4f\n", "Lognormal",
+              vbr::stats::ks_test(data, lognormal).statistic);
+  std::printf("    %-14s %8.4f\n", "Gamma/Pareto",
+              vbr::stats::ks_test(data, hybrid).statistic);
+
+  const double far = ecdf.quantile(0.99995);
+  std::printf(
+      "\n  Shape check at x = %.0f: empirical CCDF %.1e; Pareto %.1e tracks it,\n"
+      "  Gamma %.1e and Lognormal %.1e fall below, Normal %.1e is negligible --\n"
+      "  the ordering of Fig. 4.\n",
+      far, ecdf.ccdf(far), pareto.ccdf(far), gamma.ccdf(far), lognormal.ccdf(far),
+      normal.ccdf(far));
+  return 0;
+}

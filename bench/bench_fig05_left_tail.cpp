@@ -1,0 +1,39 @@
+// Figure 5: log-log CDF of the left tail — unlike the right tail it is NOT
+// heavy; the Gamma fit is adequate at the low end while the Normal
+// overshoots (assigns mass to impossible small/negative rates).
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/stats/descriptive.hpp"
+#include "vbr/stats/distributions.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Figure 5", "log-log CDF (left tail) vs fitted models");
+  const auto& trace = vbrbench::full_trace();
+  const auto data = trace.frames.samples();
+
+  const auto normal = vbr::stats::NormalDistribution::fit(data);
+  const auto gamma = vbr::stats::GammaDistribution::fit(data);
+  const auto lognormal = vbr::stats::LognormalDistribution::fit(data);
+  const vbr::stats::Ecdf ecdf(data);
+
+  std::printf("\n  %9s %10s %10s %10s %10s\n", "x (bytes)", "empirical", "Normal",
+              "Gamma", "Lognormal");
+  const auto grid = vbr::log_spaced(ecdf.sorted().front(), ecdf.quantile(0.5), 24);
+  for (double x : grid) {
+    const double emp = ecdf.cdf(x);
+    if (emp <= 0.0) continue;
+    std::printf("  %9.0f %10.2e %10.2e %10.2e %10.2e\n", x, emp, normal.cdf(x),
+                gamma.cdf(x), lognormal.cdf(x));
+  }
+
+  const double q001 = ecdf.quantile(0.001);
+  std::printf(
+      "\n  Shape check at the 0.1%% quantile (%.0f bytes): Gamma %.1e is within an\n"
+      "  order of magnitude of the empirical 1.0e-03, while the Normal (%.1e)\n"
+      "  misses -- and the left tail shows none of the right tail's heaviness,\n"
+      "  motivating the asymmetric Gamma-body/Pareto-tail hybrid.\n",
+      q001, gamma.cdf(q001), normal.cdf(q001));
+  return 0;
+}

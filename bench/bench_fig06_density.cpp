@@ -1,0 +1,43 @@
+// Figure 6: probability density of the trace data compared to the hybrid
+// Gamma/Pareto model — the model tracks both the bell-shaped body and the
+// heavy right tail.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "vbr/stats/descriptive.hpp"
+#include "vbr/stats/gamma_pareto.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Figure 6", "empirical density vs Gamma/Pareto model");
+  const auto& trace = vbrbench::full_trace();
+  const auto data = trace.frames.samples();
+
+  const auto params = vbr::stats::GammaParetoDistribution::fit(data);
+  const vbr::stats::GammaParetoDistribution model(params);
+  std::printf("\n  fitted: mu_Gamma=%.0f  sigma_Gamma=%.0f  m_T=%.2f  splice x_th=%.0f\n",
+              params.mu_gamma, params.sigma_gamma, params.tail_slope, model.threshold());
+
+  const auto hist = vbr::stats::make_histogram(data, 40, 5000.0, 85000.0);
+  std::printf("\n  %13s %12s %12s %8s\n", "bin (bytes)", "empirical pdf", "model pdf",
+              "ratio");
+  double worst_body_ratio = 1.0;
+  for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+    const double x = hist.bin_center(b);
+    const double emp = hist.density(b);
+    const double mod = model.pdf(x);
+    if (emp <= 0.0 && mod < 1e-12) continue;
+    const double ratio = (mod > 0.0 && emp > 0.0) ? emp / mod : 0.0;
+    std::printf("  %6.0f-%6.0f %12.3e %12.3e %8.2f\n", hist.lo + hist.bin_width() * b,
+                hist.lo + hist.bin_width() * (b + 1), emp, mod, ratio);
+    // Track agreement over the well-populated body (10th..99th percentile).
+    if (emp > 1e-6 && ratio > 0.0) {
+      worst_body_ratio = std::max(worst_body_ratio, std::max(ratio, 1.0 / ratio));
+    }
+  }
+  std::printf(
+      "\n  Shape check: empirical and model densities agree within a factor of\n"
+      "  %.2f over the populated bins, including the right-tail region beyond\n"
+      "  the splice at %.0f bytes.\n",
+      worst_body_ratio, model.threshold());
+  return 0;
+}

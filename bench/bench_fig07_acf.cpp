@@ -1,0 +1,40 @@
+// Figure 7: autocorrelation function of the frame data to lag 10,000 —
+// exponential-looking up to ~100-300 lags, then decaying far more slowly
+// (hyperbolically), the time-domain signature of LRD.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "vbr/stats/autocorrelation.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Figure 7", "autocorrelation to lag 10,000");
+  const auto& trace = vbrbench::full_trace();
+  const auto data = trace.frames.samples();
+  const std::size_t max_lag = std::min<std::size_t>(10000, data.size() / 4);
+  const auto acf = vbr::stats::autocorrelation(data, max_lag);
+
+  std::printf("\n  %8s %10s\n", "lag", "r(lag)");
+  for (std::size_t lag : {1u,    2u,    5u,    10u,   20u,   50u,   100u,  200u,
+                          300u,  500u,  700u,  1000u, 1500u, 2000u, 3000u, 5000u,
+                          7000u, 10000u}) {
+    if (lag > max_lag) break;
+    std::printf("  %8zu %10.4f\n", lag, acf[lag]);
+  }
+
+  const double rho = vbr::stats::fit_exponential_decay(acf, 1, 100);
+  const double beta = vbr::stats::fit_hyperbolic_decay(
+      acf, 300, std::min<std::size_t>(5000, max_lag));
+  std::printf("\n  exponential fit over lags 1-100:     r(n) ~ %.4f^n\n", rho);
+  std::printf("  hyperbolic fit over lags 300-5000:   r(n) ~ n^-%.3f  (H = %.3f)\n", beta,
+              1.0 - beta / 2.0);
+
+  // If the early exponential continued, r would be invisible by lag 1000.
+  double extrapolated = 1.0;
+  for (int i = 0; i < 1000; ++i) extrapolated *= rho;
+  std::printf(
+      "\n  Shape check: extrapolating the early exponential to lag 1000 predicts\n"
+      "  r = %.1e, but the measured value is %.3f -- orders of magnitude larger.\n"
+      "  Correlations persist far beyond any exponential horizon (LRD).\n",
+      extrapolated, acf[std::min<std::size_t>(1000, max_lag)]);
+  return 0;
+}

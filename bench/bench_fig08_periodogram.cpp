@@ -1,0 +1,35 @@
+// Figure 8: periodogram (empirical power spectral density) of the frame
+// data — the low-frequency end grows without bound like w^-alpha instead of
+// flattening, the frequency-domain definition of LRD.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "vbr/stats/periodogram.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Figure 8", "periodogram of the frame data");
+  const auto& trace = vbrbench::full_trace();
+  const auto pg = vbr::stats::periodogram(trace.frames.samples());
+  const auto binned = vbr::stats::log_binned(pg, 30);
+
+  std::printf("\n  %14s %14s %12s\n", "freq (rad)", "freq (Hz)", "power");
+  const double fps = 1.0 / trace.frames.dt_seconds();
+  for (std::size_t i = 0; i < binned.frequency.size(); ++i) {
+    std::printf("  %14.6f %14.6f %12.4e\n", binned.frequency[i],
+                binned.frequency[i] * fps / (2.0 * M_PI), binned.power[i]);
+  }
+
+  const double alpha = vbr::stats::low_frequency_slope(pg, 0.05);
+  std::printf("\n  low-frequency power law: I(w) ~ w^-%.3f  ->  H = (1+alpha)/2 = %.3f\n",
+              alpha, (1.0 + alpha) / 2.0);
+
+  const double low = binned.power.front();
+  const double mid = binned.power[binned.power.size() / 2];
+  std::printf(
+      "\n  Shape check: power grows monotonically toward zero frequency\n"
+      "  (lowest bin %.2e vs mid-band %.2e, a factor of %.0f) rather than\n"
+      "  approaching a finite limit -- LRD by the spectral definition.\n",
+      low, mid, low / mid);
+  return 0;
+}

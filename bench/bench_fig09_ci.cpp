@@ -1,0 +1,49 @@
+// Figure 9: estimation of the mean bit rate from partial observations.
+// Conventional (i.i.d.) 95% confidence intervals shrink like 1/sqrt(n) and
+// soon exclude the final mean; LRD-corrected intervals shrink like n^{H-1}
+// and keep covering it.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/stats/confidence.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Figure 9", "mean estimates vs n with 95% CIs");
+  const auto& trace = vbrbench::full_trace();
+  const auto data = trace.frames.samples();
+  const double hurst = 0.8;
+
+  std::vector<std::size_t> ns;
+  for (std::size_t n = 1000; n < data.size(); n = n * 3 / 2) ns.push_back(n);
+  ns.push_back(data.size());
+
+  const auto points = vbr::stats::running_mean_ci(data, ns, hurst);
+  const double final_mean = vbr::sample_mean(data);
+
+  std::printf("\n  final mean over all %zu frames: %.1f bytes/frame\n", data.size(),
+              final_mean);
+  std::printf("\n  %9s %12s %16s %16s %8s %8s\n", "n", "mean(n)", "iid 95% CI",
+              "LRD 95% CI", "iid ok?", "LRD ok?");
+  std::size_t iid_misses = 0;
+  for (const auto& p : points) {
+    const bool iid_ok = std::abs(final_mean - p.mean) <= p.iid_halfwidth;
+    const bool lrd_ok = std::abs(final_mean - p.mean) <= p.lrd_halfwidth;
+    if (!iid_ok) ++iid_misses;
+    std::printf("  %9zu %12.1f  +-%12.1f  +-%12.1f %8s %8s\n", p.n, p.mean,
+                p.iid_halfwidth, p.lrd_halfwidth, iid_ok ? "yes" : "NO",
+                lrd_ok ? "yes" : "NO");
+  }
+
+  const auto coverage = vbr::stats::ci_coverage(points, final_mean);
+  std::printf("\n  coverage of the final mean: iid %.0f%%, LRD-corrected %.0f%%\n",
+              100.0 * coverage.iid_coverage, 100.0 * coverage.lrd_coverage);
+  std::printf(
+      "\n  Shape check: the i.i.d. intervals converge much faster than warranted\n"
+      "  and miss the final mean for %zu of %zu prefixes, while the LRD-corrected\n"
+      "  intervals (wider, shrinking as n^{H-1}) remain honest -- Fig. 9's lesson.\n",
+      iid_misses, points.size());
+  return 0;
+}

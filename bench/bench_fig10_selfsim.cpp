@@ -1,0 +1,82 @@
+// Figure 10: self-similarity of VBR video. Aggregating the trace over
+// blocks of 100, 500 and 1000 frames leaves processes that retain strong
+// fluctuations and look alike; an SRD control (shuffled trace = i.i.d.
+// marginals) aggregates to near-white noise with collapsing variance.
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/stats/autocorrelation.hpp"
+
+namespace {
+
+struct AggregateSummary {
+  std::size_t m;
+  double relative_sd;  ///< sd(X^(m)) / sd(X)
+  double lag1_acf;
+};
+
+AggregateSummary summarize(std::span<const double> data, std::size_t m, double base_sd) {
+  const auto blocks = vbr::block_means(data, m);
+  AggregateSummary s;
+  s.m = m;
+  s.relative_sd = std::sqrt(vbr::sample_variance(blocks)) / base_sd;
+  s.lag1_acf = vbr::stats::autocorrelation(blocks, 1)[1];
+  return s;
+}
+
+void print_panel(const char* label, std::span<const double> data, std::size_t m,
+                 double mean) {
+  const auto blocks = vbr::block_means(data, m);
+  std::printf("\n  %s, m = %zu (%zu blocks), first 60 blocks:\n", label, m, blocks.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(60, blocks.size()); ++i) {
+    const auto bar = static_cast<int>((blocks[i] / mean - 0.6) * 60.0);
+    std::printf("    %s\n",
+                std::string(static_cast<std::size_t>(std::clamp(bar, 0, 55)), '#').c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  vbrbench::print_exhibit_header("Figure 10",
+                                 "aggregated processes X^(m) for m = 100, 500, 1000");
+  const auto& trace = vbrbench::full_trace();
+  const auto data = trace.frames.samples();
+  const double base_sd = std::sqrt(vbr::sample_variance(data));
+  const double mean = vbr::sample_mean(data);
+
+  // SRD control: shuffle destroys all time correlation, keeps marginals.
+  std::vector<double> shuffled(data.begin(), data.end());
+  vbr::Rng rng(99);
+  for (std::size_t i = shuffled.size() - 1; i > 0; --i) {
+    std::swap(shuffled[i], shuffled[rng.uniform_index(i + 1)]);
+  }
+
+  std::printf("\n  %22s %8s %14s %10s\n", "process", "m", "sd(X^m)/sd(X)", "lag-1 r");
+  for (std::size_t m : {100u, 500u, 1000u}) {
+    const auto video = summarize(data, m, base_sd);
+    const auto control = summarize(shuffled, m, base_sd);
+    std::printf("  %22s %8zu %14.3f %10.3f\n", "VBR video", video.m, video.relative_sd,
+                video.lag1_acf);
+    std::printf("  %22s %8zu %14.3f %10.3f\n", "shuffled (SRD control)", control.m,
+                control.relative_sd, control.lag1_acf);
+    // Self-similar scaling predicts sd ratio m^{H-1}; H = 0.8 -> m^-0.2.
+    std::printf("  %22s %8s %14.3f   (m^{H-1}, H=0.8)\n", "ideal self-similar", "",
+                std::pow(static_cast<double>(m), -0.2));
+  }
+
+  print_panel("VBR video", data, 500, mean);
+  print_panel("shuffled control", shuffled, 500, mean);
+
+  std::printf(
+      "\n  Shape check: the video's aggregated fluctuations shrink like m^{H-1}\n"
+      "  and stay visibly correlated at every m (the three aggregated series\n"
+      "  'look alike'), while the shuffled control collapses like m^{-1/2}\n"
+      "  toward featureless white noise.\n");
+  return 0;
+}

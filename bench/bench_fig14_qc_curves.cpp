@@ -1,0 +1,112 @@
+// Figure 14: behavior of statistically multiplexed video sources — maximum
+// buffer delay T_max = Q/(NC) against allocated bandwidth per source C/N,
+// for N = 1, 2, 5, 20 and several QOS targets (P_l = 0, 1e-4, 3e-6;
+// P_l-WES = 1e-3, 3e-2).
+//
+// Expected shape: a strong knee; bandwidth insensitive to buffer until the
+// delay shrinks to a few ms; looser loss targets need visibly less
+// capacity (large gap between P_l = 0 and P_l = 1e-4, especially at N = 1);
+// WES curves interleave consistently with overall-loss curves.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/model/starwars_surrogate.hpp"
+#include "vbr/net/qc_analysis.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Figure 14", "Q-C curves per N and loss target");
+  const auto& trace = vbrbench::full_trace();
+  const auto frames = trace.frames.samples();
+
+  struct Target {
+    const char* label;
+    double loss;
+    vbr::net::QosMeasure measure;
+  };
+  const std::vector<Target> targets{
+      {"P_l = 0", 0.0, vbr::net::QosMeasure::kOverallLoss},
+      {"P_l = 3e-6", 3e-6, vbr::net::QosMeasure::kOverallLoss},
+      {"P_l = 1e-4", 1e-4, vbr::net::QosMeasure::kOverallLoss},
+      {"P_l-WES = 1e-3", 1e-3, vbr::net::QosMeasure::kWorstErroredSecond},
+      {"P_l-WES = 3e-2", 3e-2, vbr::net::QosMeasure::kWorstErroredSecond},
+  };
+  // T_max grid: 0.5 ms .. 1 s (log-spaced), the range of the paper's plot.
+  const std::vector<double> delays{0.0005, 0.001, 0.002, 0.005, 0.02, 0.1, 0.4, 1.0};
+
+  for (std::size_t sources : {1u, 2u, 5u, 20u}) {
+    vbr::net::MuxExperiment experiment;
+    experiment.sources = sources;
+    experiment.replications = (sources > 2) ? 3 : 1;
+    const vbr::net::MuxWorkload workload(frames, experiment);
+    std::printf("\n  N = %zu  (per-source mean %.2f Mb/s, peak %.2f Mb/s)\n", sources,
+                workload.source_mean_rate_bps() / 1e6,
+                workload.source_peak_rate_bps() / 1e6);
+    std::printf("  %14s", "T_max (ms)");
+    for (const auto& t : targets) std::printf(" %14s", t.label);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> capacity(delays.size(),
+                                              std::vector<double>(targets.size()));
+    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+      const auto curve = vbr::net::qc_curve(workload, delays, targets[ti].loss,
+                                            targets[ti].measure);
+      for (std::size_t di = 0; di < delays.size(); ++di) {
+        capacity[di][ti] = curve[di].capacity_per_source_bps;
+      }
+    }
+    for (std::size_t di = 0; di < delays.size(); ++di) {
+      std::printf("  %14.1f", delays[di] * 1e3);
+      for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+        std::printf(" %11.3f Mb", capacity[di][ti] / 1e6);
+      }
+      std::printf("\n");
+    }
+
+    // Knee location for the strictest curve.
+    std::vector<vbr::net::QcPoint> zero_curve;
+    for (std::size_t di = 0; di < delays.size(); ++di) {
+      zero_curve.push_back({delays[di], capacity[di][0]});
+    }
+    const auto knee = vbr::net::knee_index(zero_curve);
+    std::printf("  knee of the P_l = 0 curve near T_max = %.1f ms\n",
+                zero_curve[knee].max_delay_seconds * 1e3);
+  }
+
+  // ---- Slice-granularity runs -------------------------------------------
+  // The paper simulates slice data (1.389 ms units) as well as frame data:
+  // intra-frame rate variation is what makes buffers below one frame time
+  // matter, producing the steep small-buffer knee of Fig. 14. The fluid
+  // model at frame granularity flattens that regime, so we re-run N = 1 and
+  // N = 5 on the slice trace.
+  const auto slices = vbr::model::surrogate_slices(trace);
+  std::printf("\n  --- slice-granularity (dt = %.3f ms) ---\n",
+              slices.dt_seconds() * 1e3);
+  const std::vector<double> slice_delays{0.0005, 0.001, 0.002, 0.005, 0.02, 0.1};
+  for (std::size_t sources : {1u, 5u}) {
+    vbr::net::MuxExperiment experiment;
+    experiment.sources = sources;
+    experiment.replications = (sources > 2) ? 3 : 1;
+    experiment.dt_seconds = slices.dt_seconds();
+    experiment.min_lag_separation = 1000 * 30;  // 1000 frames, in slices
+    const vbr::net::MuxWorkload workload(slices.samples(), experiment);
+    std::printf("\n  N = %zu (slice data)\n  %14s %14s %14s\n", sources, "T_max (ms)",
+                "P_l = 0", "P_l = 1e-4");
+    for (double delay : slice_delays) {
+      const double c0 = vbr::net::required_capacity_bps(
+          workload, delay, 0.0, vbr::net::QosMeasure::kOverallLoss);
+      const double c4 = vbr::net::required_capacity_bps(
+          workload, delay, 1e-4, vbr::net::QosMeasure::kOverallLoss);
+      std::printf("  %14.1f %11.3f Mb %11.3f Mb\n", delay * 1e3, c0 / 1e6, c4 / 1e6);
+    }
+  }
+
+  std::printf(
+      "\n  Shape checks: (i) every curve has a knee -- capacity is flat in the\n"
+      "  buffer until T_max drops to a few ms, then rises steeply; (ii) the\n"
+      "  stricter the loss target the higher the curve, with a substantial\n"
+      "  P_l=0 vs P_l=1e-4 gap at N=1 that shrinks with multiplexing; (iii) the\n"
+      "  WES-targeted curves fall in the same family and ordering (the paper's\n"
+      "  argument that P_l predicts P_l-WES).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 15: required capacity allocation per source against the number of
+// multiplexed sources, with buffers fixed at T_max = 2 ms. The capacity
+// falls from near the peak rate (N = 1) toward the mean rate (N = 20); the
+// paper finds ~72% of the achievable statistical multiplexing gain already
+// realized at N = 5.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/net/qc_analysis.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Figure 15",
+                                 "statistical multiplexing gain at T_max = 2 ms");
+  const auto& trace = vbrbench::full_trace();
+  const auto frames = trace.frames.samples();
+  const double delay = 0.002;
+
+  struct Target {
+    const char* label;
+    double loss;
+  };
+  const std::vector<Target> targets{
+      {"P_l = 0", 0.0}, {"P_l = 3e-6", 3e-6}, {"P_l = 1e-4", 1e-4}, {"P_l = 1e-3", 1e-3}};
+  const std::vector<std::size_t> source_counts{1, 2, 3, 5, 10, 20};
+
+  double mean_bps = 0.0;
+  double peak_bps = 0.0;
+  std::printf("\n  %8s", "N");
+  for (const auto& t : targets) std::printf(" %14s", t.label);
+  std::printf("   (capacity per source, Mb/s)\n");
+
+  std::vector<double> gain_at_5;
+  for (std::size_t n : source_counts) {
+    vbr::net::MuxExperiment experiment;
+    experiment.sources = n;
+    experiment.replications = (n > 2) ? 6 : 1;  // the paper's six lag draws
+    const vbr::net::MuxWorkload workload(frames, experiment);
+    mean_bps = workload.source_mean_rate_bps();
+    peak_bps = workload.source_peak_rate_bps();
+
+    std::printf("  %8zu", n);
+    for (const auto& t : targets) {
+      const double c = vbr::net::required_capacity_bps(workload, delay, t.loss,
+                                                       vbr::net::QosMeasure::kOverallLoss);
+      std::printf(" %14.3f", c / 1e6);
+      if (n == 5) gain_at_5.push_back((peak_bps - c) / (peak_bps - mean_bps));
+    }
+    std::printf("\n");
+  }
+  std::printf("  %8s %14.3f  <- per-source mean rate (the N -> inf floor)\n", "mean",
+              mean_bps / 1e6);
+  std::printf("  %8s %14.3f  <- per-source peak rate (the N = 1 ceiling)\n", "peak",
+              peak_bps / 1e6);
+
+  double avg_gain = 0.0;
+  for (double g : gain_at_5) avg_gain += g;
+  avg_gain /= static_cast<double>(gain_at_5.size());
+  std::printf("\n  SMG realized at N = 5 (averaged over loss targets):\n");
+  vbrbench::print_paper_vs_measured("fraction of peak-mean gap closed", 0.72, avg_gain);
+
+  std::printf(
+      "\n  Shape check: the allocation starts near the peak rate for a single\n"
+      "  source and decays toward the mean as N grows -- statistical\n"
+      "  multiplexing remains effective despite the long-range dependence,\n"
+      "  with most of the gain realized by a handful of sources.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 16: Q-C curves comparing simulations driven by (a) the trace,
+// (b) the fractional ARIMA model with Gaussian marginals (LRD only),
+// (c) the full model with Gamma/Pareto marginals (the paper's proposal),
+// and (d) an i.i.d. Gamma/Pareto process (heavy tail only). P_l = 0.
+//
+// Expected shape: same general curve shape for all; the full model sits
+// closest to the trace; both single-feature variants are optimistic (demand
+// less capacity); agreement improves as N grows while the gap between the
+// three models shrinks.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/model/vbr_source.hpp"
+#include "vbr/net/qc_analysis.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Figure 16", "trace vs model Q-C curves (P_l = 0)");
+  const auto& trace = vbrbench::full_trace();
+  const auto frames = trace.frames.samples();
+
+  // Fit the four-parameter model to the trace, then realize the three
+  // model variants at the trace's length.
+  const auto model = vbr::model::VbrVideoSourceModel::fit(frames);
+  const auto& p = model.params();
+  std::printf("\n  fitted model: mu=%.0f sigma=%.0f m_T=%.2f H=%.3f\n",
+              p.marginal.mu_gamma, p.marginal.sigma_gamma, p.marginal.tail_slope, p.hurst);
+
+  vbr::Rng rng(20240612);
+  const auto full = model.generate(frames.size(), rng, vbr::model::ModelVariant::kFull);
+  const auto gaussian =
+      model.generate(frames.size(), rng, vbr::model::ModelVariant::kGaussianFarima);
+  const auto iid =
+      model.generate(frames.size(), rng, vbr::model::ModelVariant::kIidGammaPareto);
+
+  struct Driver {
+    const char* label;
+    std::span<const double> data;
+  };
+  const std::vector<Driver> drivers{
+      {"trace", frames},
+      {"full model", full},
+      {"fARIMA+Gaussian", gaussian},
+      {"iid Gamma/Pareto", iid},
+  };
+  const std::vector<double> delays{0.0005, 0.002, 0.01, 0.05, 0.25, 1.0};
+
+  for (std::size_t sources : {1u, 2u, 5u, 20u}) {
+    std::printf("\n  N = %zu   capacity per source (Mb/s) at P_l = 0\n", sources);
+    std::printf("  %14s", "T_max (ms)");
+    for (const auto& d : drivers) std::printf(" %17s", d.label);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> capacity(delays.size(),
+                                              std::vector<double>(drivers.size()));
+    for (std::size_t di_driver = 0; di_driver < drivers.size(); ++di_driver) {
+      vbr::net::MuxExperiment experiment;
+      experiment.sources = sources;
+      experiment.replications = (sources > 2) ? 3 : 1;
+      const vbr::net::MuxWorkload workload(drivers[di_driver].data, experiment);
+      const auto curve =
+          vbr::net::qc_curve(workload, delays, 0.0, vbr::net::QosMeasure::kOverallLoss);
+      for (std::size_t di = 0; di < delays.size(); ++di) {
+        capacity[di][di_driver] = curve[di].capacity_per_source_bps;
+      }
+    }
+    for (std::size_t di = 0; di < delays.size(); ++di) {
+      std::printf("  %14.1f", delays[di] * 1e3);
+      for (double c : capacity[di]) std::printf(" %14.3f Mb", c / 1e6);
+      std::printf("\n");
+    }
+
+    // Aggregate closeness to the trace across the delay grid (log-space RMS).
+    std::printf("  RMS log-capacity gap vs trace:");
+    for (std::size_t k = 1; k < drivers.size(); ++k) {
+      double rms = 0.0;
+      for (std::size_t di = 0; di < delays.size(); ++di) {
+        const double gap = std::log(capacity[di][k] / capacity[di][0]);
+        rms += gap * gap;
+      }
+      rms = std::sqrt(rms / static_cast<double>(delays.size()));
+      std::printf("  %s %.3f", drivers[k].label, rms);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\n  Shape checks: all drivers produce the same family of knee-shaped\n"
+      "  curves; the full model tracks the trace more closely than either\n"
+      "  reduced variant (both long-range dependence AND the heavy tail\n"
+      "  matter); the curves converge as N grows.\n");
+  return 0;
+}

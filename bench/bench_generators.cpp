@@ -1,0 +1,93 @@
+// Microbenchmarks (google-benchmark) for the traffic generators.
+//
+// Quantifies Section 4.1's cost remark: Hosking's exact recursion is
+// O(n^2) — the paper reports ~10 hours for 171,000 points on a 1990s
+// workstation — while Davies-Harte circulant embedding generates the same
+// process in O(n log n). Also measures the Eq. (13) marginal transform and
+// a full fluid-queue simulation pass.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "vbr/model/davies_harte.hpp"
+#include "vbr/model/hosking.hpp"
+#include "vbr/model/marginal_transform.hpp"
+#include "vbr/model/vbr_source.hpp"
+#include "vbr/net/fluid_queue.hpp"
+#include "vbr/stats/gamma_pareto.hpp"
+
+static void HoskingFarima(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  vbr::model::HoskingOptions options;
+  options.hurst = 0.8;
+  vbr::Rng rng(1);
+  for (auto _ : state) {
+    auto x = vbr::model::hosking_farima(n, options, rng);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(HoskingFarima)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+static void DaviesHarteFgn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  vbr::model::DaviesHarteOptions options;
+  options.hurst = 0.8;
+  vbr::Rng rng(2);
+  for (auto _ : state) {
+    auto x = vbr::model::davies_harte(n, options, rng);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(DaviesHarteFgn)->RangeMultiplier(4)->Range(256, 262144)->Complexity();
+
+static void MarginalTransform(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  vbr::stats::GammaParetoParams params;
+  params.mu_gamma = 27791.0;
+  params.sigma_gamma = 6254.0;
+  params.tail_slope = 12.0;
+  const vbr::stats::GammaParetoDistribution target(params);
+  const vbr::model::TabulatedMarginalMap map(target);
+  vbr::Rng rng(3);
+  std::vector<double> gaussian(n);
+  for (auto& v : gaussian) v = rng.normal();
+  for (auto _ : state) {
+    auto y = map.apply(gaussian);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(MarginalTransform)->Range(4096, 262144);
+
+static void FullModelGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  vbr::model::VbrModelParams params;
+  params.marginal.mu_gamma = 27791.0;
+  params.marginal.sigma_gamma = 6254.0;
+  params.marginal.tail_slope = 12.0;
+  params.hurst = 0.8;
+  const vbr::model::VbrVideoSourceModel model(params);
+  vbr::Rng rng(4);
+  for (auto _ : state) {
+    auto x = model.generate(n, rng);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(FullModelGeneration)->Range(4096, 262144);
+
+static void FluidQueuePass(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  vbr::Rng rng(5);
+  std::vector<double> arrivals(n);
+  for (auto& v : arrivals) v = std::max(0.0, rng.normal(27791.0, 6254.0));
+  const double capacity = 27791.0 * 24.0 * 1.2;
+  for (auto _ : state) {
+    auto result = vbr::net::run_fluid_queue(arrivals, 1.0 / 24.0, capacity, capacity * 0.002);
+    benchmark::DoNotOptimize(result.lost_bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(FluidQueuePass)->Range(16384, 262144);

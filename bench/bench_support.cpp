@@ -1,0 +1,43 @@
+#include "bench_support.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vbrbench {
+
+const vbr::model::SurrogateTrace& full_trace() {
+  static const vbr::model::SurrogateTrace trace = [] {
+    vbr::model::SurrogateOptions options;
+    options.frames = kPaperFrames;
+    if (const char* env = std::getenv("VBR_BENCH_FRAMES")) {
+      options.frames = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    }
+    std::printf("[surrogate] generating %zu-frame calibrated trace (seed %llu)...\n",
+                options.frames, static_cast<unsigned long long>(options.seed));
+    auto result = vbr::model::make_starwars_surrogate(options);
+    std::printf("[surrogate] done: Pareto tail slope calibrated to m_T = %.2f\n",
+                result.calibration.marginal.tail_slope);
+    return result;
+  }();
+  return trace;
+}
+
+std::vector<double> log_values(std::span<const double> values) {
+  std::vector<double> out(values.begin(), values.end());
+  for (auto& v : out) v = std::log(v);
+  return out;
+}
+
+void print_exhibit_header(const std::string& exhibit, const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s -- %s\n", exhibit.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+void print_paper_vs_measured(const std::string& quantity, double paper, double measured) {
+  std::printf("  %-36s paper %10.4g   measured %10.4g\n", quantity.c_str(), paper,
+              measured);
+}
+
+}  // namespace vbrbench

@@ -1,0 +1,31 @@
+// Shared support for the experiment drivers in bench/: a cached full-length
+// surrogate trace (the stand-in for the paper's 171,000-frame dataset) and
+// small formatting helpers so every driver prints exhibits the same way.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vbr/model/starwars_surrogate.hpp"
+
+namespace vbrbench {
+
+/// Number of frames in the paper's trace (Table 1).
+inline constexpr std::size_t kPaperFrames = 171000;
+
+/// The full-length calibrated surrogate trace; built once per process.
+/// Honors the VBR_BENCH_FRAMES environment variable for quick smoke runs.
+const vbr::model::SurrogateTrace& full_trace();
+
+/// Natural log of every sample (the paper's transform before Whittle).
+std::vector<double> log_values(std::span<const double> values);
+
+/// Banner naming the exhibit a driver reproduces.
+void print_exhibit_header(const std::string& exhibit, const std::string& description);
+
+/// One "paper vs measured" line for EXPERIMENTS.md-style summaries.
+void print_paper_vs_measured(const std::string& quantity, double paper, double measured);
+
+}  // namespace vbrbench

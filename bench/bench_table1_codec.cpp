@@ -1,0 +1,87 @@
+// Table 1: parameters for generating the VBR video trace.
+//
+// The paper's table documents the coding pipeline (DCT, run-length,
+// Huffman; 480x504 monochrome at 24 fps, 30 slices/frame) and the resulting
+// average bandwidth (5.34 Mb/s) and compression ratio (8.70). We exercise
+// the same pipeline end to end: a scene-structured synthetic movie is coded
+// by the real intraframe coder; a short full-geometry segment verifies the
+// paper's frame format, and a longer reduced-geometry run (scaled per-pixel)
+// measures rate statistics over many scenes.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/codec/intraframe_coder.hpp"
+#include "vbr/codec/synthetic_movie.hpp"
+#include "vbr/trace/time_series.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Table 1", "parameters for generating the VBR trace");
+
+  std::printf("  %-28s %s\n", "Coding algorithms", "DCT, Run-length, Huffman");
+  std::printf("  %-28s %zu x %zu pels, 8 bits/pel (monochrome)\n", "Frame dimensions",
+              vbr::codec::Frame::kDefaultHeight, vbr::codec::Frame::kDefaultWidth);
+  std::printf("  %-28s %d per second\n", "Frame rate", 24);
+  std::printf("  %-28s %d per frame\n", "Slice rate", 30);
+
+  // Full-geometry segment: the paper's exact frame format.
+  vbr::codec::MovieConfig full_config;  // defaults to 504x480
+  const std::size_t full_frames = 24;
+  vbr::codec::SyntheticMovie full_movie(full_config, full_frames);
+  vbr::codec::IntraframeCoder coder;
+  std::vector<vbr::codec::Frame> sample{full_movie.frame(0), full_movie.frame(12)};
+  coder.train(sample);
+
+  double total_bytes = 0.0;
+  double total_ratio = 0.0;
+  for (std::size_t f = 0; f < full_frames; ++f) {
+    const auto frame = full_movie.frame(f);
+    const auto encoded = coder.encode(frame);
+    total_bytes += static_cast<double>(encoded.total_bytes());
+    total_ratio += vbr::codec::IntraframeCoder::compression_ratio(frame, encoded);
+  }
+  const double mean_bytes = total_bytes / static_cast<double>(full_frames);
+  const double mean_rate_mbps = mean_bytes * 8.0 * 24.0 / 1e6;
+  const double mean_ratio = total_ratio / static_cast<double>(full_frames);
+
+  std::printf("\n  Full-geometry segment (%zu frames, 504x480):\n", full_frames);
+  vbrbench::print_paper_vs_measured("avg bandwidth (Mb/s)", 5.34, mean_rate_mbps);
+  vbrbench::print_paper_vs_measured("avg compression ratio", 8.70, mean_ratio);
+
+  // Longer reduced-geometry run: rate variability across many scenes.
+  vbr::codec::MovieConfig small_config;
+  small_config.width = 128;
+  small_config.height = 128;
+  const std::size_t small_frames = 1440;  // one minute
+  vbr::codec::SyntheticMovie small_movie(small_config, small_frames);
+  vbr::codec::IntraframeCoder small_coder;
+  std::vector<vbr::codec::Frame> small_sample;
+  for (std::size_t f = 0; f < small_frames; f += 180) {
+    small_sample.push_back(small_movie.frame(f));
+  }
+  small_coder.train(small_sample);
+
+  std::vector<double> bytes;
+  bytes.reserve(small_frames);
+  for (std::size_t f = 0; f < small_frames; ++f) {
+    bytes.push_back(
+        static_cast<double>(small_coder.encode(small_movie.frame(f)).total_bytes()));
+  }
+  const vbr::trace::TimeSeries trace(bytes, 1.0 / 24.0, "bytes/frame");
+  const auto s = trace.summary();
+  const double pixel_scale = 128.0 * 128.0 / (504.0 * 480.0);
+  std::printf("\n  Reduced-geometry run (%zu frames, 128x128; rates scaled by area):\n",
+              small_frames);
+  std::printf("  %-36s %10.3f Mb/s (full-frame equivalent %.2f)\n", "mean rate",
+              trace.mean_rate_bps() / 1e6, trace.mean_rate_bps() / 1e6 / pixel_scale);
+  std::printf("  %-36s %10.3f\n", "coefficient of variation",
+              s.coefficient_of_variation);
+  std::printf("  %-36s %10.2f\n", "peak/mean (burstiness)", s.peak_to_mean);
+  std::printf("  %-36s %10zu\n", "scenes traversed", small_movie.scenes().size());
+
+  std::printf(
+      "\n  Shape check: an intraframe DCT/RLE/Huffman code over scene-structured\n"
+      "  material is variable-rate with O(1) Mb/s magnitude, single-digit\n"
+      "  compression, and burstiness well above 1 -- the Table 1 regime.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 2: statistics of the VBR video trace, measured by frame and slice.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "vbr/model/starwars_surrogate.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Table 2", "statistics of the VBR video trace");
+  const auto& trace = vbrbench::full_trace();
+  const auto slices = vbr::model::surrogate_slices(trace);
+
+  const auto f = trace.frames.summary();
+  const auto s = slices.summary();
+
+  std::printf("\n  %-28s %12s %12s\n", "Measured by:", "Frame", "Slice");
+  std::printf("  %-28s %12.3f %12.4f  msec\n", "Time unit",
+              trace.frames.dt_seconds() * 1e3, slices.dt_seconds() * 1e3);
+  std::printf("  %-28s %12.0f %12.1f  bytes/unit\n", "Mean bandwidth", f.mean, s.mean);
+  std::printf("  %-28s %12.0f %12.1f  bytes/unit\n", "Standard deviation", f.stddev,
+              s.stddev);
+  std::printf("  %-28s %12.2f %12.2f\n", "Coef. of variation",
+              f.coefficient_of_variation, s.coefficient_of_variation);
+  std::printf("  %-28s %12.0f %12.0f  bytes/unit\n", "Maximum bandwidth", f.max, s.max);
+  std::printf("  %-28s %12.0f %12.0f  bytes/unit\n", "Minimum bandwidth", f.min, s.min);
+  std::printf("  %-28s %12.2f %12.2f\n", "Peak/mean bandwidth", f.peak_to_mean,
+              s.peak_to_mean);
+
+  std::printf("\n  Paper values (frame / slice):\n");
+  vbrbench::print_paper_vs_measured("frame mean (bytes)", 27791, f.mean);
+  vbrbench::print_paper_vs_measured("frame std dev (bytes)", 6254, f.stddev);
+  vbrbench::print_paper_vs_measured("frame CoV", 0.23, f.coefficient_of_variation);
+  vbrbench::print_paper_vs_measured("frame max (bytes)", 78459, f.max);
+  vbrbench::print_paper_vs_measured("frame min (bytes)", 8622, f.min);
+  vbrbench::print_paper_vs_measured("frame peak/mean", 2.82, f.peak_to_mean);
+  vbrbench::print_paper_vs_measured("slice mean (bytes)", 926.4, s.mean);
+  vbrbench::print_paper_vs_measured("slice std dev (bytes)", 289.5, s.stddev);
+  vbrbench::print_paper_vs_measured("slice CoV", 0.31, s.coefficient_of_variation);
+  vbrbench::print_paper_vs_measured("slice peak/mean", 3.96, s.peak_to_mean);
+  return 0;
+}

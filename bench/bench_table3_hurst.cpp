@@ -1,0 +1,77 @@
+// Table 3: estimates of the Hurst parameter H from all methods.
+//
+// Variance-time, R/S pox analysis (plain, aggregated, and with the lag /
+// partition grid varied) and the aggregated Whittle MLE with its 95%
+// confidence interval — the paper's values are 0.78 / 0.83 / 0.78 /
+// 0.81-0.83 / 0.80 +- 0.088.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/stats/dfa.hpp"
+#include "vbr/stats/rs_analysis.hpp"
+#include "vbr/stats/variance_time.hpp"
+#include "vbr/stats/whittle.hpp"
+
+int main() {
+  vbrbench::print_exhibit_header("Table 3", "estimates of H from all methods");
+  const auto& trace = vbrbench::full_trace();
+  const auto data = trace.frames.samples();
+
+  std::printf("\n  %-26s %12s %10s\n", "Method", "H", "paper");
+
+  vbr::stats::VarianceTimeOptions vt_opt;
+  vt_opt.fit_min_m = 200;  // the paper measures from ~200 frames upward
+  const auto vt = vbr::stats::variance_time(data, vt_opt);
+  std::printf("  %-26s %12.3f %10.2f\n", "Variance-Time", vt.hurst, 0.78);
+
+  vbr::stats::RsOptions rs_opt;
+  rs_opt.fit_min_lag = 200;
+  const auto rs = vbr::stats::rs_analysis(data, rs_opt);
+  std::printf("  %-26s %12.3f %10.2f\n", "R/S Analysis", rs.hurst, 0.83);
+
+  const auto rs_agg = vbr::stats::rs_analysis_aggregated(data, 10, rs_opt);
+  std::printf("  %-26s %12.3f %10.2f\n", "R/S Aggregated (m=10)", rs_agg.hurst, 0.78);
+
+  const std::vector<std::size_t> lag_grid{20, 30, 40};
+  const std::vector<std::size_t> part_grid{5, 10, 15};
+  const auto sweep = vbr::stats::rs_sweep(data, lag_grid, part_grid, rs_opt);
+  std::printf("  %-26s %7.2f-%.2f %10s\n", "R/S with n, M varied", sweep.hurst_min,
+              sweep.hurst_max, "0.81-0.83");
+
+  // Whittle on log data, combined with aggregation (paper: read at m ~ 700).
+  const auto logs = vbrbench::log_values(data);
+  std::vector<std::size_t> levels;
+  for (std::size_t m : {100u, 300u, 700u, 1200u}) {
+    if (data.size() / m >= 64) levels.push_back(m);
+  }
+  const auto whittle = vbr::stats::whittle_aggregated(logs, levels);
+  for (const auto& point : whittle) {
+    std::printf("  Whittle (m=%-6zu)        %6.3f +- %.3f%s\n", point.m,
+                point.result.hurst, 1.96 * point.result.stderr_hurst,
+                point.m == 700 ? "   paper: 0.80 +- 0.088" : "");
+  }
+
+  // Extension: Robinson's semiparametric local Whittle (model-free about
+  // the short-range spectrum; not in the paper but standard today). The
+  // bandwidth sweep shows the classic bias-variance tradeoff: small m uses
+  // only truly long-range frequencies, large m drags in the scene band.
+  for (std::size_t m : {100u, 400u, 1600u}) {
+    const auto local = vbr::stats::local_whittle_estimate(logs, m);
+    std::printf("  Local Whittle m=%-9zu %6.3f +- %.3f%s\n", m, local.hurst,
+                1.96 * local.stderr_hurst,
+                m == 100 ? "   (ext.; lowest-frequency band)" : "");
+  }
+
+  // Extension: DFA-1 (Peng et al. 1994), trend-robust.
+  vbr::stats::DfaOptions dfa_opt;
+  dfa_opt.fit_min_box = 200;
+  const auto dfa_result = vbr::stats::dfa(data, dfa_opt);
+  std::printf("  %-26s %6.3f  (ext.; R^2 = %.3f)\n", "DFA-1", dfa_result.hurst,
+              dfa_result.fit.r_squared);
+
+  std::printf(
+      "\n  Shape check: all methods agree on clear long-range dependence with\n"
+      "  H clustered near 0.8, well away from the SRD value 0.5.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// srd_pitfall: why short-range-dependent models under-provision networks.
+//
+// The paper's central warning: "The use of SRD models when inappropriate
+// will result in overly optimistic estimates of performance, insufficient
+// allocation of resources and difficulty in achieving the quality of
+// service expected by network users." This example makes that concrete:
+// fit a classical Markov-chain model and the paper's LRD model to the same
+// trace, size a link from each model's synthetic traffic, then replay the
+// REAL trace against both allocations and compare the loss actually
+// suffered.
+//
+// Usage: ./srd_pitfall [buffer_seconds] [target_loss]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "vbr/model/markov_source.hpp"
+#include "vbr/model/starwars_surrogate.hpp"
+#include "vbr/model/vbr_source.hpp"
+#include "vbr/net/qc_analysis.hpp"
+
+namespace {
+
+double size_link(std::span<const double> frames, double delay, double target) {
+  vbr::net::MuxExperiment experiment;
+  experiment.sources = 1;
+  const vbr::net::MuxWorkload workload(frames, experiment);
+  return vbr::net::required_capacity_bps(workload, delay, target,
+                                         vbr::net::QosMeasure::kOverallLoss);
+}
+
+double replay_loss(std::span<const double> frames, double capacity_bps, double delay) {
+  vbr::net::MuxExperiment experiment;
+  experiment.sources = 1;
+  const vbr::net::MuxWorkload workload(frames, experiment);
+  return workload.loss(capacity_bps, delay, vbr::net::QosMeasure::kOverallLoss);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double delay = (argc > 1) ? std::stod(argv[1]) : 1.0;       // big buffer
+  const double target = (argc > 2) ? std::stod(argv[2]) : 1e-3;
+
+  std::printf("Provisioning experiment: buffer delay %.2f s, target loss %.0e\n\n", delay,
+              target);
+  vbr::model::SurrogateOptions options;
+  options.frames = 65536;
+  const auto trace = vbr::model::make_starwars_surrogate(options);
+  const auto frames = trace.frames.samples();
+
+  // Fit both models to the SAME measurements.
+  const auto markov = vbr::model::MarkovChainSource::fit(frames, 16);
+  const auto lrd = vbr::model::VbrVideoSourceModel::fit(frames);
+  std::printf("Fitted models: 16-state Markov chain, and the paper's model (H = %.2f)\n",
+              lrd.params().hurst);
+
+  // Size the link from each model's own synthetic traffic.
+  vbr::Rng rng(7);
+  const auto markov_traffic = markov.generate(frames.size(), rng);
+  const auto lrd_traffic = lrd.generate(frames.size(), rng);
+  const double c_markov = size_link(markov_traffic, delay, target);
+  const double c_lrd = size_link(lrd_traffic, delay, target);
+  const double c_truth = size_link(frames, delay, target);
+
+  std::printf("\n%-34s %10.2f Mb/s\n", "capacity sized from Markov model:",
+              c_markov / 1e6);
+  std::printf("%-34s %10.2f Mb/s\n", "capacity sized from LRD model:", c_lrd / 1e6);
+  std::printf("%-34s %10.2f Mb/s\n", "capacity the real trace needs:", c_truth / 1e6);
+
+  // Replay reality against each allocation.
+  const double loss_markov = replay_loss(frames, c_markov, delay);
+  const double loss_lrd = replay_loss(frames, c_lrd, delay);
+  std::printf("\nReplaying the real trace:\n");
+  std::printf("  on the Markov-sized link: loss %.2e (%.0fx the %.0e target)\n",
+              loss_markov, loss_markov / target, target);
+  std::printf("  on the LRD-sized link:    loss %.2e\n", loss_lrd);
+
+  std::printf(
+      "\nThe Markov fit matches the trace's marginals and lag-1 correlation, but\n"
+      "its memory dies exponentially, so with a large buffer it predicts far\n"
+      "less capacity than reality requires: the user sees %.0fx the promised\n"
+      "loss. The LRD model is markedly less optimistic (%.1fx closer in excess\n"
+      "loss) -- though, as the paper's Section 5.2 notes, even it inherits some\n"
+      "optimism from unmodeled short-range structure and single-realization\n"
+      "tail noise.\n",
+      loss_markov / target, loss_markov / std::max(loss_lrd, target));
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,76 @@
+#include "vbr/codec/dct.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace vbr::codec {
+namespace {
+
+// Orthonormal DCT-II basis: C[u][x] = c(u) cos((2x+1) u pi / 16),
+// c(0) = sqrt(1/8), c(u>0) = sqrt(2/8).
+struct Basis {
+  double c[8][8];
+  Basis() {
+    for (int u = 0; u < 8; ++u) {
+      const double scale = (u == 0) ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int x = 0; x < 8; ++x) {
+        c[u][x] = scale * std::cos((2.0 * x + 1.0) * u * std::numbers::pi / 16.0);
+      }
+    }
+  }
+};
+
+const Basis& basis() {
+  static const Basis b;
+  return b;
+}
+
+}  // namespace
+
+Block forward_dct(const Block& spatial) {
+  const auto& c = basis().c;
+  // Rows: tmp = spatial * C^T  (transform each row).
+  double tmp[8][8];
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      double acc = 0.0;
+      for (int x = 0; x < 8; ++x) acc += spatial[static_cast<std::size_t>(y * 8 + x)] * c[u][x];
+      tmp[y][u] = acc;
+    }
+  }
+  // Columns: out = C * tmp.
+  Block out;
+  for (int v = 0; v < 8; ++v) {
+    for (int u = 0; u < 8; ++u) {
+      double acc = 0.0;
+      for (int y = 0; y < 8; ++y) acc += c[v][y] * tmp[y][u];
+      out[static_cast<std::size_t>(v * 8 + u)] = acc;
+    }
+  }
+  return out;
+}
+
+Block inverse_dct(const Block& frequency) {
+  const auto& c = basis().c;
+  // Columns first: tmp = C^T * frequency.
+  double tmp[8][8];
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      double acc = 0.0;
+      for (int v = 0; v < 8; ++v) acc += c[v][y] * frequency[static_cast<std::size_t>(v * 8 + u)];
+      tmp[y][u] = acc;
+    }
+  }
+  // Rows: out = tmp * C.
+  Block out;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      double acc = 0.0;
+      for (int u = 0; u < 8; ++u) acc += tmp[y][u] * c[u][x];
+      out[static_cast<std::size_t>(y * 8 + x)] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace vbr::codec

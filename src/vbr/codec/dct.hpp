@@ -1,0 +1,20 @@
+// 8x8 Discrete Cosine Transform (type-II, orthonormal), the transform stage
+// of the paper's intraframe coder (Table 1: "DCT, Run-length, Huffman").
+//
+// Separable implementation with a precomputed basis matrix: a 2-D transform
+// is 16 matrix-vector products of length 8. Forward followed by inverse is
+// exact to floating-point roundoff (the transform is orthonormal).
+#pragma once
+
+#include "vbr/codec/frame.hpp"
+
+namespace vbr::codec {
+
+/// Forward 2-D DCT of an 8x8 block (input in row-major spatial order,
+/// output in row-major frequency order, DC at index 0).
+Block forward_dct(const Block& spatial);
+
+/// Inverse 2-D DCT.
+Block inverse_dct(const Block& frequency);
+
+}  // namespace vbr::codec

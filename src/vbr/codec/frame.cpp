@@ -1,0 +1,55 @@
+#include "vbr/codec/frame.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::codec {
+
+Frame::Frame(std::size_t width, std::size_t height)
+    : width_(width), height_(height), pixels_(width * height, 128) {
+  VBR_ENSURE(width >= 8 && height >= 8, "frame must be at least 8x8");
+  VBR_ENSURE(width % 8 == 0 && height % 8 == 0,
+             "frame dimensions must be multiples of the 8x8 block size");
+}
+
+Block Frame::block(std::size_t bx, std::size_t by) const {
+  VBR_ENSURE(bx < blocks_x() && by < blocks_y(), "block index out of range");
+  Block out;
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      out[y * 8 + x] = static_cast<double>(at(bx * 8 + x, by * 8 + y)) - 128.0;
+    }
+  }
+  return out;
+}
+
+void Frame::set_block(std::size_t bx, std::size_t by, const Block& values) {
+  VBR_ENSURE(bx < blocks_x() && by < blocks_y(), "block index out of range");
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      const double v = std::round(values[y * 8 + x] + 128.0);
+      set(bx * 8 + x, by * 8 + y,
+          static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+}
+
+double psnr(const Frame& a, const Frame& b) {
+  VBR_ENSURE(a.width() == b.width() && a.height() == b.height(),
+             "psnr requires equally sized frames");
+  double mse = 0.0;
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(pa.size());
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace vbr::codec

@@ -1,0 +1,58 @@
+// Monochrome frame buffer for the intraframe coder substrate.
+//
+// The paper's coder consumes 480-line x 504-pel luminance frames at 8 bits
+// per pel (Table 1) and partitions each frame into 8x8 blocks for the DCT.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vbr::codec {
+
+/// An 8x8 block of pixel or coefficient values in row-major order.
+using Block = std::array<double, 64>;
+
+/// 8-bit monochrome image, row-major.
+class Frame {
+ public:
+  /// Paper geometry: 480 lines x 504 pels (both multiples of 8).
+  static constexpr std::size_t kDefaultWidth = 504;
+  static constexpr std::size_t kDefaultHeight = 480;
+
+  Frame(std::size_t width, std::size_t height);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t pixel_count() const { return width_ * height_; }
+
+  std::uint8_t at(std::size_t x, std::size_t y) const { return pixels_[y * width_ + x]; }
+  void set(std::size_t x, std::size_t y, std::uint8_t value) { pixels_[y * width_ + x] = value; }
+
+  std::span<const std::uint8_t> pixels() const { return pixels_; }
+  std::span<std::uint8_t> pixels() { return pixels_; }
+
+  /// Number of 8x8 blocks horizontally / vertically (dimensions must be
+  /// multiples of 8; enforced by the constructor).
+  std::size_t blocks_x() const { return width_ / 8; }
+  std::size_t blocks_y() const { return height_ / 8; }
+  std::size_t block_count() const { return blocks_x() * blocks_y(); }
+
+  /// Extract block (bx, by) as doubles centered at zero (pixel - 128).
+  Block block(std::size_t bx, std::size_t by) const;
+
+  /// Store a (reconstructed) block, clamping to [0, 255] after re-centering.
+  void set_block(std::size_t bx, std::size_t by, const Block& values);
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Peak signal-to-noise ratio between two equally sized frames, in dB.
+double psnr(const Frame& a, const Frame& b);
+
+}  // namespace vbr::codec

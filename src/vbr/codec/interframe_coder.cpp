@@ -1,0 +1,244 @@
+#include "vbr/codec/interframe_coder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/codec/dct.hpp"
+#include "vbr/codec/rle.hpp"
+#include "vbr/codec/zigzag.hpp"
+#include "vbr/common/error.hpp"
+
+namespace vbr::codec {
+namespace {
+
+constexpr std::size_t kDcAlphabet = 13;
+constexpr std::size_t kAcAlphabet = 256;
+
+// Residual statistics are sharper than intra statistics: most quantized
+// residual coefficients are zero, so EOB dominates and amplitudes are tiny.
+HuffmanCode residual_dc_code() {
+  std::vector<std::uint64_t> freqs(kDcAlphabet);
+  for (std::size_t c = 0; c < kDcAlphabet; ++c) {
+    freqs[c] =
+        static_cast<std::uint64_t>(1 + 300000.0 * std::exp(-1.1 * static_cast<double>(c)));
+  }
+  return HuffmanCode::build(freqs);
+}
+
+HuffmanCode residual_ac_code() {
+  std::vector<std::uint64_t> freqs(kAcAlphabet, 1);
+  for (std::size_t run = 0; run < 16; ++run) {
+    for (std::size_t size = 1; size <= 10; ++size) {
+      const double weight = 120000.0 * std::exp(-0.3 * static_cast<double>(run)) *
+                            std::exp(-1.3 * static_cast<double>(size));
+      freqs[(run << 4) | size] += static_cast<std::uint64_t>(weight);
+    }
+  }
+  freqs[0] += 400000;       // EOB dominates for residual blocks
+  freqs[(15u << 4)] += 200; // ZRL relatively common in near-empty blocks
+  return HuffmanCode::build(freqs);
+}
+
+void write_amplitude(BitWriter& out, int value, unsigned size) {
+  if (size == 0) return;
+  if (value < 0) value += (1 << size) - 1;
+  out.write_bits(static_cast<std::uint32_t>(value), size);
+}
+
+int read_amplitude(BitReader& in, unsigned size) {
+  if (size == 0) return 0;
+  const auto raw = static_cast<int>(in.read_bits(size));
+  if (raw < (1 << (size - 1))) return raw - (1 << size) + 1;
+  return raw;
+}
+
+struct SliceExtent {
+  std::size_t first_block_row = 0;
+  std::size_t block_rows = 0;
+};
+
+std::vector<SliceExtent> slice_extents(std::size_t blocks_y, std::size_t slices_per_frame) {
+  const std::size_t slices = std::min(slices_per_frame, blocks_y);
+  std::vector<SliceExtent> extents(slices);
+  const std::size_t base = blocks_y / slices;
+  const std::size_t extra = blocks_y % slices;
+  std::size_t row = 0;
+  for (std::size_t s = 0; s < slices; ++s) {
+    extents[s].first_block_row = row;
+    extents[s].block_rows = base + (s < extra ? 1 : 0);
+    row += extents[s].block_rows;
+  }
+  return extents;
+}
+
+}  // namespace
+
+InterframeCoder::InterframeCoder(const InterframeConfig& config)
+    : config_(config),
+      intra_([&] {
+        CoderConfig intra_config;
+        intra_config.quantizer_step = config.quantizer_step;
+        intra_config.slices_per_frame = config.slices_per_frame;
+        return intra_config;
+      }()),
+      quantizer_(config.quantizer_step),
+      dc_code_(residual_dc_code()),
+      ac_code_(residual_ac_code()) {
+  VBR_ENSURE(config.gop_length >= 1, "GoP length must be >= 1");
+}
+
+void InterframeCoder::reset() {
+  reference_.reset();
+  frames_since_intra_ = 0;
+}
+
+void InterframeCoder::set_reference_from_frame(const Frame& frame) {
+  width_ = frame.width();
+  height_ = frame.height();
+  std::vector<double> ref(frame.pixel_count());
+  const auto px = frame.pixels();
+  for (std::size_t i = 0; i < px.size(); ++i) ref[i] = static_cast<double>(px[i]);
+  reference_ = std::move(ref);
+}
+
+Frame InterframeCoder::reference_as_frame() const {
+  VBR_ENSURE(reference_.has_value(), "no reference frame");
+  Frame out(width_, height_);
+  auto px = out.pixels();
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    px[i] = static_cast<std::uint8_t>(std::clamp((*reference_)[i], 0.0, 255.0));
+  }
+  return out;
+}
+
+EncodedInterFrame InterframeCoder::encode_next(const Frame& frame) {
+  const bool intra = !reference_.has_value() || frames_since_intra_ == 0 ||
+                     frame.width() != width_ || frame.height() != height_;
+  EncodedInterFrame out;
+  if (intra) {
+    out.is_intra = true;
+    out.payload = intra_.encode(frame);
+    // Closed loop: the reference is what the decoder will reconstruct.
+    set_reference_from_frame(intra_.decode(out.payload));
+    frames_since_intra_ = config_.gop_length > 1 ? 1 : 0;
+  } else {
+    out.is_intra = false;
+    out.payload = encode_residual(frame);
+    frames_since_intra_ = (frames_since_intra_ + 1) % config_.gop_length;
+  }
+  return out;
+}
+
+Frame InterframeCoder::decode_next(const EncodedInterFrame& encoded) {
+  if (encoded.is_intra) {
+    const Frame frame = intra_.decode(encoded.payload);
+    set_reference_from_frame(frame);
+    return frame;
+  }
+  decode_residual(encoded.payload);
+  return reference_as_frame();
+}
+
+EncodedFrame InterframeCoder::encode_residual(const Frame& frame) {
+  VBR_ENSURE(reference_.has_value(), "P frame without a reference");
+  EncodedFrame out;
+  out.width = frame.width();
+  out.height = frame.height();
+  auto& ref = *reference_;
+
+  for (const auto& extent : slice_extents(frame.blocks_y(), config_.slices_per_frame)) {
+    BitWriter writer;
+    for (std::size_t by = extent.first_block_row;
+         by < extent.first_block_row + extent.block_rows; ++by) {
+      for (std::size_t bx = 0; bx < frame.blocks_x(); ++bx) {
+        // Residual block: current pixels minus reconstructed reference.
+        Block residual;
+        for (std::size_t y = 0; y < 8; ++y) {
+          for (std::size_t x = 0; x < 8; ++x) {
+            const std::size_t px = (by * 8 + y) * frame.width() + (bx * 8 + x);
+            residual[y * 8 + x] =
+                static_cast<double>(frame.pixels()[px]) - ref[px];
+          }
+        }
+        const auto levels = quantizer_.quantize_block(forward_dct(residual));
+        const auto scanned = zigzag_scan(levels);
+
+        const unsigned dc_size = size_category(scanned[0]);
+        dc_code_.encode(writer, dc_size);
+        write_amplitude(writer, scanned[0], dc_size);
+        for (const RleSymbol& sym :
+             rle_encode_ac(std::span<const std::int16_t>(scanned).subspan(1))) {
+          const unsigned size = sym.level == 0 ? 0 : size_category(sym.level);
+          ac_code_.encode(writer, (static_cast<std::size_t>(sym.run) << 4) | size);
+          write_amplitude(writer, sym.level, size);
+        }
+
+        // Closed-loop reconstruction: add the dequantized residual to the
+        // reference, clamped to pixel range (exactly what the decoder does).
+        const Block reconstructed = inverse_dct(quantizer_.dequantize_block(levels));
+        for (std::size_t y = 0; y < 8; ++y) {
+          for (std::size_t x = 0; x < 8; ++x) {
+            const std::size_t px = (by * 8 + y) * frame.width() + (bx * 8 + x);
+            ref[px] = std::clamp(ref[px] + reconstructed[y * 8 + x], 0.0, 255.0);
+          }
+        }
+      }
+    }
+    out.slices.push_back({writer.finish()});
+  }
+  return out;
+}
+
+void InterframeCoder::decode_residual(const EncodedFrame& encoded) {
+  VBR_ENSURE(reference_.has_value(), "P frame without a reference");
+  VBR_ENSURE(encoded.width == width_ && encoded.height == height_,
+             "frame geometry changed mid-GoP");
+  auto& ref = *reference_;
+  const std::size_t blocks_x = encoded.width / 8;
+  const auto extents = slice_extents(encoded.height / 8, config_.slices_per_frame);
+  VBR_ENSURE(extents.size() == encoded.slices.size(), "slice count mismatch");
+
+  for (std::size_t s = 0; s < extents.size(); ++s) {
+    BitReader reader(encoded.slices[s].bytes);
+    for (std::size_t by = extents[s].first_block_row;
+         by < extents[s].first_block_row + extents[s].block_rows; ++by) {
+      for (std::size_t bx = 0; bx < blocks_x; ++bx) {
+        std::array<std::int16_t, 64> scanned{};
+        const auto dc_size = static_cast<unsigned>(dc_code_.decode(reader));
+        scanned[0] = static_cast<std::int16_t>(read_amplitude(reader, dc_size));
+
+        std::vector<RleSymbol> symbols;
+        std::size_t ac_seen = 0;
+        while (ac_seen < 63) {
+          const std::size_t token = ac_code_.decode(reader);
+          const auto run = static_cast<std::uint8_t>(token >> 4);
+          const auto size = static_cast<unsigned>(token & 0xF);
+          if (run == 0 && size == 0) {
+            symbols.push_back(RleSymbol::eob());
+            break;
+          }
+          if (run == 15 && size == 0) {
+            symbols.push_back(RleSymbol::zrl());
+            ac_seen += 16;
+            continue;
+          }
+          symbols.push_back({run, static_cast<std::int16_t>(read_amplitude(reader, size))});
+          ac_seen += run + 1u;
+        }
+        const auto ac = rle_decode_ac(symbols, 63);
+        for (std::size_t i = 0; i < 63; ++i) scanned[i + 1] = ac[i];
+
+        const Block reconstructed =
+            inverse_dct(quantizer_.dequantize_block(zigzag_unscan(scanned)));
+        for (std::size_t y = 0; y < 8; ++y) {
+          for (std::size_t x = 0; x < 8; ++x) {
+            const std::size_t px = (by * 8 + y) * encoded.width + (bx * 8 + x);
+            ref[px] = std::clamp(ref[px] + reconstructed[y * 8 + x], 0.0, 255.0);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace vbr::codec

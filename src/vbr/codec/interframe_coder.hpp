@@ -1,0 +1,75 @@
+// Interframe (I/P, MPEG-like) coding extension.
+//
+// The paper studies intraframe coding but notes that "greater compression,
+// burstiness and much stronger dependence on motion result from interframe
+// coding, i.e., coding frame differences" and that its main results extend
+// to MPEG video [GARR93a, PANC94]. This coder adds the interframe mode:
+// every gop_length-th frame is coded intra (via IntraframeCoder); the
+// frames between are P frames whose *residual* against the previous
+// reconstructed frame goes through the same DCT -> quantize -> zig-zag ->
+// RLE -> Huffman path. The encoder is closed-loop (it tracks the decoder's
+// reconstruction), so encode and decode stay bit-exactly in sync.
+//
+// The resulting trace has the MPEG signature: periodic I-frame spikes over
+// a low P-frame floor, higher burstiness, and strong motion dependence.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "vbr/codec/intraframe_coder.hpp"
+
+namespace vbr::codec {
+
+struct InterframeConfig {
+  double quantizer_step = 16.0;
+  std::size_t slices_per_frame = 30;
+  /// Distance between intra-coded frames (GoP length); 1 = all intra.
+  std::size_t gop_length = 12;
+};
+
+struct EncodedInterFrame {
+  bool is_intra = false;
+  EncodedFrame payload;
+  std::size_t total_bytes() const { return payload.total_bytes(); }
+};
+
+/// Stateful I/P coder. Feed frames in display order via encode_next();
+/// decode with a second instance fed the encoded stream in the same order.
+class InterframeCoder {
+ public:
+  explicit InterframeCoder(const InterframeConfig& config = {});
+
+  const InterframeConfig& config() const { return config_; }
+
+  /// Encode the next frame (intra iff the GoP counter says so, or no
+  /// reference exists yet). Updates the internal reference frame.
+  EncodedInterFrame encode_next(const Frame& frame);
+
+  /// Decode the next frame of the stream; maintains the decoder reference.
+  Frame decode_next(const EncodedInterFrame& encoded);
+
+  /// Drop the reference and restart the GoP (e.g., at a seek point).
+  void reset();
+
+ private:
+  InterframeConfig config_;
+  IntraframeCoder intra_;
+  UniformQuantizer quantizer_;
+  HuffmanCode dc_code_;
+  HuffmanCode ac_code_;
+  std::size_t frames_since_intra_ = 0;
+  /// Reconstructed previous frame as doubles in pixel space (encoder and
+  /// decoder sides each track their own copy via their own instance).
+  std::optional<std::vector<double>> reference_;
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+
+  EncodedFrame encode_residual(const Frame& frame);
+  void decode_residual(const EncodedFrame& encoded);
+  void set_reference_from_frame(const Frame& frame);
+  Frame reference_as_frame() const;
+};
+
+}  // namespace vbr::codec

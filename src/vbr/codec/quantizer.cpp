@@ -1,0 +1,36 @@
+#include "vbr/codec/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::codec {
+
+UniformQuantizer::UniformQuantizer(double step) : step_(step) {
+  VBR_ENSURE(step >= 1.0, "quantizer step must be >= 1");
+}
+
+std::int16_t UniformQuantizer::quantize(double coefficient) const {
+  const double level = std::round(coefficient / step_);
+  // 8-bit levels as in the paper.
+  return static_cast<std::int16_t>(std::clamp(level, -128.0, 127.0));
+}
+
+double UniformQuantizer::dequantize(std::int16_t level) const {
+  return static_cast<double>(level) * step_;
+}
+
+std::array<std::int16_t, 64> UniformQuantizer::quantize_block(const Block& coefficients) const {
+  std::array<std::int16_t, 64> out{};
+  for (std::size_t i = 0; i < 64; ++i) out[i] = quantize(coefficients[i]);
+  return out;
+}
+
+Block UniformQuantizer::dequantize_block(const std::array<std::int16_t, 64>& levels) const {
+  Block out;
+  for (std::size_t i = 0; i < 64; ++i) out[i] = dequantize(levels[i]);
+  return out;
+}
+
+}  // namespace vbr::codec

@@ -1,0 +1,47 @@
+#include "vbr/codec/rle.hpp"
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::codec {
+
+std::vector<RleSymbol> rle_encode_ac(std::span<const std::int16_t> ac) {
+  std::vector<RleSymbol> out;
+  std::size_t run = 0;
+  for (std::int16_t level : ac) {
+    if (level == 0) {
+      ++run;
+      continue;
+    }
+    while (run > 15) {
+      out.push_back(RleSymbol::zrl());
+      run -= 16;
+    }
+    out.push_back({static_cast<std::uint8_t>(run), level});
+    run = 0;
+  }
+  // JPEG convention: EOB only when trailing zeros remain. A block whose last
+  // coefficient is nonzero is complete without it — the decoder stops after
+  // the final coefficient, so an extra EOB would desynchronize the stream.
+  if (run > 0 || ac.empty()) out.push_back(RleSymbol::eob());
+  return out;
+}
+
+std::vector<std::int16_t> rle_decode_ac(std::span<const RleSymbol> symbols, std::size_t count) {
+  std::vector<std::int16_t> out;
+  out.reserve(count);
+  for (const RleSymbol& s : symbols) {
+    if (s.is_eob()) break;
+    if (s.is_zrl()) {
+      VBR_ENSURE(out.size() + 16 <= count, "ZRL overruns the block");
+      out.insert(out.end(), 16, 0);
+      continue;
+    }
+    VBR_ENSURE(out.size() + s.run + 1 <= count, "RLE symbol overruns the block");
+    out.insert(out.end(), s.run, 0);
+    out.push_back(s.level);
+  }
+  out.resize(count, 0);
+  return out;
+}
+
+}  // namespace vbr::codec

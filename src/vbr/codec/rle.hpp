@@ -1,0 +1,33 @@
+// Run-length coding of zig-zag-ordered AC coefficients (JPEG-baseline
+// style): each symbol is (run of zeros, nonzero level), with a ZRL symbol
+// for runs longer than 15 and an EOB symbol once the rest of the block is
+// zero.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vbr::codec {
+
+struct RleSymbol {
+  std::uint8_t run = 0;     ///< zeros preceding the level (0..15)
+  std::int16_t level = 0;   ///< nonzero, except for the EOB / ZRL sentinels
+
+  bool is_eob() const { return run == 0 && level == 0; }
+  bool is_zrl() const { return run == 15 && level == 0; }
+
+  static RleSymbol eob() { return {0, 0}; }
+  static RleSymbol zrl() { return {15, 0}; }
+};
+
+/// Encode a block's AC coefficients (zig-zag order, DC excluded).
+/// Always terminates with EOB, even for a fully occupied block, so the
+/// decoder needs no out-of-band length.
+std::vector<RleSymbol> rle_encode_ac(std::span<const std::int16_t> ac);
+
+/// Decode back to exactly `count` coefficients. Throws on malformed input
+/// (overrunning the block).
+std::vector<std::int16_t> rle_decode_ac(std::span<const RleSymbol> symbols, std::size_t count);
+
+}  // namespace vbr::codec

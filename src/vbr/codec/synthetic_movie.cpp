@@ -1,0 +1,108 @@
+#include "vbr/codec/synthetic_movie.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+
+namespace vbr::codec {
+namespace {
+
+// Cheap integer hash for per-pixel film grain, stable across platforms.
+std::uint32_t pixel_hash(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<std::uint32_t>(x);
+}
+
+double grain_noise(std::size_t x, std::size_t y, std::size_t frame, std::uint64_t seed) {
+  const std::uint64_t key = seed ^ (static_cast<std::uint64_t>(frame) << 40) ^
+                            (static_cast<std::uint64_t>(y) << 20) ^ x;
+  // Map to [-1, 1).
+  return static_cast<double>(pixel_hash(key)) * (2.0 / 4294967296.0) - 1.0;
+}
+
+}  // namespace
+
+SyntheticMovie::SyntheticMovie(const MovieConfig& config, std::size_t total_frames)
+    : config_(config), total_frames_(total_frames) {
+  VBR_ENSURE(total_frames >= 1, "movie needs at least one frame");
+  vbr::Rng rng(config.seed);
+  vbr::trace::SceneModel model(config.scene_params);
+  scenes_ = model.generate(total_frames, rng);
+
+  scene_of_frame_.assign(total_frames, 0);
+  for (std::size_t s = 0; s < scenes_.size(); ++s) {
+    const auto end = std::min(total_frames, scenes_[s].start_frame + scenes_[s].length);
+    for (std::size_t f = scenes_[s].start_frame; f < end; ++f) scene_of_frame_[f] = s;
+  }
+}
+
+const vbr::trace::Scene& SyntheticMovie::scene_at(std::size_t frame_index) const {
+  VBR_ENSURE(frame_index < total_frames_, "frame index out of range");
+  return scenes_[scene_of_frame_[frame_index]];
+}
+
+SyntheticMovie::Texture SyntheticMovie::texture_for(const vbr::trace::Scene& scene) const {
+  // Deterministic per-shot look: the texture id seeds the generator, so a
+  // dialog alternation returns to exactly the same backdrop.
+  vbr::Rng rng(config_.seed ^ (0xABCDULL + 0x9e3779b97f4a7c15ULL *
+                               static_cast<std::uint64_t>(scene.texture_id + 1)));
+  Texture tex;
+  // 3-6 octaves; higher complexity shifts amplitude into higher spatial
+  // frequencies, which is what costs bits in a DCT coder.
+  const auto octaves = static_cast<std::size_t>(3 + rng.uniform_index(4));
+  for (std::size_t o = 0; o < octaves; ++o) {
+    Wave w;
+    // Frequencies from ~1 cycle per 64 px up to ~1 cycle per 3 px.
+    const double cycles_per_pixel =
+        (1.0 / 64.0) * std::pow(2.0, static_cast<double>(o) + rng.uniform(0.0, 1.0));
+    const double angle = rng.uniform(0.0, std::numbers::pi);
+    w.fx = cycles_per_pixel * std::cos(angle);
+    w.fy = cycles_per_pixel * std::sin(angle);
+    // Base spectrum ~ 1/f; complexity boosts the high-frequency octaves.
+    const double octave_weight =
+        std::pow(0.6, static_cast<double>(o)) +
+        scene.complexity * 0.35 * static_cast<double>(o) / static_cast<double>(octaves);
+    w.amplitude = config_.base_detail * scene.complexity * octave_weight *
+                  rng.uniform(0.6, 1.0);
+    w.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    // Motion pans the higher octaves faster (parallax-ish).
+    w.pan = scene.motion * rng.uniform(0.005, 0.05) * static_cast<double>(o + 1);
+    tex.waves.push_back(w);
+  }
+  tex.grain_amplitude = config_.grain * config_.base_detail *
+                        std::sqrt(std::max(0.05, scene.complexity));
+  return tex;
+}
+
+Frame SyntheticMovie::frame(std::size_t index) const {
+  VBR_ENSURE(index < total_frames_, "frame index out of range");
+  const auto& scene = scene_at(index);
+  const Texture tex = texture_for(scene);
+  const double t = static_cast<double>(index - scene.start_frame);
+
+  Frame out(config_.width, config_.height);
+  for (std::size_t y = 0; y < config_.height; ++y) {
+    for (std::size_t x = 0; x < config_.width; ++x) {
+      double v = 0.0;
+      for (const Wave& w : tex.waves) {
+        v += w.amplitude *
+             std::sin(2.0 * std::numbers::pi *
+                          (w.fx * static_cast<double>(x) + w.fy * static_cast<double>(y)) +
+                      w.phase + w.pan * t);
+      }
+      v += tex.grain_amplitude * grain_noise(x, y, index, config_.seed);
+      const double pixel = std::clamp(128.0 + v, 0.0, 255.0);
+      out.set(x, y, static_cast<std::uint8_t>(std::lround(pixel)));
+    }
+  }
+  return out;
+}
+
+}  // namespace vbr::codec

@@ -1,0 +1,58 @@
+#include "vbr/codec/zigzag.hpp"
+
+namespace vbr::codec {
+namespace {
+
+// Generate the classic 8x8 zig-zag order programmatically so the table is
+// correct by construction.
+std::array<std::uint8_t, 64> make_order() {
+  std::array<std::uint8_t, 64> order{};
+  int x = 0;
+  int y = 0;
+  bool up = true;  // moving toward the upper-right
+  for (int i = 0; i < 64; ++i) {
+    order[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(y * 8 + x);
+    if (up) {
+      if (x == 7) {
+        ++y;
+        up = false;
+      } else if (y == 0) {
+        ++x;
+        up = false;
+      } else {
+        ++x;
+        --y;
+      }
+    } else {
+      if (y == 7) {
+        ++x;
+        up = true;
+      } else if (x == 0) {
+        ++y;
+        up = true;
+      } else {
+        --x;
+        ++y;
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 64> kZigzagOrder = make_order();
+
+std::array<std::int16_t, 64> zigzag_scan(const std::array<std::int16_t, 64>& row_major) {
+  std::array<std::int16_t, 64> out{};
+  for (std::size_t i = 0; i < 64; ++i) out[i] = row_major[kZigzagOrder[i]];
+  return out;
+}
+
+std::array<std::int16_t, 64> zigzag_unscan(const std::array<std::int16_t, 64>& scanned) {
+  std::array<std::int16_t, 64> out{};
+  for (std::size_t i = 0; i < 64; ++i) out[kZigzagOrder[i]] = scanned[i];
+  return out;
+}
+
+}  // namespace vbr::codec

@@ -1,0 +1,20 @@
+// Zig-zag scan of 8x8 coefficient blocks: orders coefficients from low to
+// high spatial frequency so that run-length coding sees long zero runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vbr::codec {
+
+/// kZigzagOrder[i] is the row-major index of the i-th coefficient in scan
+/// order; index 0 is the DC coefficient.
+extern const std::array<std::uint8_t, 64> kZigzagOrder;
+
+/// Scan a row-major block of quantized coefficients into zig-zag order.
+std::array<std::int16_t, 64> zigzag_scan(const std::array<std::int16_t, 64>& row_major);
+
+/// Inverse of zigzag_scan.
+std::array<std::int16_t, 64> zigzag_unscan(const std::array<std::int16_t, 64>& scanned);
+
+}  // namespace vbr::codec

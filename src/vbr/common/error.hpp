@@ -1,0 +1,53 @@
+// Error handling primitives for the vbr library.
+//
+// The library reports contract violations and unrecoverable runtime failures
+// with exceptions derived from vbr::Error. Hot inner loops use assertions via
+// VBR_ENSURE only at API boundaries so release builds stay fast.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vbr {
+
+/// Base class for all exceptions thrown by the vbr library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates its documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an I/O operation (trace file read/write) fails.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or leaves its domain.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid_argument(const char* expr, const char* file, int line,
+                                                const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": precondition failed: (" + expr + ") " + msg);
+}
+}  // namespace detail
+
+}  // namespace vbr
+
+/// Validate a precondition at an API boundary; throws vbr::InvalidArgument.
+#define VBR_ENSURE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::vbr::detail::throw_invalid_argument(#expr, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,109 @@
+#include "vbr/common/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr {
+namespace {
+
+using Complex = std::complex<double>;
+
+// Iterative radix-2 Cooley-Tukey, n must be a power of two.
+// `sign` is -1 for the forward transform, +1 for the (unnormalized) inverse.
+void fft_radix2(std::vector<Complex>& a, int sign) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = static_cast<double>(sign) * 2.0 * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein's chirp-z transform for arbitrary n.
+void fft_bluestein(std::vector<Complex>& a, int sign) {
+  const std::size_t n = a.size();
+  const std::size_t m = next_power_of_two(2 * n + 1);
+
+  // Chirp: w[j] = exp(sign * i * pi * j^2 / n). Reduce j^2 mod 2n to keep the
+  // angle argument small and accurate for large n.
+  std::vector<Complex> chirp(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t j2 = (static_cast<std::uint64_t>(j) * j) %
+                             (2 * static_cast<std::uint64_t>(n));
+    const double angle = static_cast<double>(sign) * std::numbers::pi *
+                         static_cast<double>(j2) / static_cast<double>(n);
+    chirp[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  std::vector<Complex> x(m, Complex(0.0, 0.0));
+  std::vector<Complex> y(m, Complex(0.0, 0.0));
+  for (std::size_t j = 0; j < n; ++j) x[j] = a[j] * chirp[j];
+  y[0] = std::conj(chirp[0]);
+  for (std::size_t j = 1; j < n; ++j) {
+    y[j] = std::conj(chirp[j]);
+    y[m - j] = std::conj(chirp[j]);
+  }
+
+  fft_radix2(x, -1);
+  fft_radix2(y, -1);
+  for (std::size_t j = 0; j < m; ++j) x[j] *= y[j];
+  fft_radix2(x, +1);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t j = 0; j < n; ++j) a[j] = x[j] * scale * chirp[j];
+}
+
+void transform(std::vector<Complex>& a, int sign) {
+  const std::size_t n = a.size();
+  VBR_ENSURE(n >= 1, "fft requires a non-empty sequence");
+  if (n == 1) return;
+  if (is_power_of_two(n)) {
+    fft_radix2(a, sign);
+  } else {
+    fft_bluestein(a, sign);
+  }
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<Complex>& data) { transform(data, -1); }
+
+void ifft(std::vector<Complex>& data) {
+  transform(data, +1);
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) v *= scale;
+}
+
+std::vector<Complex> fft_real(const std::vector<double>& data) {
+  std::vector<Complex> out(data.begin(), data.end());
+  fft(out);
+  return out;
+}
+
+}  // namespace vbr

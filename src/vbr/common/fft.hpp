@@ -1,0 +1,31 @@
+// Fast Fourier transform for arbitrary lengths.
+//
+// Power-of-two lengths use an iterative radix-2 Cooley-Tukey kernel; all other
+// lengths go through Bluestein's chirp-z algorithm (which reduces to three
+// power-of-two FFTs). This supports the periodogram of the 171,000-frame
+// trace, FFT-based autocorrelation, and the Davies-Harte fGn generator.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace vbr {
+
+/// In-place forward DFT: X[k] = sum_j x[j] exp(-2*pi*i*j*k / n).
+/// Works for any n >= 1.
+void fft(std::vector<std::complex<double>>& data);
+
+/// In-place inverse DFT, normalized by 1/n: exact inverse of fft().
+void ifft(std::vector<std::complex<double>>& data);
+
+/// Forward DFT of a real sequence; returns all n complex coefficients.
+std::vector<std::complex<double>> fft_real(const std::vector<double>& data);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_power_of_two(std::size_t n);
+
+/// True iff n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+}  // namespace vbr

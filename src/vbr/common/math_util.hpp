@@ -1,0 +1,61 @@
+// Small numeric utilities shared across the library: compensated summation,
+// least-squares regression (used by every Hurst estimator), log-spaced grids
+// for variance-time / R/S lag selection, and percentile helpers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vbr {
+
+/// Kahan-compensated running sum.
+class KahanSum {
+ public:
+  void add(double value);
+  double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Sum of a range with compensated summation.
+double kahan_total(std::span<const double> values);
+
+/// Result of a simple least-squares line fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;      ///< coefficient of determination
+  double slope_stderr = 0.0;   ///< standard error of the slope estimate
+  std::size_t n = 0;           ///< number of points used
+};
+
+/// Ordinary least squares on (x, y) pairs; requires x.size() == y.size() >= 2.
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Approximately `count` distinct integers log-spaced in [lo, hi], ascending.
+/// Duplicates after rounding are removed, so the result can be shorter.
+std::vector<std::size_t> log_spaced_sizes(std::size_t lo, std::size_t hi, std::size_t count);
+
+/// `count` doubles log-spaced in [lo, hi] inclusive; lo, hi > 0.
+std::vector<double> log_spaced(double lo, double hi, std::size_t count);
+
+/// Percentile (q in [0,1]) with linear interpolation; sorts a copy.
+double percentile(std::span<const double> values, double q);
+
+/// Means over non-overlapping blocks of size m; trailing partial block is
+/// discarded. The aggregated-process operator X^(m) of the paper.
+std::vector<double> block_means(std::span<const double> values, std::size_t m);
+
+/// Sums over non-overlapping blocks of size m.
+std::vector<double> block_sums(std::span<const double> values, std::size_t m);
+
+/// Sample mean.
+double sample_mean(std::span<const double> values);
+
+/// Unbiased (n-1) sample variance.
+double sample_variance(std::span<const double> values);
+
+}  // namespace vbr

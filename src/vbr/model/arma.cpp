@@ -1,0 +1,119 @@
+#include "vbr/model/arma.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/model/davies_harte.hpp"
+
+namespace vbr::model {
+
+ArmaFilter::ArmaFilter(ArmaParams params) : params_(std::move(params)) {
+  VBR_ENSURE(params_.ar.size() <= 64 && params_.ma.size() <= 64,
+             "ARMA orders above 64 are not supported");
+  VBR_ENSURE(is_stationary(), "AR polynomial is not stationary");
+}
+
+std::vector<double> ArmaFilter::filter(std::span<const double> innovations) const {
+  const std::size_t p = params_.ar.size();
+  const std::size_t q = params_.ma.size();
+  std::vector<double> out(innovations.size(), 0.0);
+  for (std::size_t t = 0; t < innovations.size(); ++t) {
+    double value = innovations[t];
+    for (std::size_t j = 0; j < q && j < t; ++j) {
+      value += params_.ma[j] * innovations[t - 1 - j];
+    }
+    for (std::size_t i = 0; i < p && i < t; ++i) {
+      value += params_.ar[i] * out[t - 1 - i];
+    }
+    out[t] = value;
+  }
+  return out;
+}
+
+std::vector<double> ArmaFilter::impulse_response(std::size_t n) const {
+  // psi_k from the recursion psi_k = theta_k + sum_i phi_i psi_{k-i},
+  // psi_0 = 1 (theta_0 = 1).
+  std::vector<double> psi(n, 0.0);
+  if (n == 0) return psi;
+  psi[0] = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    double value = (k <= params_.ma.size()) ? params_.ma[k - 1] : 0.0;
+    for (std::size_t i = 0; i < params_.ar.size() && i < k; ++i) {
+      value += params_.ar[i] * psi[k - 1 - i];
+    }
+    psi[k] = value;
+  }
+  return psi;
+}
+
+double ArmaFilter::output_variance(std::size_t horizon) const {
+  const auto psi = impulse_response(horizon);
+  KahanSum sum;
+  for (double v : psi) sum.add(v * v);
+  return sum.value();
+}
+
+bool ArmaFilter::is_stationary() const {
+  if (params_.ar.empty()) return true;
+  // Necessary condition: sum of AR coefficients < 1 catches the common
+  // unit-root case; the impulse-response decay test below catches the rest.
+  KahanSum ar_sum;
+  for (double a : params_.ar) ar_sum.add(a);
+  if (ar_sum.value() >= 1.0) return false;
+  // Decay test: the tail of the impulse response must be negligible.
+  const auto psi = impulse_response(2048);
+  double tail = 0.0;
+  for (std::size_t k = 1536; k < psi.size(); ++k) tail = std::max(tail, std::abs(psi[k]));
+  return tail < 1e-6;
+}
+
+std::vector<double> farima_pdq(std::size_t n, const FarimaPdqOptions& options, Rng& rng) {
+  VBR_ENSURE(n >= 1, "cannot generate an empty realization");
+  VBR_ENSURE(options.variance > 0.0, "variance must be positive");
+
+  DaviesHarteOptions core_options;
+  core_options.hurst = options.hurst;
+  core_options.covariance = CovarianceKind::kFarima;
+  const auto core = davies_harte(n, core_options, rng);
+
+  const ArmaFilter filter(options.arma);
+  auto out = filter.filter(core);
+
+  // Standardize empirically (the filter changes the variance and the
+  // start-up transient perturbs the first samples).
+  const double mean = sample_mean(out);
+  const double sd = std::sqrt(sample_variance(out));
+  VBR_ENSURE(sd > 0.0, "degenerate filtered output");
+  const double target_sd = std::sqrt(options.variance);
+  for (auto& v : out) v = (v - mean) / sd * target_sd;
+  return out;
+}
+
+std::vector<double> yule_walker(std::span<const double> acf, std::size_t order) {
+  VBR_ENSURE(order >= 1, "AR order must be >= 1");
+  VBR_ENSURE(acf.size() > order, "need acf up to the requested order");
+  VBR_ENSURE(std::abs(acf[0] - 1.0) < 1e-12, "acf[0] must be 1");
+
+  // Levinson-Durbin recursion.
+  std::vector<double> phi(order, 0.0);
+  std::vector<double> prev(order, 0.0);
+  double error = 1.0;
+  for (std::size_t k = 1; k <= order; ++k) {
+    double acc = acf[k];
+    for (std::size_t j = 1; j < k; ++j) acc -= prev[j - 1] * acf[k - j];
+    const double reflection = acc / error;
+    phi[k - 1] = reflection;
+    for (std::size_t j = 1; j < k; ++j) {
+      phi[j - 1] = prev[j - 1] - reflection * prev[k - 1 - j];
+    }
+    error *= (1.0 - reflection * reflection);
+    VBR_ENSURE(error > 0.0, "acf sequence is not positive definite");
+    std::copy(phi.begin(), phi.begin() + static_cast<std::ptrdiff_t>(k), prev.begin());
+  }
+  return phi;
+}
+
+}  // namespace vbr::model

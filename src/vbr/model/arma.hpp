@@ -1,0 +1,67 @@
+// ARMA filtering and the general fractional ARIMA(p, d, q) generator.
+//
+// Section 4 of the paper: "An additional set of short-term correlation
+// parameters may be included by combining this model with an ARMA filter or
+// modulating it with the state of a Markov chain." This module provides the
+// ARMA route: a stationary ARMA(p, q) filter that can be driven by the
+// fARIMA(0, d, 0) core, yielding fARIMA(p, d, q) — LRD at long lags from d,
+// tunable short-range correlation from the AR/MA polynomials.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vbr/common/rng.hpp"
+
+namespace vbr::model {
+
+/// Coefficients of x_t = sum_i ar[i] x_{t-i} + e_t + sum_j ma[j] e_{t-j}.
+struct ArmaParams {
+  std::vector<double> ar;  ///< autoregressive coefficients phi_1..phi_p
+  std::vector<double> ma;  ///< moving-average coefficients theta_1..theta_q
+};
+
+/// Stationary ARMA(p, q) filter.
+class ArmaFilter {
+ public:
+  explicit ArmaFilter(ArmaParams params);
+
+  const ArmaParams& params() const { return params_; }
+
+  /// Apply the filter to an innovation sequence (zero initial state).
+  /// The first max(p, q) outputs carry transient start-up effects.
+  std::vector<double> filter(std::span<const double> innovations) const;
+
+  /// Variance of the stationary output for unit-variance white innovations
+  /// (computed from the impulse response; used to re-standardize).
+  double output_variance(std::size_t horizon = 4096) const;
+
+  /// Impulse response psi_0..psi_{n-1} (MA(inf) representation).
+  std::vector<double> impulse_response(std::size_t n) const;
+
+  /// True when all AR roots lie outside the unit circle (evaluated by a
+  /// conservative coefficient test + impulse-response decay check).
+  bool is_stationary() const;
+
+ private:
+  ArmaParams params_;
+};
+
+struct FarimaPdqOptions {
+  double hurst = 0.8;       ///< long-memory parameter, d = H - 1/2
+  ArmaParams arma;          ///< short-range structure
+  double variance = 1.0;    ///< marginal variance of the output
+};
+
+/// Generate n points of fARIMA(p, d, q): Davies-Harte fARIMA(0,d,0) core
+/// passed through the ARMA filter, re-standardized to the requested
+/// variance. The long-lag autocorrelations keep the hyperbolic d-decay; the
+/// ARMA part shapes the first lags.
+std::vector<double> farima_pdq(std::size_t n, const FarimaPdqOptions& options, Rng& rng);
+
+/// Fit AR(p) coefficients to a sample autocorrelation sequence by solving
+/// the Yule-Walker equations (Levinson-Durbin). acf[0] must be 1.
+std::vector<double> yule_walker(std::span<const double> acf, std::size_t order);
+
+}  // namespace vbr::model

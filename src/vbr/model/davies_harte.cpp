@@ -1,0 +1,65 @@
+#include "vbr/model/davies_harte.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/fft.hpp"
+#include "vbr/model/fgn_acf.hpp"
+
+namespace vbr::model {
+
+std::vector<double> davies_harte(std::size_t n, const DaviesHarteOptions& options, Rng& rng) {
+  VBR_ENSURE(n >= 1, "cannot generate an empty realization");
+  VBR_ENSURE(options.hurst > 0.0 && options.hurst < 1.0, "H must be in (0, 1)");
+  VBR_ENSURE(options.variance > 0.0, "variance must be positive");
+  if (n == 1) return {rng.normal(0.0, std::sqrt(options.variance))};
+
+  // Embedding length 2m with m a power of two >= n keeps the FFT fast.
+  const std::size_t m = next_power_of_two(n);
+  const std::size_t two_m = 2 * m;
+
+  const auto rho = (options.covariance == CovarianceKind::kFgn)
+                       ? fgn_acf(options.hurst, m)
+                       : farima_acf(options.hurst, m);
+
+  // First row of the circulant: r_0..r_m, then mirrored r_{m-1}..r_1.
+  std::vector<std::complex<double>> eigen(two_m);
+  for (std::size_t j = 0; j <= m; ++j) eigen[j] = rho[j];
+  for (std::size_t j = 1; j < m; ++j) eigen[two_m - j] = rho[j];
+  fft(eigen);
+
+  // Eigenvalues are real for a symmetric circulant; clip tiny negatives due
+  // to roundoff, reject material ones.
+  std::vector<double> lambda(two_m);
+  for (std::size_t k = 0; k < two_m; ++k) {
+    const double val = eigen[k].real();
+    if (val < -1e-8 * static_cast<double>(two_m)) {
+      throw NumericalError("circulant embedding is not non-negative definite");
+    }
+    lambda[k] = std::max(0.0, val);
+  }
+
+  // Color complex white noise: W_0, W_m real; W_k (0<k<m) complex with
+  // conjugate symmetry W_{2m-k} = conj(W_k).
+  std::vector<std::complex<double>> w(two_m);
+  w[0] = rng.normal();
+  w[m] = rng.normal();
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  for (std::size_t k = 1; k < m; ++k) {
+    const std::complex<double> g(rng.normal() * inv_sqrt2, rng.normal() * inv_sqrt2);
+    w[k] = g;
+    w[two_m - k] = std::conj(g);
+  }
+  for (std::size_t k = 0; k < two_m; ++k) w[k] *= std::sqrt(lambda[k]);
+
+  // X_j = (1/sqrt(2m)) sum_k sqrt(lambda_k) W_k e^{+2 pi i jk / 2m}:
+  // ifft() includes a 1/(2m) factor, so scale by sqrt(2m).
+  ifft(w);
+  const double scale = std::sqrt(static_cast<double>(two_m) * options.variance);
+  std::vector<double> out(n);
+  for (std::size_t j = 0; j < n; ++j) out[j] = w[j].real() * scale;
+  return out;
+}
+
+}  // namespace vbr::model

@@ -1,0 +1,35 @@
+// Davies-Harte circulant-embedding generator for stationary Gaussian
+// processes with a prescribed autocovariance — here fGn or fARIMA(0,d,0).
+//
+// Hosking's recursion (Section 4.1) is exact but O(n^2) — the paper reports
+// ~10 hours for 171,000 points on a 1990s workstation. Circulant embedding
+// is also *exact* (for covariances whose circulant eigenvalues are
+// non-negative, which holds for fGn) yet costs O(n log n): embed the n-term
+// covariance in a 2m-periodic sequence, diagonalize with one FFT, color
+// complex white noise with the eigenvalue square roots, and transform back.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vbr/common/rng.hpp"
+
+namespace vbr::model {
+
+enum class CovarianceKind {
+  kFgn,     ///< fractional Gaussian noise (exactly self-similar)
+  kFarima,  ///< fractional ARIMA(0, d, 0), the paper's Eq. (6)
+};
+
+struct DaviesHarteOptions {
+  double hurst = 0.8;
+  double variance = 1.0;
+  CovarianceKind covariance = CovarianceKind::kFgn;
+};
+
+/// Generate n points of the zero-mean Gaussian process. Throws
+/// NumericalError if the circulant embedding has a materially negative
+/// eigenvalue (does not happen for fGn/fARIMA with 0 < H < 1).
+std::vector<double> davies_harte(std::size_t n, const DaviesHarteOptions& options, Rng& rng);
+
+}  // namespace vbr::model

@@ -1,0 +1,37 @@
+#include "vbr/model/fgn_acf.hpp"
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::model {
+
+std::vector<double> farima_acf(double hurst, std::size_t max_lag) {
+  VBR_ENSURE(hurst > 0.0 && hurst < 1.0, "H must be in (0, 1)");
+  const double d = hurst - 0.5;
+  std::vector<double> rho(max_lag + 1);
+  rho[0] = 1.0;
+  // rho_k = rho_{k-1} * (k - 1 + d) / (k - d), telescoping Eq. (6).
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    const double dk = static_cast<double>(k);
+    rho[k] = rho[k - 1] * (dk - 1.0 + d) / (dk - d);
+  }
+  return rho;
+}
+
+double fgn_rho(double hurst, std::size_t k) {
+  VBR_ENSURE(hurst > 0.0 && hurst < 1.0, "H must be in (0, 1)");
+  if (k == 0) return 1.0;
+  const double twoH = 2.0 * hurst;
+  const double dk = static_cast<double>(k);
+  return 0.5 * (std::pow(dk + 1.0, twoH) - 2.0 * std::pow(dk, twoH) +
+                std::pow(dk - 1.0, twoH));
+}
+
+std::vector<double> fgn_acf(double hurst, std::size_t max_lag) {
+  std::vector<double> rho(max_lag + 1);
+  for (std::size_t k = 0; k <= max_lag; ++k) rho[k] = fgn_rho(hurst, k);
+  return rho;
+}
+
+}  // namespace vbr::model

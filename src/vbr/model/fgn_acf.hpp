@@ -1,0 +1,26 @@
+// Autocorrelation structures of the two canonical exactly/asymptotically
+// self-similar Gaussian processes used by the generators:
+//
+//  * fractional ARIMA(0, d, 0) with d = H - 1/2 — the paper's Eq. (6):
+//      rho_k = d(1+d)...(k-1+d) / ((1-d)(2-d)...(k-d)),
+//    which decays hyperbolically, rho_k ~ k^{2H-2}.
+//  * fractional Gaussian noise (fGn), the increment process of fractional
+//    Brownian motion — second-order *exactly* self-similar:
+//      rho_k = (|k+1|^{2H} - 2|k|^{2H} + |k-1|^{2H}) / 2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vbr::model {
+
+/// fARIMA(0,d,0) autocorrelations rho_0..rho_max_lag (Eq. 6), d = H - 1/2.
+std::vector<double> farima_acf(double hurst, std::size_t max_lag);
+
+/// fGn autocorrelations rho_0..rho_max_lag.
+std::vector<double> fgn_acf(double hurst, std::size_t max_lag);
+
+/// Single fGn autocorrelation at lag k.
+double fgn_rho(double hurst, std::size_t k);
+
+}  // namespace vbr::model

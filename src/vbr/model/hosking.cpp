@@ -1,0 +1,80 @@
+#include "vbr/model/hosking.hpp"
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/model/fgn_acf.hpp"
+
+namespace vbr::model {
+
+HoskingGenerator::HoskingGenerator(const HoskingOptions& options, Rng rng)
+    : options_(options), rng_(rng), v_(options.variance) {
+  VBR_ENSURE(options.hurst > 0.0 && options.hurst < 1.0, "H must be in (0, 1)");
+  VBR_ENSURE(options.variance > 0.0, "marginal variance must be positive");
+  rho_.push_back(1.0);
+}
+
+void HoskingGenerator::extend_rho(std::size_t upto) {
+  const double d = options_.hurst - 0.5;
+  while (rho_.size() <= upto) {
+    const auto k = static_cast<double>(rho_.size());
+    rho_.push_back(rho_.back() * (k - 1.0 + d) / (k - d));
+  }
+}
+
+double HoskingGenerator::next() {
+  const std::size_t k = x_.size();
+  if (k == 0) {
+    // X_0 ~ N(0, v_0); N_0 = 0, D_0 = 1 (constructor defaults).
+    const double x0 = rng_.normal(0.0, std::sqrt(v_));
+    x_.push_back(x0);
+    return x0;
+  }
+  extend_rho(k);
+
+  // Eq. (7): N_k = rho_k - sum_{j=1}^{k-1} phi_{k-1,j} rho_{k-j}.
+  KahanSum acc;
+  for (std::size_t j = 1; j < k; ++j) acc.add(phi_[j - 1] * rho_[k - j]);
+  const double n_k = rho_[k] - acc.value();
+
+  // Eq. (8): D_k = D_{k-1} - N_{k-1}^2 / D_{k-1}.
+  const double d_k = d_prev_ - n_prev_ * n_prev_ / d_prev_;
+  VBR_ENSURE(d_k > 0.0, "Hosking recursion lost positive definiteness");
+
+  // Eq. (9): phi_kk = N_k / D_k.
+  const double phi_kk = n_k / d_k;
+  VBR_ENSURE(std::abs(phi_kk) < 1.0, "partial autocorrelation left (-1, 1)");
+
+  // Eq. (10): phi_kj = phi_{k-1,j} - phi_kk * phi_{k-1,k-j}.
+  std::vector<double> phi_new(k);
+  for (std::size_t j = 1; j < k; ++j) {
+    phi_new[j - 1] = phi_[j - 1] - phi_kk * phi_[k - j - 1];
+  }
+  phi_new[k - 1] = phi_kk;
+  phi_ = std::move(phi_new);
+
+  // Eq. (11): m_k = sum_j phi_kj X_{k-j}.
+  KahanSum m_acc;
+  for (std::size_t j = 1; j <= k; ++j) m_acc.add(phi_[j - 1] * x_[k - j]);
+
+  // Eq. (12): v_k = (1 - phi_kk^2) v_{k-1}.
+  v_ *= (1.0 - phi_kk * phi_kk);
+
+  const double xk = rng_.normal(m_acc.value(), std::sqrt(v_));
+  x_.push_back(xk);
+  n_prev_ = n_k;
+  d_prev_ = d_k;
+  return xk;
+}
+
+std::vector<double> hosking_farima(std::size_t n, const HoskingOptions& options, Rng& rng) {
+  VBR_ENSURE(n >= 1, "cannot generate an empty realization");
+  HoskingGenerator gen(options, rng.split());
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(gen.next());
+  return out;
+}
+
+}  // namespace vbr::model

@@ -1,0 +1,71 @@
+#include "vbr/model/marginal_transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/special_functions.hpp"
+
+namespace vbr::model {
+namespace {
+
+// Keep probabilities strictly inside (0, 1) so target quantiles stay finite.
+double clamp_probability(double p) {
+  constexpr double kEps = 1e-15;
+  return std::clamp(p, kEps, 1.0 - kEps);
+}
+
+}  // namespace
+
+std::vector<double> transform_marginal(std::span<const double> gaussian,
+                                       const stats::Distribution& target, double mu,
+                                       double sigma) {
+  VBR_ENSURE(sigma > 0.0, "Gaussian sigma must be positive");
+  std::vector<double> out;
+  out.reserve(gaussian.size());
+  for (double x : gaussian) {
+    const double p = clamp_probability(normal_cdf((x - mu) / sigma));
+    out.push_back(target.quantile(p));
+  }
+  return out;
+}
+
+TabulatedMarginalMap::TabulatedMarginalMap(const stats::Distribution& target,
+                                           std::size_t table_points)
+    : target_(target) {
+  VBR_ENSURE(table_points >= 64, "marginal map table needs at least 64 points");
+  // Uniform grid in z over +-8 sigma covers everything a 171k-point
+  // realization will produce except the most extreme draws, which fall back
+  // to the exact quantile in operator().
+  constexpr double kZMax = 8.0;
+  z_grid_.resize(table_points);
+  y_grid_.resize(table_points);
+  for (std::size_t i = 0; i < table_points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(table_points - 1);
+    const double z = -kZMax + 2.0 * kZMax * t;
+    z_grid_[i] = z;
+    y_grid_[i] = target.quantile(clamp_probability(normal_cdf(z)));
+  }
+}
+
+double TabulatedMarginalMap::operator()(double z) const {
+  if (z <= z_grid_.front() || z >= z_grid_.back()) {
+    return target_.quantile(clamp_probability(normal_cdf(z)));
+  }
+  const double step = z_grid_[1] - z_grid_[0];
+  const double pos = (z - z_grid_.front()) / step;
+  const auto idx = std::min(static_cast<std::size_t>(pos), z_grid_.size() - 2);
+  const double frac = pos - static_cast<double>(idx);
+  return y_grid_[idx] * (1.0 - frac) + y_grid_[idx + 1] * frac;
+}
+
+std::vector<double> TabulatedMarginalMap::apply(std::span<const double> gaussian, double mu,
+                                                double sigma) const {
+  VBR_ENSURE(sigma > 0.0, "Gaussian sigma must be positive");
+  std::vector<double> out;
+  out.reserve(gaussian.size());
+  for (double x : gaussian) out.push_back((*this)((x - mu) / sigma));
+  return out;
+}
+
+}  // namespace vbr::model

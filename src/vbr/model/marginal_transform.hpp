@@ -1,0 +1,48 @@
+// Marginal distribution distortion (Section 4.2, Eq. 13):
+//
+//   Y_k = F_target^{-1}( F_N(X_k) )
+//
+// maps a Gaussian realization point-by-point onto an arbitrary target
+// marginal while leaving the rank order — and hence, to a very good
+// approximation, the Hurst parameter — unchanged ("The measured value of H
+// is not affected by the distortion of the marginal distribution").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vbr/stats/gamma_pareto.hpp"
+
+namespace vbr::model {
+
+/// Transform standard-Gaussian samples (mean mu, stddev sigma describe the
+/// actual Gaussian the samples came from) into samples of `target`.
+std::vector<double> transform_marginal(std::span<const double> gaussian,
+                                       const stats::Distribution& target, double mu = 0.0,
+                                       double sigma = 1.0);
+
+/// Table-driven variant: precomputes the composite map on a uniform grid of
+/// `table_points` Gaussian quantiles and interpolates. This is the paper's
+/// implementation device (a 10,000-point table) and is much faster when
+/// transforming long realizations; the tails beyond the table are evaluated
+/// exactly. The paper notes (Section 5.2) that the tabulated map can clip
+/// the extreme Pareto tail — measured in bench_model_validation.
+class TabulatedMarginalMap {
+ public:
+  TabulatedMarginalMap(const stats::Distribution& target, std::size_t table_points = 10000);
+
+  /// Map one standard-Gaussian value.
+  double operator()(double z) const;
+
+  /// Map a whole realization with Gaussian parameters (mu, sigma).
+  std::vector<double> apply(std::span<const double> gaussian, double mu = 0.0,
+                            double sigma = 1.0) const;
+
+ private:
+  const stats::Distribution& target_;
+  std::vector<double> z_grid_;   ///< Gaussian abscissae
+  std::vector<double> y_grid_;   ///< target quantiles at those abscissae
+};
+
+}  // namespace vbr::model

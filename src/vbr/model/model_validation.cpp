@@ -1,0 +1,33 @@
+#include "vbr/model/model_validation.hpp"
+
+#include <cmath>
+
+namespace vbr::model {
+
+bool ValidationReport::agrees(double rel_tol, double hurst_tol) const {
+  return mean_rel_error < rel_tol && sigma_rel_error < rel_tol &&
+         tail_slope_rel_error < rel_tol && hurst_abs_error < hurst_tol;
+}
+
+ValidationReport validate_model(const VbrVideoSourceModel& model, std::size_t n, Rng& rng,
+                                ModelVariant variant, GeneratorBackend backend) {
+  ValidationReport report;
+  report.input = model.params();
+
+  const auto realization = model.generate(n, rng, variant, backend);
+  const auto refit = VbrVideoSourceModel::fit(realization);
+  report.refit = refit.params();
+
+  const auto rel = [](double estimated, double truth) {
+    return std::abs(estimated - truth) / std::abs(truth);
+  };
+  report.mean_rel_error = rel(report.refit.marginal.mu_gamma, report.input.marginal.mu_gamma);
+  report.sigma_rel_error =
+      rel(report.refit.marginal.sigma_gamma, report.input.marginal.sigma_gamma);
+  report.tail_slope_rel_error =
+      rel(report.refit.marginal.tail_slope, report.input.marginal.tail_slope);
+  report.hurst_abs_error = std::abs(report.refit.hurst - report.input.hurst);
+  return report;
+}
+
+}  // namespace vbr::model

@@ -1,0 +1,30 @@
+// Closing the loop on the source model (Section 4.2: "The realizations were
+// tested and found to agree with the model parameters, both in marginal
+// distribution and the value of H."): generate a realization, re-estimate
+// the four parameters from it, and report the discrepancies.
+#pragma once
+
+#include <cstddef>
+
+#include "vbr/model/vbr_source.hpp"
+
+namespace vbr::model {
+
+struct ValidationReport {
+  VbrModelParams input;   ///< parameters the realization was generated from
+  VbrModelParams refit;   ///< parameters re-estimated from the realization
+  double mean_rel_error = 0.0;
+  double sigma_rel_error = 0.0;
+  double tail_slope_rel_error = 0.0;
+  double hurst_abs_error = 0.0;
+
+  /// True when all marginal errors are below rel_tol and |dH| < hurst_tol.
+  bool agrees(double rel_tol, double hurst_tol) const;
+};
+
+/// Generate n points from the model and re-fit.
+ValidationReport validate_model(const VbrVideoSourceModel& model, std::size_t n, Rng& rng,
+                                ModelVariant variant = ModelVariant::kFull,
+                                GeneratorBackend backend = GeneratorBackend::kDaviesHarte);
+
+}  // namespace vbr::model

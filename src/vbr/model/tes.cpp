@@ -1,0 +1,50 @@
+#include "vbr/model/tes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::model {
+
+double tes_stitch(double u, double xi) {
+  VBR_ENSURE(u >= 0.0 && u < 1.0, "stitch input must be in [0, 1)");
+  if (xi <= 0.0) return 1.0 - u;  // degenerate: pure reflection
+  if (xi >= 1.0) return u;
+  return (u < xi) ? u / xi : (1.0 - u) / (1.0 - xi);
+}
+
+TesGammaParetoSource::TesGammaParetoSource(const stats::GammaParetoParams& marginal,
+                                           const TesParams& params)
+    : marginal_(marginal), params_(params) {
+  VBR_ENSURE(params.alpha > 0.0 && params.alpha <= 1.0, "alpha must be in (0, 1]");
+  VBR_ENSURE(params.xi >= 0.0 && params.xi <= 1.0, "xi must be in [0, 1]");
+}
+
+std::vector<double> TesGammaParetoSource::background(std::size_t n, Rng& rng) const {
+  VBR_ENSURE(n >= 1, "cannot generate an empty sequence");
+  std::vector<double> u(n);
+  u[0] = rng.uniform();
+  for (std::size_t t = 1; t < n; ++t) {
+    const double v = rng.uniform(-params_.alpha / 2.0, params_.alpha / 2.0);
+    double next = u[t - 1] + v;
+    next -= std::floor(next);  // modulo 1
+    if (next >= 1.0) next = 0.0;
+    u[t] = next;
+  }
+  return u;
+}
+
+std::vector<double> TesGammaParetoSource::generate(std::size_t n, Rng& rng) const {
+  auto u = background(n, rng);
+  for (auto& value : u) {
+    // Stitch, then invert the target CDF; clamp away from the endpoints so
+    // quantile() stays finite.
+    const double stitched =
+        std::clamp(tes_stitch(value, params_.xi), 1e-15, 1.0 - 1e-15);
+    value = marginal_.quantile(stitched);
+  }
+  return u;
+}
+
+}  // namespace vbr::model

@@ -1,0 +1,59 @@
+// TES (Transform-Expand-Sample) processes [JAGE92], the alternative
+// marginal-distortion technique the paper cites in Section 4.2: "A similar
+// technique for distorting the marginals is used where the original process
+// is distributed Uniformly rather than Normally."
+//
+// A TES+ background sequence is a modulo-1 random walk
+//     U_t = <U_{t-1} + V_t>,  U_0 ~ Uniform[0,1),
+// whose marginals are *exactly* Uniform[0,1) for any innovation density —
+// here V ~ Uniform(-alpha/2, alpha/2) (smaller alpha = stronger
+// correlation). A "stitching" transform S_xi makes sample paths continuous
+// across the modulo wrap, and the foreground process applies an arbitrary
+// inverse CDF: X_t = F^{-1}(S_xi(U_t)). Like the Markov/DAR baselines, TES
+// is short-range dependent: it nails the marginal distribution and the
+// short-lag ACF but cannot reproduce the trace's LRD.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vbr/common/rng.hpp"
+#include "vbr/stats/gamma_pareto.hpp"
+
+namespace vbr::model {
+
+struct TesParams {
+  /// Innovation half-width in (0, 1]: V ~ Uniform(-alpha/2, +alpha/2).
+  /// alpha = 1 gives i.i.d. uniforms; alpha -> 0 gives a slowly wandering
+  /// background and high short-lag correlation.
+  double alpha = 0.2;
+  /// Stitching parameter in [0, 1]; 0.5 is the symmetric classic choice.
+  double xi = 0.5;
+};
+
+/// TES+ source with a Gamma/Pareto foreground marginal.
+class TesGammaParetoSource {
+ public:
+  TesGammaParetoSource(const stats::GammaParetoParams& marginal, const TesParams& params);
+
+  const TesParams& params() const { return params_; }
+  const stats::GammaParetoDistribution& marginal() const { return marginal_; }
+
+  /// Generate n frame sizes.
+  std::vector<double> generate(std::size_t n, Rng& rng) const;
+
+  /// The raw Uniform background sequence (exposed for tests).
+  std::vector<double> background(std::size_t n, Rng& rng) const;
+
+ private:
+  stats::GammaParetoDistribution marginal_;
+  TesParams params_;
+};
+
+/// Stitching transform S_xi(u): continuous map of [0,1) onto [0,1) that
+/// removes the modulo-1 discontinuity; S_xi(u) = u/xi for u < xi, else
+/// (1-u)/(1-xi).
+double tes_stitch(double u, double xi);
+
+}  // namespace vbr::model

@@ -1,0 +1,57 @@
+#include "vbr/net/cell_queue.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/net/cell.hpp"
+
+namespace vbr::net {
+
+CellQueueResult run_cell_queue(std::span<const double> interval_bytes, double dt_seconds,
+                               double capacity_bytes_per_sec, double buffer_bytes,
+                               CellSpacing spacing, Rng& rng) {
+  VBR_ENSURE(dt_seconds > 0.0, "interval must have positive duration");
+  VBR_ENSURE(capacity_bytes_per_sec > 0.0, "capacity must be positive");
+  VBR_ENSURE(buffer_bytes >= kCellPayloadBytes, "buffer must hold at least one cell");
+
+  CellQueueResult result;
+  // Unfinished work in the queue, in bytes, as seen just after the last
+  // arrival. Between arrivals it drains at the service rate.
+  double workload = 0.0;
+  double last_arrival = 0.0;
+  std::vector<double> offsets;
+
+  for (std::size_t i = 0; i < interval_bytes.size(); ++i) {
+    const double t0 = static_cast<double>(i) * dt_seconds;
+    const std::size_t cells = bytes_to_cells(interval_bytes[i]);
+    if (cells == 0) continue;
+
+    offsets.clear();
+    offsets.reserve(cells);
+    if (spacing == CellSpacing::kUniform) {
+      for (std::size_t c = 0; c < cells; ++c) {
+        offsets.push_back(dt_seconds * (static_cast<double>(c) + 0.5) /
+                          static_cast<double>(cells));
+      }
+    } else {
+      for (std::size_t c = 0; c < cells; ++c) offsets.push_back(rng.uniform(0.0, dt_seconds));
+      std::sort(offsets.begin(), offsets.end());
+    }
+
+    for (double off : offsets) {
+      const double now = t0 + off;
+      workload = std::max(0.0, workload - (now - last_arrival) * capacity_bytes_per_sec);
+      last_arrival = now;
+      ++result.arrived_cells;
+      if (workload + kCellPayloadBytes > buffer_bytes) {
+        ++result.lost_cells;
+      } else {
+        workload += kCellPayloadBytes;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vbr::net

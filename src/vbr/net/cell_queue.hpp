@@ -1,0 +1,39 @@
+// Discrete cell-level FIFO queue, used to validate the fluid model.
+//
+// Cells (48-byte payloads) arrive at explicit instants — uniformly spaced
+// within each interval, or uniformly-random within it (the two spacings the
+// paper compares in [GARR93a]) — and are served at a constant byte rate.
+// The finite buffer drops an arriving cell that does not fit. This is the
+// classic workload recursion of a D-server finite-buffer FIFO and agrees
+// with the fluid model to within one cell per interval.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "vbr/common/rng.hpp"
+
+namespace vbr::net {
+
+enum class CellSpacing {
+  kUniform,  ///< evenly spaced within the interval
+  kRandom,   ///< i.i.d. uniform arrival instants within the interval
+};
+
+struct CellQueueResult {
+  std::size_t arrived_cells = 0;
+  std::size_t lost_cells = 0;
+  double loss_rate() const {
+    return arrived_cells > 0
+               ? static_cast<double>(lost_cells) / static_cast<double>(arrived_cells)
+               : 0.0;
+  }
+};
+
+/// Run per-interval byte counts through a cell-level FIFO. `rng` is used
+/// only for random spacing.
+CellQueueResult run_cell_queue(std::span<const double> interval_bytes, double dt_seconds,
+                               double capacity_bytes_per_sec, double buffer_bytes,
+                               CellSpacing spacing, Rng& rng);
+
+}  // namespace vbr::net

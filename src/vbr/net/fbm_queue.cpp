@@ -1,0 +1,62 @@
+#include "vbr/net/fbm_queue.hpp"
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+
+namespace vbr::net {
+
+double fbm_kappa(double hurst) {
+  VBR_ENSURE(hurst > 0.0 && hurst < 1.0, "H must be in (0, 1)");
+  return std::pow(hurst, hurst) * std::pow(1.0 - hurst, 1.0 - hurst);
+}
+
+FbmTrafficParams fit_fbm_traffic(std::span<const double> interval_bytes, double hurst) {
+  VBR_ENSURE(interval_bytes.size() >= 2, "need at least two intervals");
+  VBR_ENSURE(hurst > 0.0 && hurst < 1.0, "H must be in (0, 1)");
+  FbmTrafficParams params;
+  params.mean_bytes = sample_mean(interval_bytes);
+  params.variance_bytes2 = sample_variance(interval_bytes);
+  params.hurst = hurst;
+  VBR_ENSURE(params.mean_bytes > 0.0 && params.variance_bytes2 > 0.0,
+             "degenerate traffic statistics");
+  return params;
+}
+
+FbmTrafficParams superpose(const FbmTrafficParams& single, std::size_t n) {
+  VBR_ENSURE(n >= 1, "need at least one source");
+  FbmTrafficParams out = single;
+  out.mean_bytes *= static_cast<double>(n);
+  out.variance_bytes2 *= static_cast<double>(n);
+  return out;
+}
+
+double fbm_overflow_probability(const FbmTrafficParams& traffic,
+                                double capacity_bytes_per_interval, double buffer_bytes) {
+  VBR_ENSURE(buffer_bytes >= 0.0, "buffer must be non-negative");
+  const double m = traffic.mean_bytes;
+  const double h = traffic.hurst;
+  if (capacity_bytes_per_interval <= m) return 1.0;
+  if (buffer_bytes == 0.0) return 1.0;  // the asymptotic form needs b > 0
+  const double kappa = fbm_kappa(h);
+  const double exponent =
+      std::pow(capacity_bytes_per_interval - m, 2.0 * h) *
+      std::pow(buffer_bytes, 2.0 - 2.0 * h) /
+      (2.0 * kappa * kappa * traffic.variance_bytes2);
+  return std::exp(-exponent);
+}
+
+double fbm_required_capacity(const FbmTrafficParams& traffic, double buffer_bytes,
+                             double epsilon) {
+  VBR_ENSURE(buffer_bytes > 0.0, "buffer must be positive");
+  VBR_ENSURE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+  const double h = traffic.hurst;
+  const double kappa = fbm_kappa(h);
+  const double numerator =
+      -2.0 * std::log(epsilon) * kappa * kappa * traffic.variance_bytes2;
+  return traffic.mean_bytes + std::pow(numerator, 1.0 / (2.0 * h)) *
+                                  std::pow(buffer_bytes, -(1.0 - h) / h);
+}
+
+}  // namespace vbr::net

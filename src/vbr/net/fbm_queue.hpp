@@ -1,0 +1,52 @@
+// Analytic queueing with long-range-dependent input: the Norros fractional
+// Brownian storage model (Norros 1994, contemporary with the paper).
+//
+// The paper measures Q-C tradeoffs by simulation; this module provides the
+// closed-form counterpart the LRD traffic theory of the era produced.
+// Model the cumulative arrivals as A(t) = m t + sqrt(a m) Z(t) with Z
+// fractional Brownian motion (Hurst H); for a queue served at rate c the
+// stationary overflow probability is approximately
+//
+//     P(Q > b) ~ exp( - (c - m)^{2H} b^{2-2H} / (2 kappa(H)^2 a m) ),
+//     kappa(H) = H^H (1 - H)^{1-H}.
+//
+// Two structural LRD lessons drop out and are checked against the fluid
+// simulation in bench_ext_fbm_model: buffers fight loss only like
+// b^{2-2H} (weakly, for H near 1) rather than exponentially, and the
+// required capacity c(b, eps) decays slowly in b — the paper's observation
+// that "the bandwidth requirement is quite insensitive to the buffer size".
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace vbr::net {
+
+/// fBm traffic descriptor in per-interval byte units.
+struct FbmTrafficParams {
+  double mean_bytes = 0.0;      ///< m: mean arrivals per interval
+  double variance_bytes2 = 0.0; ///< a m: Var of arrivals in one interval
+  double hurst = 0.8;           ///< H
+};
+
+/// Estimate (m, am, H-agnostic variance) from a per-interval trace; H must
+/// be supplied (use the Table-3 estimators).
+FbmTrafficParams fit_fbm_traffic(std::span<const double> interval_bytes, double hurst);
+
+/// Superpose n independent sources (means and variances add; H unchanged).
+FbmTrafficParams superpose(const FbmTrafficParams& single, std::size_t n);
+
+/// Norros overflow probability P(Q > buffer) at service rate
+/// capacity_bytes_per_interval (> mean). Returns 1 when capacity <= mean.
+double fbm_overflow_probability(const FbmTrafficParams& traffic,
+                                double capacity_bytes_per_interval, double buffer_bytes);
+
+/// Smallest service rate (bytes/interval) with P(Q > buffer) <= epsilon:
+///   c = m + (-2 ln(eps) kappa^2 a m)^{1/(2H)} * b^{-(1-H)/H}.
+double fbm_required_capacity(const FbmTrafficParams& traffic, double buffer_bytes,
+                             double epsilon);
+
+/// kappa(H) = H^H (1-H)^{1-H}.
+double fbm_kappa(double hurst);
+
+}  // namespace vbr::net

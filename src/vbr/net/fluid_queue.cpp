@@ -1,0 +1,79 @@
+#include "vbr/net/fluid_queue.hpp"
+
+#include <algorithm>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::net {
+
+FluidQueue::FluidQueue(double capacity_bytes_per_sec, double buffer_bytes)
+    : capacity_(capacity_bytes_per_sec), buffer_(buffer_bytes) {
+  VBR_ENSURE(capacity_ > 0.0, "capacity must be positive");
+  VBR_ENSURE(buffer_ >= 0.0, "buffer must be non-negative");
+}
+
+double FluidQueue::offer(double bytes, double duration_sec) {
+  VBR_ENSURE(bytes >= 0.0, "cannot offer negative traffic");
+  VBR_ENSURE(duration_sec > 0.0, "interval must have positive duration");
+  arrived_ += bytes;
+
+  const double arrival_rate = bytes / duration_sec;
+  const double net = arrival_rate - capacity_;
+  const double q0 = queue_;
+  double lost = 0.0;
+
+  if (net > 0.0) {
+    // Queue grows at `net`; once it hits the buffer, excess is lost.
+    const double time_to_full = (buffer_ - queue_) / net;
+    if (time_to_full < duration_sec) {
+      lost = net * (duration_sec - time_to_full);
+      queue_ = buffer_;
+      // Ramp q0 -> buffer, then flat at the buffer.
+      queue_time_integral_ += 0.5 * (q0 + buffer_) * time_to_full +
+                              buffer_ * (duration_sec - time_to_full);
+    } else {
+      queue_ += net * duration_sec;
+      queue_time_integral_ += 0.5 * (q0 + queue_) * duration_sec;
+    }
+  } else if (net < 0.0) {
+    // Queue drains; it can empty mid-interval, after which the server is
+    // partially idle — no loss either way.
+    const double time_to_empty = q0 / -net;
+    if (time_to_empty < duration_sec) {
+      queue_ = 0.0;
+      queue_time_integral_ += 0.5 * q0 * time_to_empty;
+    } else {
+      queue_ += net * duration_sec;
+      queue_time_integral_ += 0.5 * (q0 + queue_) * duration_sec;
+    }
+  } else {
+    queue_time_integral_ += q0 * duration_sec;
+  }
+  elapsed_seconds_ += duration_sec;
+  max_queue_ = std::max(max_queue_, queue_);
+  lost_ += lost;
+  return lost;
+}
+
+double FluidQueue::mean_queue_bytes() const {
+  return (elapsed_seconds_ > 0.0) ? queue_time_integral_ / elapsed_seconds_ : 0.0;
+}
+
+FluidQueueResult run_fluid_queue(std::span<const double> interval_bytes, double dt_seconds,
+                                 double capacity_bytes_per_sec, double buffer_bytes,
+                                 bool record_intervals) {
+  FluidQueue queue(capacity_bytes_per_sec, buffer_bytes);
+  FluidQueueResult result;
+  if (record_intervals) result.intervals.reserve(interval_bytes.size());
+  for (double bytes : interval_bytes) {
+    const double lost = queue.offer(bytes, dt_seconds);
+    if (record_intervals) result.intervals.push_back({bytes, lost});
+  }
+  result.arrived_bytes = queue.arrived_bytes();
+  result.lost_bytes = queue.lost_bytes();
+  result.max_queue_bytes = queue.max_queue_bytes();
+  result.mean_queue_bytes = queue.mean_queue_bytes();
+  return result;
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,82 @@
+// Exact fluid simulation of the paper's system (Fig. 13): a single FIFO
+// queue with finite buffer Q and fixed channel capacity C fed by the
+// multiplexed video traffic.
+//
+// With cells spread uniformly within each frame/slice interval (Section
+// 5.1), the aggregate arrival process is piecewise-constant in rate, so the
+// queue sample path is piecewise linear and can be advanced interval by
+// interval in closed form: the simulation is exact up to one-cell
+// granularity and costs O(#intervals) regardless of bandwidth. The
+// discrete CellQueue validates this equivalence in tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vbr::net {
+
+/// Per-interval accounting, enough to derive every QOS metric used in the
+/// paper (overall loss, worst-errored-second loss, windowed loss processes).
+struct FluidIntervalStats {
+  double arrived_bytes = 0.0;
+  double lost_bytes = 0.0;
+};
+
+struct FluidQueueResult {
+  double arrived_bytes = 0.0;
+  double lost_bytes = 0.0;
+  double max_queue_bytes = 0.0;
+  double mean_queue_bytes = 0.0;  ///< time-average backlog
+  /// Overall cell-loss ratio P_l (lost / arrived).
+  double loss_rate() const {
+    return arrived_bytes > 0.0 ? lost_bytes / arrived_bytes : 0.0;
+  }
+  /// Worst-case queueing delay experienced, seconds.
+  double max_delay_seconds(double capacity_bytes_per_sec) const {
+    return max_queue_bytes / capacity_bytes_per_sec;
+  }
+  /// Time-average queueing delay, seconds.
+  double mean_delay_seconds(double capacity_bytes_per_sec) const {
+    return mean_queue_bytes / capacity_bytes_per_sec;
+  }
+  /// Per-interval stats (present when requested).
+  std::vector<FluidIntervalStats> intervals;
+};
+
+/// Single-queue fluid simulator.
+class FluidQueue {
+ public:
+  /// capacity in bytes/second, buffer in bytes.
+  FluidQueue(double capacity_bytes_per_sec, double buffer_bytes);
+
+  /// Offer `bytes` spread uniformly over `duration_sec`; returns bytes lost
+  /// in this interval.
+  double offer(double bytes, double duration_sec);
+
+  double queue_bytes() const { return queue_; }
+  double max_queue_bytes() const { return max_queue_; }
+  double arrived_bytes() const { return arrived_; }
+  double lost_bytes() const { return lost_; }
+  /// Time-average backlog over the offered duration so far.
+  double mean_queue_bytes() const;
+
+ private:
+  double capacity_;
+  double buffer_;
+  double queue_ = 0.0;
+  double max_queue_ = 0.0;
+  double arrived_ = 0.0;
+  double lost_ = 0.0;
+  double queue_time_integral_ = 0.0;  ///< integral of queue(t) dt, byte-seconds
+  double elapsed_seconds_ = 0.0;
+};
+
+/// Run a whole per-interval byte sequence (dt seconds each) through a fluid
+/// queue. Set record_intervals to collect per-interval loss for windowed
+/// QOS metrics.
+FluidQueueResult run_fluid_queue(std::span<const double> interval_bytes, double dt_seconds,
+                                 double capacity_bytes_per_sec, double buffer_bytes,
+                                 bool record_intervals = false);
+
+}  // namespace vbr::net

@@ -1,0 +1,51 @@
+#include "vbr/net/multiplexer.hpp"
+
+#include <algorithm>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::net {
+
+std::vector<std::size_t> draw_lags(std::size_t n_sources, std::size_t trace_len,
+                                   std::size_t min_separation, Rng& rng) {
+  VBR_ENSURE(n_sources >= 1, "need at least one source");
+  VBR_ENSURE(trace_len > 0, "empty trace");
+  VBR_ENSURE(n_sources * min_separation < trace_len || n_sources == 1,
+             "trace too short for the requested lag separation");
+
+  std::vector<std::size_t> lags{0};
+  // Rejection sampling; feasibility guaranteed by the precondition, and the
+  // acceptance probability is high for the paper's parameters (N <= 20,
+  // separation 1000, length 171,000).
+  int attempts = 0;
+  while (lags.size() < n_sources) {
+    VBR_ENSURE(++attempts < 100000, "failed to draw separated lags");
+    const std::size_t candidate = rng.uniform_index(trace_len);
+    const bool ok = std::all_of(lags.begin(), lags.end(), [&](std::size_t lag) {
+      const std::size_t diff = (candidate > lag) ? candidate - lag : lag - candidate;
+      const std::size_t circular = std::min(diff, trace_len - diff);
+      return circular >= min_separation;
+    });
+    if (ok) lags.push_back(candidate);
+  }
+  return lags;
+}
+
+std::vector<double> multiplex_trace(std::span<const double> frame_bytes,
+                                    std::span<const std::size_t> lags) {
+  VBR_ENSURE(!frame_bytes.empty(), "empty trace");
+  VBR_ENSURE(!lags.empty(), "need at least one source");
+  const std::size_t len = frame_bytes.size();
+  std::vector<double> aggregate(len, 0.0);
+  for (std::size_t lag : lags) {
+    VBR_ENSURE(lag < len, "lag exceeds trace length");
+    std::size_t idx = lag;
+    for (std::size_t f = 0; f < len; ++f) {
+      aggregate[f] += frame_bytes[idx];
+      if (++idx == len) idx = 0;
+    }
+  }
+  return aggregate;
+}
+
+}  // namespace vbr::net

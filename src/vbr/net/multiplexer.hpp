@@ -1,0 +1,28 @@
+// Statistical multiplexing of N video sources (Section 5.1).
+//
+// The paper multiplexes N copies of the trace offset by random lags of at
+// least 1000 frames (long-range dependence makes the cross-correlation
+// between nearby offsets significant), wrapping each copy around the end so
+// all 171,000 frames are used once per source. For N > 2, six different
+// random lag combinations are simulated and the loss rates averaged.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vbr/common/rng.hpp"
+
+namespace vbr::net {
+
+/// Draw per-source lags in [0, trace_len) that are pairwise at least
+/// `min_separation` apart circularly (the first source gets lag 0). Throws
+/// if the trace cannot accommodate the separation.
+std::vector<std::size_t> draw_lags(std::size_t n_sources, std::size_t trace_len,
+                                   std::size_t min_separation, Rng& rng);
+
+/// Aggregate arrival process: out[f] = sum_i trace[(f + lags[i]) mod len].
+std::vector<double> multiplex_trace(std::span<const double> frame_bytes,
+                                    std::span<const std::size_t> lags);
+
+}  // namespace vbr::net

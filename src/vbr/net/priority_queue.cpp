@@ -1,0 +1,63 @@
+#include "vbr/net/priority_queue.hpp"
+
+#include <algorithm>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::net {
+
+LayeredQueueResult run_layered_queue(std::span<const double> high_bytes,
+                                     std::span<const double> low_bytes, double dt_seconds,
+                                     double capacity_bytes_per_sec, double buffer_bytes,
+                                     bool record_intervals) {
+  VBR_ENSURE(high_bytes.size() == low_bytes.size(), "layer traces must align");
+  VBR_ENSURE(dt_seconds > 0.0, "interval must have positive duration");
+  VBR_ENSURE(capacity_bytes_per_sec > 0.0, "capacity must be positive");
+  VBR_ENSURE(buffer_bytes >= 0.0, "buffer must be non-negative");
+
+  LayeredQueueResult result;
+  if (record_intervals) result.intervals.reserve(high_bytes.size());
+
+  double queue = 0.0;  // shared buffer occupancy, bytes
+  const double served_per_interval = capacity_bytes_per_sec * dt_seconds;
+  for (std::size_t i = 0; i < high_bytes.size(); ++i) {
+    const double high = high_bytes[i];
+    const double low = low_bytes[i];
+    VBR_ENSURE(high >= 0.0 && low >= 0.0, "negative traffic");
+    result.high_arrived += high;
+    result.low_arrived += low;
+
+    // Fluid balance over the interval: the queue plus new arrivals drain at
+    // the service rate; whatever exceeds buffer + service must be dropped,
+    // enhancement layer first. (Same piecewise-linear dynamics as
+    // FluidQueue, with drop precedence applied to the interval's excess.)
+    const double inflow = high + low;
+    const double excess =
+        std::max(0.0, queue + inflow - served_per_interval - buffer_bytes);
+    const double low_lost = std::min(excess, low);
+    const double high_lost = std::min(excess - low_lost, high);
+    result.low_lost += low_lost;
+    result.high_lost += high_lost;
+
+    queue = std::max(0.0, queue + inflow - (low_lost + high_lost) - served_per_interval);
+    queue = std::min(queue, buffer_bytes);
+    if (record_intervals) result.intervals.push_back({high, low, high_lost, low_lost});
+  }
+  return result;
+}
+
+LayeredTrace split_layers(std::span<const double> frame_bytes, double base_cap_bytes) {
+  VBR_ENSURE(base_cap_bytes > 0.0, "base-layer cap must be positive");
+  LayeredTrace layers;
+  layers.high.reserve(frame_bytes.size());
+  layers.low.reserve(frame_bytes.size());
+  for (double v : frame_bytes) {
+    VBR_ENSURE(v >= 0.0, "negative traffic");
+    const double base = std::min(v, base_cap_bytes);
+    layers.high.push_back(base);
+    layers.low.push_back(v - base);
+  }
+  return layers;
+}
+
+}  // namespace vbr::net

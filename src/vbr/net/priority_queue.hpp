@@ -1,0 +1,61 @@
+// Two-priority fluid FIFO for layered video transport.
+//
+// The paper's conclusions point to layered coding with priority queueing
+// ([GARR93], Section 5.3: "if packet loss degradations were concealed by
+// using 'layered' coding with a priority queueing discipline, then the QOS
+// measure would have to account for this"). We implement the standard
+// space-priority discipline: both layers share one buffer and one server;
+// when the buffer must drop, low-priority (enhancement-layer) traffic is
+// dropped first, and high-priority (base-layer) traffic is lost only once
+// the low-priority share of the interval is exhausted.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vbr::net {
+
+struct LayeredIntervalStats {
+  double high_arrived = 0.0;
+  double low_arrived = 0.0;
+  double high_lost = 0.0;
+  double low_lost = 0.0;
+};
+
+struct LayeredQueueResult {
+  double high_arrived = 0.0;
+  double low_arrived = 0.0;
+  double high_lost = 0.0;
+  double low_lost = 0.0;
+  double high_loss_rate() const {
+    return high_arrived > 0.0 ? high_lost / high_arrived : 0.0;
+  }
+  double low_loss_rate() const { return low_arrived > 0.0 ? low_lost / low_arrived : 0.0; }
+  double total_loss_rate() const {
+    const double arrived = high_arrived + low_arrived;
+    return arrived > 0.0 ? (high_lost + low_lost) / arrived : 0.0;
+  }
+  std::vector<LayeredIntervalStats> intervals;
+};
+
+/// Run a layered workload through a space-priority fluid queue.
+/// high/low are per-interval byte counts for the base and enhancement
+/// layers (same length); the server serves at capacity with a shared
+/// buffer; when fluid must be discarded in an interval, the enhancement
+/// layer absorbs the loss first.
+LayeredQueueResult run_layered_queue(std::span<const double> high_bytes,
+                                     std::span<const double> low_bytes, double dt_seconds,
+                                     double capacity_bytes_per_sec, double buffer_bytes,
+                                     bool record_intervals = false);
+
+/// Split a single-layer trace into (base, enhancement) layers: the base
+/// layer carries min(x, base_cap) of each interval, modelling a layered
+/// coder whose base layer is rate-limited; the remainder is enhancement.
+struct LayeredTrace {
+  std::vector<double> high;
+  std::vector<double> low;
+};
+LayeredTrace split_layers(std::span<const double> frame_bytes, double base_cap_bytes);
+
+}  // namespace vbr::net

@@ -1,0 +1,164 @@
+#include "vbr/net/qc_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/net/multiplexer.hpp"
+#include "vbr/net/qos.hpp"
+
+namespace vbr::net {
+
+MuxWorkload::MuxWorkload(std::span<const double> frame_bytes, const MuxExperiment& experiment)
+    : experiment_(experiment) {
+  VBR_ENSURE(!frame_bytes.empty(), "empty trace");
+  VBR_ENSURE(experiment.sources >= 1, "need at least one source");
+  VBR_ENSURE(experiment.dt_seconds > 0.0, "invalid interval duration");
+
+  const std::size_t reps = (experiment.sources == 1) ? 1 : std::max<std::size_t>(
+                                                               1, experiment.replications);
+  Rng rng(experiment.seed);
+  aggregates_.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto lags = draw_lags(experiment.sources, frame_bytes.size(),
+                                experiment.min_lag_separation, rng);
+    aggregates_.push_back(multiplex_trace(frame_bytes, lags));
+  }
+
+  const double mean_bytes = sample_mean(frame_bytes);
+  const double peak_bytes = *std::max_element(frame_bytes.begin(), frame_bytes.end());
+  source_mean_rate_bps_ = mean_bytes * 8.0 / experiment.dt_seconds;
+  source_peak_rate_bps_ = peak_bytes * 8.0 / experiment.dt_seconds;
+
+  double agg_peak_bytes = 0.0;
+  for (const auto& agg : aggregates_) {
+    agg_peak_bytes = std::max(agg_peak_bytes, *std::max_element(agg.begin(), agg.end()));
+  }
+  aggregate_peak_rate_bps_ = agg_peak_bytes * 8.0 / experiment.dt_seconds;
+}
+
+std::size_t MuxWorkload::intervals_per_second() const {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                      std::llround(1.0 / experiment_.dt_seconds)));
+}
+
+MuxWorkload::Qos MuxWorkload::evaluate(double per_source_capacity_bps,
+                                       double max_delay_seconds) const {
+  VBR_ENSURE(per_source_capacity_bps > 0.0, "capacity must be positive");
+  VBR_ENSURE(max_delay_seconds >= 0.0, "delay must be non-negative");
+
+  const double total_capacity_bytes =
+      per_source_capacity_bps * static_cast<double>(experiment_.sources) / 8.0;
+  const double buffer_bytes = max_delay_seconds * total_capacity_bytes;
+
+  Qos qos;
+  for (const auto& aggregate : aggregates_) {
+    const auto result = run_fluid_queue(aggregate, experiment_.dt_seconds,
+                                        total_capacity_bytes, buffer_bytes,
+                                        /*record_intervals=*/true);
+    qos.overall_loss += result.loss_rate();
+    qos.wes_loss += worst_errored_second(result.intervals, intervals_per_second());
+  }
+  const auto reps = static_cast<double>(aggregates_.size());
+  qos.overall_loss /= reps;
+  qos.wes_loss /= reps;
+  return qos;
+}
+
+double MuxWorkload::loss(double per_source_capacity_bps, double max_delay_seconds,
+                         QosMeasure measure) const {
+  if (measure == QosMeasure::kWorstErroredSecond) {
+    return evaluate(per_source_capacity_bps, max_delay_seconds).wes_loss;
+  }
+  VBR_ENSURE(per_source_capacity_bps > 0.0, "capacity must be positive");
+  VBR_ENSURE(max_delay_seconds >= 0.0, "delay must be non-negative");
+  const double total_capacity_bytes =
+      per_source_capacity_bps * static_cast<double>(experiment_.sources) / 8.0;
+  const double buffer_bytes = max_delay_seconds * total_capacity_bytes;
+  double total = 0.0;
+  for (const auto& aggregate : aggregates_) {
+    total += run_fluid_queue(aggregate, experiment_.dt_seconds, total_capacity_bytes,
+                             buffer_bytes, /*record_intervals=*/false)
+                 .loss_rate();
+  }
+  return total / static_cast<double>(aggregates_.size());
+}
+
+FluidQueueResult MuxWorkload::run_detailed(double per_source_capacity_bps,
+                                           double max_delay_seconds,
+                                           std::size_t replication) const {
+  VBR_ENSURE(replication < aggregates_.size(), "replication index out of range");
+  const double total_capacity_bytes =
+      per_source_capacity_bps * static_cast<double>(experiment_.sources) / 8.0;
+  const double buffer_bytes = max_delay_seconds * total_capacity_bytes;
+  return run_fluid_queue(aggregates_[replication], experiment_.dt_seconds,
+                         total_capacity_bytes, buffer_bytes, /*record_intervals=*/true);
+}
+
+double required_capacity_bps(const MuxWorkload& workload, double max_delay_seconds,
+                             double target_loss, QosMeasure measure, double tolerance_bps) {
+  VBR_ENSURE(target_loss >= 0.0, "target loss must be non-negative");
+  VBR_ENSURE(tolerance_bps > 0.0, "tolerance must be positive");
+
+  auto meets_target = [&](double capacity_bps) {
+    const double loss = workload.loss(capacity_bps, max_delay_seconds, measure);
+    return (target_loss == 0.0) ? (loss == 0.0) : (loss <= target_loss);
+  };
+
+  // Upper bound: per-source share of the worst aggregate peak rate — at that
+  // capacity arrivals never exceed service, so loss is zero for any buffer.
+  double hi = workload.aggregate_peak_rate_bps_ /
+                  static_cast<double>(workload.sources()) +
+              1.0;
+  double lo = 0.25 * workload.source_mean_rate_bps();
+  VBR_ENSURE(meets_target(hi), "upper capacity bound fails the target (unexpected)");
+  if (meets_target(lo)) return lo;  // degenerate: even far below the mean works
+
+  while (hi - lo > tolerance_bps) {
+    const double mid = 0.5 * (lo + hi);
+    if (meets_target(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+std::vector<QcPoint> qc_curve(const MuxWorkload& workload,
+                              std::span<const double> max_delays_seconds, double target_loss,
+                              QosMeasure measure) {
+  std::vector<QcPoint> curve;
+  curve.reserve(max_delays_seconds.size());
+  for (double delay : max_delays_seconds) {
+    curve.push_back({delay, required_capacity_bps(workload, delay, target_loss, measure)});
+  }
+  return curve;
+}
+
+std::size_t knee_index(std::span<const QcPoint> curve) {
+  VBR_ENSURE(curve.size() >= 3, "knee detection needs at least three points");
+  // Maximum discrete curvature in log-log coordinates.
+  double best = -1.0;
+  std::size_t best_idx = 1;
+  for (std::size_t i = 1; i + 1 < curve.size(); ++i) {
+    const double x0 = std::log(curve[i - 1].max_delay_seconds);
+    const double x1 = std::log(curve[i].max_delay_seconds);
+    const double x2 = std::log(curve[i + 1].max_delay_seconds);
+    const double y0 = std::log(curve[i - 1].capacity_per_source_bps);
+    const double y1 = std::log(curve[i].capacity_per_source_bps);
+    const double y2 = std::log(curve[i + 1].capacity_per_source_bps);
+    const double slope_in = (y1 - y0) / (x1 - x0);
+    const double slope_out = (y2 - y1) / (x2 - x1);
+    const double turn = std::abs(slope_out - slope_in);
+    if (turn > best) {
+      best = turn;
+      best_idx = i;
+    }
+  }
+  return best_idx;
+}
+
+}  // namespace vbr::net

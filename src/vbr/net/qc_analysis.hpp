@@ -1,0 +1,110 @@
+// Q-C analysis: the resource-allocation experiments of Section 5.
+//
+// For a target quality of service, the paper measures the tradeoff between
+// the two network resources — buffer (expressed as the maximum buffer delay
+// T_max = Q / (N C), with C the allocated bandwidth per source) and
+// capacity — producing the "Q-C curves" of Figs. 14 and 16, the statistical
+// multiplexing gain curves of Fig. 15, and the loss processes of Fig. 17.
+//
+// MuxWorkload precomputes the multiplexed aggregate arrival process for
+// each lag-combination replication once; every (Q, C) probe is then a
+// single O(#frames) fluid-queue pass, which makes the bisection search for
+// required capacity cheap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vbr/net/fluid_queue.hpp"
+
+namespace vbr::net {
+
+/// Which QOS specification a target loss refers to.
+enum class QosMeasure {
+  kOverallLoss,         ///< P_l
+  kWorstErroredSecond,  ///< P_l-WES
+};
+
+struct MuxExperiment {
+  std::size_t sources = 1;
+  double dt_seconds = 1.0 / 24.0;
+  /// Lag combinations averaged (the paper uses six for N > 2; forced to 1
+  /// when sources == 1 since lags are irrelevant).
+  std::size_t replications = 6;
+  std::size_t min_lag_separation = 1000;
+  std::uint64_t seed = 42;
+};
+
+/// Precomputed multiplexed workload: N lag-offset copies of the trace summed
+/// per frame, for each replication.
+class MuxWorkload {
+ public:
+  MuxWorkload(std::span<const double> frame_bytes, const MuxExperiment& experiment);
+
+  struct Qos {
+    double overall_loss = 0.0;  ///< averaged over replications
+    double wes_loss = 0.0;      ///< averaged over replications
+    double value(QosMeasure measure) const {
+      return measure == QosMeasure::kOverallLoss ? overall_loss : wes_loss;
+    }
+  };
+
+  /// Evaluate QOS at an allocation: per-source capacity (bits/s) and max
+  /// buffer delay T_max (buffer Q = T_max * N * C).
+  Qos evaluate(double per_source_capacity_bps, double max_delay_seconds) const;
+
+  /// Fast path for capacity search: evaluate only the requested measure
+  /// (skips per-interval bookkeeping when only overall loss is needed).
+  double loss(double per_source_capacity_bps, double max_delay_seconds,
+              QosMeasure measure) const;
+
+  /// Detailed run of one replication with per-interval stats (Fig. 17).
+  FluidQueueResult run_detailed(double per_source_capacity_bps, double max_delay_seconds,
+                                std::size_t replication) const;
+
+  std::size_t sources() const { return experiment_.sources; }
+  double dt_seconds() const { return experiment_.dt_seconds; }
+  std::size_t replications() const { return aggregates_.size(); }
+  std::size_t intervals_per_second() const;
+
+  /// Per-source mean and peak rates of the underlying trace, bits/second —
+  /// the bounds between which statistical multiplexing gain lives.
+  double source_mean_rate_bps() const { return source_mean_rate_bps_; }
+  double source_peak_rate_bps() const { return source_peak_rate_bps_; }
+
+ private:
+  MuxExperiment experiment_;
+  std::vector<std::vector<double>> aggregates_;  ///< per replication
+  double source_mean_rate_bps_ = 0.0;
+  double source_peak_rate_bps_ = 0.0;
+  double aggregate_peak_rate_bps_ = 0.0;  ///< max over reps of peak aggregate rate
+  friend double required_capacity_bps(const MuxWorkload&, double, double, QosMeasure,
+                                      double);
+};
+
+/// Smallest per-source capacity (bits/s) meeting `target_loss` under
+/// `measure` at buffer delay `max_delay_seconds`. target_loss == 0 requires
+/// exactly zero observed loss. Bisection to `tolerance_bps`.
+double required_capacity_bps(const MuxWorkload& workload, double max_delay_seconds,
+                             double target_loss, QosMeasure measure,
+                             double tolerance_bps = 1000.0);
+
+/// One point of a Q-C curve.
+struct QcPoint {
+  double max_delay_seconds = 0.0;
+  double capacity_per_source_bps = 0.0;
+};
+
+/// Required capacity across a grid of buffer delays (one Fig. 14 curve).
+std::vector<QcPoint> qc_curve(const MuxWorkload& workload,
+                              std::span<const double> max_delays_seconds, double target_loss,
+                              QosMeasure measure);
+
+/// Locate the knee of a Q-C curve: the point of maximum curvature in
+/// (log delay, log capacity) coordinates, the paper's "natural operating
+/// point".
+std::size_t knee_index(std::span<const QcPoint> curve);
+
+}  // namespace vbr::net

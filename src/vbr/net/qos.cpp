@@ -1,0 +1,48 @@
+#include "vbr/net/qos.hpp"
+
+#include <algorithm>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::net {
+
+double worst_errored_second(std::span<const FluidIntervalStats> intervals,
+                            std::size_t intervals_per_second) {
+  VBR_ENSURE(intervals_per_second >= 1, "need at least one interval per second");
+  double worst = 0.0;
+  for (std::size_t start = 0; start < intervals.size(); start += intervals_per_second) {
+    const std::size_t end = std::min(intervals.size(), start + intervals_per_second);
+    double arrived = 0.0;
+    double lost = 0.0;
+    for (std::size_t i = start; i < end; ++i) {
+      arrived += intervals[i].arrived_bytes;
+      lost += intervals[i].lost_bytes;
+    }
+    if (arrived > 0.0 && lost > 0.0) worst = std::max(worst, lost / arrived);
+  }
+  return worst;
+}
+
+std::vector<double> windowed_loss_process(std::span<const FluidIntervalStats> intervals,
+                                          std::size_t window, std::size_t stride) {
+  VBR_ENSURE(window >= 1, "window must be >= 1");
+  VBR_ENSURE(stride >= 1, "stride must be >= 1");
+  std::vector<double> out;
+  if (intervals.size() < window) return out;
+
+  // Prefix sums keep the sweep O(n).
+  std::vector<double> arrived(intervals.size() + 1, 0.0);
+  std::vector<double> lost(intervals.size() + 1, 0.0);
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    arrived[i + 1] = arrived[i] + intervals[i].arrived_bytes;
+    lost[i + 1] = lost[i] + intervals[i].lost_bytes;
+  }
+  for (std::size_t end = window; end <= intervals.size(); end += stride) {
+    const double a = arrived[end] - arrived[end - window];
+    const double l = lost[end] - lost[end - window];
+    out.push_back(a > 0.0 ? l / a : 0.0);
+  }
+  return out;
+}
+
+}  // namespace vbr::net

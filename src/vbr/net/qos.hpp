@@ -1,0 +1,30 @@
+// Quality-of-service metrics (Sections 5.1 / 5.3).
+//
+// The paper evaluates two QOS specifications — the overall cell loss rate
+// P_l and the loss rate in the worst errored second P_l-WES — and studies
+// the time structure of losses with a running-window loss-rate process
+// (Fig. 17, 1000-frame window).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vbr/net/fluid_queue.hpp"
+
+namespace vbr::net {
+
+/// Loss rate in the worst errored second: partition the run into windows of
+/// `intervals_per_second` intervals and take the maximum per-window
+/// lost/arrived ratio over windows that actually lost traffic. Returns 0 if
+/// nothing was lost.
+double worst_errored_second(std::span<const FluidIntervalStats> intervals,
+                            std::size_t intervals_per_second);
+
+/// Running-average loss-rate process over a sliding window of `window`
+/// intervals (Fig. 17): out[i] = lost/arrived over [i-window+1, i],
+/// evaluated every `stride` intervals.
+std::vector<double> windowed_loss_process(std::span<const FluidIntervalStats> intervals,
+                                          std::size_t window, std::size_t stride = 1);
+
+}  // namespace vbr::net

@@ -1,0 +1,93 @@
+#include "vbr/net/shaper.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+
+namespace vbr::net {
+
+CbrSmootherResult smooth_to_cbr(std::span<const double> interval_bytes, double dt_seconds,
+                                double rate_bytes_per_sec) {
+  VBR_ENSURE(!interval_bytes.empty(), "empty trace");
+  VBR_ENSURE(dt_seconds > 0.0, "interval must have positive duration");
+  VBR_ENSURE(rate_bytes_per_sec > 0.0, "rate must be positive");
+
+  CbrSmootherResult result;
+  result.rate_bytes_per_sec = rate_bytes_per_sec;
+  const double drained = rate_bytes_per_sec * dt_seconds;
+  double backlog = 0.0;
+  KahanSum backlog_integral;
+  KahanSum arrived;
+  for (double bytes : interval_bytes) {
+    VBR_ENSURE(bytes >= 0.0, "negative traffic");
+    arrived.add(bytes);
+    backlog = std::max(0.0, backlog + bytes - drained);
+    result.max_backlog_bytes = std::max(result.max_backlog_bytes, backlog);
+    backlog_integral.add(backlog);
+  }
+  result.max_delay_seconds = result.max_backlog_bytes / rate_bytes_per_sec;
+  result.mean_backlog_bytes =
+      backlog_integral.value() / static_cast<double>(interval_bytes.size());
+  const double mean_rate =
+      arrived.value() / (static_cast<double>(interval_bytes.size()) * dt_seconds);
+  result.utilization = mean_rate / rate_bytes_per_sec;
+  return result;
+}
+
+double min_cbr_rate_for_delay(std::span<const double> interval_bytes, double dt_seconds,
+                              double max_delay_seconds) {
+  VBR_ENSURE(max_delay_seconds > 0.0, "delay budget must be positive");
+  const double mean_bytes = sample_mean(interval_bytes);
+  const double peak_bytes = *std::max_element(interval_bytes.begin(), interval_bytes.end());
+  double lo = mean_bytes / dt_seconds;  // below the mean the backlog diverges
+  double hi = peak_bytes / dt_seconds + 1.0;
+  VBR_ENSURE(smooth_to_cbr(interval_bytes, dt_seconds, hi).max_delay_seconds <=
+                 max_delay_seconds,
+             "even the peak rate misses the delay budget (budget below one interval?)");
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (smooth_to_cbr(interval_bytes, dt_seconds, mid).max_delay_seconds <=
+        max_delay_seconds) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+ClipResult clip_peaks(std::span<const double> interval_bytes, double multiple_of_mean) {
+  VBR_ENSURE(multiple_of_mean > 1.0, "clip level must exceed the mean");
+  ClipResult result;
+  const double mean = sample_mean(interval_bytes);
+  result.clip_level_bytes = multiple_of_mean * mean;
+
+  double removed = 0.0;
+  double total = 0.0;
+  double peak_before = 0.0;
+  std::size_t affected = 0;
+  result.clipped.reserve(interval_bytes.size());
+  for (double v : interval_bytes) {
+    total += v;
+    peak_before = std::max(peak_before, v);
+    if (v > result.clip_level_bytes) {
+      removed += v - result.clip_level_bytes;
+      ++affected;
+      result.clipped.push_back(result.clip_level_bytes);
+    } else {
+      result.clipped.push_back(v);
+    }
+  }
+  result.frames_affected =
+      static_cast<double>(affected) / static_cast<double>(interval_bytes.size());
+  result.traffic_removed = (total > 0.0) ? removed / total : 0.0;
+  result.peak_to_mean_before = peak_before / mean;
+  const double mean_after = sample_mean(result.clipped);
+  result.peak_to_mean_after =
+      *std::max_element(result.clipped.begin(), result.clipped.end()) / mean_after;
+  return result;
+}
+
+}  // namespace vbr::net

@@ -1,0 +1,53 @@
+// Traffic shaping: CBR smoothing and peak clipping.
+//
+// The paper's introduction motivates VBR transport by the cost of forcing a
+// constant bit rate ("delay, wasted bandwidth, and modulation of the video
+// quality"); its conclusions recommend that a realistic VBR coder "should
+// clip such peaks, rather than send them into the network". These shapers
+// quantify both arguments:
+//
+//  * CbrSmoother — a smoothing buffer in front of a CBR channel: computes,
+//    for a given constant rate, the buffering delay and backlog the trace
+//    would need (infinite buffer, no loss), or the loss for a finite one.
+//  * clip_peaks — caps the trace at a multiple of its mean, reporting how
+//    much traffic the clip affects (the coder would instead degrade quality
+//    slightly during those frames).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vbr::net {
+
+struct CbrSmootherResult {
+  double rate_bytes_per_sec = 0.0;
+  double max_backlog_bytes = 0.0;   ///< peak smoothing-buffer occupancy
+  double max_delay_seconds = 0.0;   ///< worst-case buffering delay backlog/rate
+  double mean_backlog_bytes = 0.0;  ///< time-average occupancy
+  double utilization = 0.0;         ///< mean arrival rate / CBR rate
+};
+
+/// Push the trace through an infinite smoothing buffer drained at a
+/// constant rate; reports the buffering the CBR channel would impose.
+CbrSmootherResult smooth_to_cbr(std::span<const double> interval_bytes, double dt_seconds,
+                                double rate_bytes_per_sec);
+
+/// Smallest CBR rate whose worst-case smoothing delay is <= max_delay
+/// (bisection between the mean and peak rates).
+double min_cbr_rate_for_delay(std::span<const double> interval_bytes, double dt_seconds,
+                              double max_delay_seconds);
+
+struct ClipResult {
+  std::vector<double> clipped;      ///< the shaped trace
+  double clip_level_bytes = 0.0;
+  double frames_affected = 0.0;     ///< fraction of intervals clipped
+  double traffic_removed = 0.0;     ///< fraction of total bytes removed
+  double peak_to_mean_before = 0.0;
+  double peak_to_mean_after = 0.0;
+};
+
+/// Clip the trace at `multiple_of_mean` times its mean value.
+ClipResult clip_peaks(std::span<const double> interval_bytes, double multiple_of_mean);
+
+}  // namespace vbr::net

@@ -1,0 +1,48 @@
+#include "vbr/stats/confidence.hpp"
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+
+namespace vbr::stats {
+
+std::vector<MeanCiPoint> running_mean_ci(std::span<const double> data,
+                                         std::span<const std::size_t> ns, double hurst) {
+  VBR_ENSURE(data.size() >= 2, "need at least two observations");
+  VBR_ENSURE(hurst > 0.0 && hurst < 1.0, "H must be in (0, 1)");
+  constexpr double kZ = 1.96;
+
+  std::vector<MeanCiPoint> out;
+  out.reserve(ns.size());
+  for (std::size_t n : ns) {
+    VBR_ENSURE(n >= 2 && n <= data.size(), "prefix size out of range");
+    const auto prefix = data.subspan(0, n);
+    MeanCiPoint p;
+    p.n = n;
+    p.mean = sample_mean(prefix);
+    const double sd = std::sqrt(sample_variance(prefix));
+    const double dn = static_cast<double>(n);
+    p.iid_halfwidth = kZ * sd / std::sqrt(dn);
+    // Var(X-bar_n) ~ sigma^2 n^{2H-2} for an exactly self-similar process.
+    p.lrd_halfwidth = kZ * sd * std::pow(dn, hurst - 1.0);
+    out.push_back(p);
+  }
+  return out;
+}
+
+CoverageSummary ci_coverage(const std::vector<MeanCiPoint>& points, double final_mean) {
+  VBR_ENSURE(!points.empty(), "coverage requires at least one interval");
+  std::size_t iid_hits = 0;
+  std::size_t lrd_hits = 0;
+  for (const auto& p : points) {
+    if (std::abs(final_mean - p.mean) <= p.iid_halfwidth) ++iid_hits;
+    if (std::abs(final_mean - p.mean) <= p.lrd_halfwidth) ++lrd_hits;
+  }
+  CoverageSummary s;
+  s.iid_coverage = static_cast<double>(iid_hits) / static_cast<double>(points.size());
+  s.lrd_coverage = static_cast<double>(lrd_hits) / static_cast<double>(points.size());
+  return s;
+}
+
+}  // namespace vbr::stats

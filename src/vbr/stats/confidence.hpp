@@ -1,0 +1,38 @@
+// Confidence intervals for the mean under i.i.d./SRD vs. LRD assumptions
+// (Section 3.2.1, Fig. 9).
+//
+// The conventional 95% CI for a mean, +-1.96 s / sqrt(n), assumes the
+// variance of the sample mean decays like 1/n. Under long-range dependence
+// Var(mean of n) ~ sigma^2 n^{2H-2}, which shrinks much more slowly; the
+// i.i.d. interval is therefore badly overconfident — the paper's Fig. 9
+// shows the final mean falling outside most of the i.i.d. intervals.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vbr::stats {
+
+struct MeanCiPoint {
+  std::size_t n = 0;          ///< number of leading observations used
+  double mean = 0.0;          ///< sample mean of the first n observations
+  double iid_halfwidth = 0.0; ///< z * s / sqrt(n)
+  double lrd_halfwidth = 0.0; ///< z * s * n^{H-1}
+};
+
+/// Estimates of the mean from the first n observations for each n in `ns`,
+/// with both i.i.d. and LRD-corrected 95% half-widths (z = 1.96). The
+/// standard deviation used is the running sample deviation of the prefix.
+std::vector<MeanCiPoint> running_mean_ci(std::span<const double> data,
+                                         std::span<const std::size_t> ns, double hurst);
+
+/// Fraction of prefix intervals that contain the full-sample mean —
+/// a one-number summary of Fig. 9's message.
+struct CoverageSummary {
+  double iid_coverage = 0.0;
+  double lrd_coverage = 0.0;
+};
+CoverageSummary ci_coverage(const std::vector<MeanCiPoint>& points, double final_mean);
+
+}  // namespace vbr::stats

@@ -1,0 +1,99 @@
+#include "vbr/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+
+namespace vbr::stats {
+
+double Histogram::bin_width() const {
+  return (hi - lo) / static_cast<double>(counts.size());
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+double Histogram::density(std::size_t i) const {
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts[i]) / (static_cast<double>(total) * bin_width());
+}
+
+double Histogram::mass(std::size_t i) const {
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts[i]) / static_cast<double>(total);
+}
+
+Histogram make_histogram(std::span<const double> data, std::size_t bins, double lo, double hi) {
+  VBR_ENSURE(bins >= 1, "histogram needs at least one bin");
+  VBR_ENSURE(lo < hi, "histogram range must be non-empty");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : data) {
+    auto idx = static_cast<std::ptrdiff_t>(std::floor((v - lo) / width));
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(idx)];
+  }
+  h.total = data.size();
+  return h;
+}
+
+Histogram make_histogram(std::span<const double> data, std::size_t bins) {
+  VBR_ENSURE(!data.empty(), "histogram requires data");
+  const auto [lo_it, hi_it] = std::minmax_element(data.begin(), data.end());
+  double lo = *lo_it;
+  double hi = *hi_it;
+  if (lo == hi) hi = lo + 1.0;  // degenerate data: one-unit-wide bin
+  return make_histogram(data, bins, lo, hi);
+}
+
+Ecdf::Ecdf(std::span<const double> data) : sorted_(data.begin(), data.end()) {
+  VBR_ENSURE(!sorted_.empty(), "Ecdf requires a non-empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const { return percentile(sorted_, q); }
+
+Ecdf::Curve Ecdf::ccdf_curve(std::size_t count) const {
+  VBR_ENSURE(count >= 2, "curve requires at least two points");
+  Curve curve;
+  const double lo = std::max(sorted_.front(), 1e-12);
+  const double hi = sorted_.back();
+  if (hi <= lo) return curve;
+  for (double x : log_spaced(lo, hi, count)) {
+    const double p = ccdf(x);
+    if (p > 0.0) {
+      curve.x.push_back(x);
+      curve.p.push_back(p);
+    }
+  }
+  return curve;
+}
+
+Ecdf::Curve Ecdf::cdf_curve(std::size_t count) const {
+  VBR_ENSURE(count >= 2, "curve requires at least two points");
+  Curve curve;
+  const double lo = std::max(sorted_.front(), 1e-12);
+  const double hi = sorted_.back();
+  if (hi <= lo) return curve;
+  for (double x : log_spaced(lo, hi, count)) {
+    const double p = cdf(x);
+    if (p > 0.0) {
+      curve.x.push_back(x);
+      curve.p.push_back(p);
+    }
+  }
+  return curve;
+}
+
+}  // namespace vbr::stats

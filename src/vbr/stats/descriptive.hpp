@@ -1,0 +1,66 @@
+// Descriptive statistics: histograms, empirical CDF/CCDF and quantiles.
+//
+// These back the paper's distributional exhibits: Fig. 3 (per-segment
+// bandwidth histograms), Figs. 4-5 (log-log complementary CDF / left-tail
+// CDF) and Fig. 6 (probability density vs. the Gamma/Pareto model).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vbr::stats {
+
+/// Fixed-width histogram over [lo, hi).
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;   ///< per-bin counts; out-of-range clamped to edge bins
+  std::size_t total = 0;
+
+  double bin_width() const;
+  double bin_center(std::size_t i) const;
+  /// Probability density estimate for bin i (count / (total * width)).
+  double density(std::size_t i) const;
+  /// Bin probability mass (count / total).
+  double mass(std::size_t i) const;
+};
+
+/// Build a histogram with `bins` equal-width bins spanning [lo, hi).
+/// Values outside the range are counted in the first/last bin.
+Histogram make_histogram(std::span<const double> data, std::size_t bins, double lo, double hi);
+
+/// Build a histogram spanning the data range.
+Histogram make_histogram(std::span<const double> data, std::size_t bins);
+
+/// Empirical distribution of a sample; keeps a sorted copy.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> data);
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  /// P(X <= x).
+  double cdf(double x) const;
+  /// P(X > x).
+  double ccdf(double x) const { return 1.0 - cdf(x); }
+  /// Order-statistic quantile with linear interpolation, q in [0, 1].
+  double quantile(double q) const;
+
+  /// Evaluation points for a log-log CCDF plot: `count` x-values log-spaced
+  /// across the positive part of the sample range, paired with P(X > x).
+  /// Points with empirical CCDF exactly 0 are dropped (log-plot friendly).
+  struct Curve {
+    std::vector<double> x;
+    std::vector<double> p;
+  };
+  Curve ccdf_curve(std::size_t count) const;
+  /// Same for the left tail: P(X <= x) over log-spaced x (Fig. 5).
+  Curve cdf_curve(std::size_t count) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace vbr::stats

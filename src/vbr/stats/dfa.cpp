@@ -1,0 +1,68 @@
+#include "vbr/stats/dfa.hpp"
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::stats {
+
+DfaResult dfa(std::span<const double> data, const DfaOptions& options) {
+  VBR_ENSURE(data.size() >= 128, "DFA needs a longer series");
+  DfaOptions opt = options;
+  if (opt.max_box == 0) opt.max_box = data.size() / 8;
+  VBR_ENSURE(opt.min_box >= 4 && opt.min_box < opt.max_box, "invalid box range");
+  VBR_ENSURE(opt.max_box <= data.size() / 2, "max box leaves too few boxes");
+
+  // Integrated profile Y_t = sum_{i<=t} (x_i - mean).
+  const double mean = sample_mean(data);
+  std::vector<double> profile(data.size());
+  KahanSum acc;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    acc.add(data[i] - mean);
+    profile[i] = acc.value();
+  }
+
+  DfaResult result;
+  for (std::size_t s : log_spaced_sizes(opt.min_box, opt.max_box, opt.grid_points)) {
+    const std::size_t boxes = profile.size() / s;
+    if (boxes < 4) break;
+    KahanSum total_sq;
+    for (std::size_t b = 0; b < boxes; ++b) {
+      // Per-box linear detrend via closed-form OLS on t = 0..s-1.
+      const double n = static_cast<double>(s);
+      const double t_mean = (n - 1.0) / 2.0;
+      const double t_var = (n * n - 1.0) / 12.0;  // population variance of 0..n-1
+      KahanSum y_sum;
+      KahanSum ty_sum;
+      for (std::size_t i = 0; i < s; ++i) {
+        const double y = profile[b * s + i];
+        y_sum.add(y);
+        ty_sum.add((static_cast<double>(i) - t_mean) * y);
+      }
+      const double y_mean = y_sum.value() / n;
+      const double slope = ty_sum.value() / (n * t_var);
+      for (std::size_t i = 0; i < s; ++i) {
+        const double fitted = y_mean + slope * (static_cast<double>(i) - t_mean);
+        const double r = profile[b * s + i] - fitted;
+        total_sq.add(r * r);
+      }
+    }
+    const double f = std::sqrt(total_sq.value() / static_cast<double>(boxes * s));
+    if (f > 0.0) result.points.push_back({s, f});
+  }
+  VBR_ENSURE(result.points.size() >= 4, "too few DFA points");
+
+  std::vector<double> lx;
+  std::vector<double> ly;
+  for (const auto& p : result.points) {
+    if (p.box_size < opt.fit_min_box) continue;
+    lx.push_back(std::log10(static_cast<double>(p.box_size)));
+    ly.push_back(std::log10(p.fluctuation));
+  }
+  VBR_ENSURE(lx.size() >= 3, "too few DFA points in the fit window");
+  result.fit = linear_fit(lx, ly);
+  result.hurst = result.fit.slope;
+  return result;
+}
+
+}  // namespace vbr::stats

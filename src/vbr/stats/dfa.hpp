@@ -1,0 +1,43 @@
+// Detrended fluctuation analysis (DFA-1), a further Hurst estimator.
+//
+// Not in the 1994 paper (it was introduced the same year by Peng et al.),
+// but now a standard member of the estimator battery next to variance-time,
+// R/S and Whittle: integrate the centered series, split into boxes of size
+// s, remove a per-box linear trend, and measure the RMS residual F(s).
+// For self-similar input F(s) ~ s^H, and unlike variance-time/R-S the
+// detrending makes the estimate robust to slow deterministic drifts.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vbr/common/math_util.hpp"
+
+namespace vbr::stats {
+
+struct DfaPoint {
+  std::size_t box_size = 0;
+  double fluctuation = 0.0;  ///< F(s)
+};
+
+struct DfaOptions {
+  std::size_t min_box = 8;
+  /// Largest box; 0 means n/8 (at least 8 boxes per size).
+  std::size_t max_box = 0;
+  std::size_t grid_points = 25;
+  /// Fit window: boxes >= fit_min_box enter the slope regression (short
+  /// boxes carry the short-range structure, as with the other estimators).
+  std::size_t fit_min_box = 8;
+};
+
+struct DfaResult {
+  std::vector<DfaPoint> points;
+  LinearFit fit;       ///< log10 F on log10 s over the fit window
+  double hurst = 0.5;  ///< the fitted slope
+};
+
+/// DFA-1 of a stationary series (fGn-like input: slope ~ H).
+DfaResult dfa(std::span<const double> data, const DfaOptions& options = {});
+
+}  // namespace vbr::stats

@@ -1,0 +1,215 @@
+#include "vbr/stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/common/special_functions.hpp"
+
+namespace vbr::stats {
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+Moments sample_moments(std::span<const double> data) {
+  VBR_ENSURE(data.size() >= 2, "fitting requires at least two samples");
+  Moments m;
+  m.mean = kahan_total(data) / static_cast<double>(data.size());
+  KahanSum ss;
+  for (double v : data) {
+    const double d = v - m.mean;
+    ss.add(d * d);
+  }
+  m.variance = ss.value() / static_cast<double>(data.size() - 1);
+  return m;
+}
+
+}  // namespace
+
+double Distribution::sample(Rng& rng) const {
+  double u = rng.uniform();
+  while (u <= 0.0 || u >= 1.0) u = rng.uniform();
+  return quantile(u);
+}
+
+// ---------------------------------------------------------------- Normal
+
+NormalDistribution::NormalDistribution(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  VBR_ENSURE(sigma > 0.0, "Normal sigma must be positive");
+}
+
+double NormalDistribution::pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (sigma_ * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double NormalDistribution::cdf(double x) const { return normal_cdf((x - mu_) / sigma_); }
+
+double NormalDistribution::quantile(double p) const {
+  return mu_ + sigma_ * normal_quantile(p);
+}
+
+double NormalDistribution::sample(Rng& rng) const { return rng.normal(mu_, sigma_); }
+
+NormalDistribution NormalDistribution::fit(std::span<const double> data) {
+  const auto m = sample_moments(data);
+  VBR_ENSURE(m.variance > 0.0, "Normal fit requires non-degenerate data");
+  return NormalDistribution(m.mean, std::sqrt(m.variance));
+}
+
+// ----------------------------------------------------------------- Gamma
+
+GammaDistribution::GammaDistribution(double shape, double rate) : shape_(shape), rate_(rate) {
+  VBR_ENSURE(shape > 0.0 && rate > 0.0, "Gamma parameters must be positive");
+}
+
+double GammaDistribution::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double lx = rate_ * x;
+  return std::exp(-lx + (shape_ - 1.0) * std::log(lx) + std::log(rate_) - log_gamma(shape_));
+}
+
+double GammaDistribution::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return gamma_p(shape_, rate_ * x);
+}
+
+double GammaDistribution::quantile(double p) const {
+  VBR_ENSURE(p >= 0.0 && p < 1.0, "Gamma quantile requires p in [0, 1)");
+  return gamma_p_inverse(shape_, p) / rate_;
+}
+
+double GammaDistribution::sample(Rng& rng) const { return rng.gamma(shape_, 1.0 / rate_); }
+
+GammaDistribution GammaDistribution::fit_moments(double mean, double variance) {
+  VBR_ENSURE(mean > 0.0 && variance > 0.0, "Gamma moment fit requires positive mean/variance");
+  return GammaDistribution(mean * mean / variance, mean / variance);
+}
+
+GammaDistribution GammaDistribution::fit(std::span<const double> data) {
+  const auto m = sample_moments(data);
+  return fit_moments(m.mean, m.variance);
+}
+
+// ------------------------------------------------------------- Lognormal
+
+LognormalDistribution::LognormalDistribution(double mu_log, double sigma_log)
+    : mu_log_(mu_log), sigma_log_(sigma_log) {
+  VBR_ENSURE(sigma_log > 0.0, "Lognormal sigma must be positive");
+}
+
+double LognormalDistribution::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_log_) / sigma_log_;
+  return std::exp(-0.5 * z * z) / (x * sigma_log_ * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double LognormalDistribution::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_log_) / sigma_log_);
+}
+
+double LognormalDistribution::quantile(double p) const {
+  return std::exp(mu_log_ + sigma_log_ * normal_quantile(p));
+}
+
+double LognormalDistribution::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_log_, sigma_log_));
+}
+
+double LognormalDistribution::mean() const {
+  return std::exp(mu_log_ + 0.5 * sigma_log_ * sigma_log_);
+}
+
+double LognormalDistribution::variance() const {
+  const double s2 = sigma_log_ * sigma_log_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_log_ + s2);
+}
+
+LognormalDistribution LognormalDistribution::fit(std::span<const double> data) {
+  std::vector<double> logs;
+  logs.reserve(data.size());
+  for (double v : data) {
+    VBR_ENSURE(v > 0.0, "Lognormal fit requires positive data");
+    logs.push_back(std::log(v));
+  }
+  const auto m = sample_moments(logs);
+  VBR_ENSURE(m.variance > 0.0, "Lognormal fit requires non-degenerate data");
+  return LognormalDistribution(m.mean, std::sqrt(m.variance));
+}
+
+// ---------------------------------------------------------------- Pareto
+
+ParetoDistribution::ParetoDistribution(double k, double a) : k_(k), a_(a) {
+  VBR_ENSURE(k > 0.0 && a > 0.0, "Pareto parameters must be positive");
+}
+
+double ParetoDistribution::pdf(double x) const {
+  if (x <= k_) return 0.0;
+  return a_ * std::pow(k_, a_) / std::pow(x, a_ + 1.0);
+}
+
+double ParetoDistribution::cdf(double x) const {
+  if (x <= k_) return 0.0;
+  return 1.0 - std::pow(k_ / x, a_);
+}
+
+double ParetoDistribution::quantile(double p) const {
+  VBR_ENSURE(p >= 0.0 && p < 1.0, "Pareto quantile requires p in [0, 1)");
+  return k_ / std::pow(1.0 - p, 1.0 / a_);
+}
+
+double ParetoDistribution::sample(Rng& rng) const { return rng.pareto(k_, a_); }
+
+double ParetoDistribution::mean() const {
+  if (a_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return a_ * k_ / (a_ - 1.0);
+}
+
+double ParetoDistribution::variance() const {
+  if (a_ <= 2.0) return std::numeric_limits<double>::infinity();
+  return a_ * k_ * k_ / ((a_ - 1.0) * (a_ - 1.0) * (a_ - 2.0));
+}
+
+ParetoDistribution ParetoDistribution::fit_tail(std::span<const double> data,
+                                                double tail_fraction) {
+  VBR_ENSURE(tail_fraction > 0.0 && tail_fraction < 1.0,
+             "tail_fraction must be in (0, 1)");
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  const auto tail_count =
+      std::max<std::size_t>(10, static_cast<std::size_t>(tail_fraction * static_cast<double>(n)));
+  VBR_ENSURE(tail_count < n, "tail larger than sample");
+
+  // Regress log CCDF on log x over the upper-order statistics, skipping the
+  // very last few points where the empirical CCDF is noisiest.
+  std::vector<double> lx;
+  std::vector<double> lp;
+  const std::size_t skip_extreme = std::max<std::size_t>(2, tail_count / 100);
+  for (std::size_t i = n - tail_count; i + skip_extreme < n; ++i) {
+    const double x = sorted[i];
+    if (x <= 0.0) continue;
+    const double ccdf =
+        static_cast<double>(n - (i + 1)) / static_cast<double>(n);
+    if (ccdf <= 0.0) continue;
+    lx.push_back(std::log(x));
+    lp.push_back(std::log(ccdf));
+  }
+  VBR_ENSURE(lx.size() >= 3, "too few tail points for Pareto fit");
+  const LinearFit fit = linear_fit(lx, lp);
+  const double a = -fit.slope;
+  VBR_ENSURE(a > 0.0, "Pareto tail fit produced a non-positive index");
+  // log CCDF = a log k - a log x  =>  log k = intercept / a.
+  const double k = std::exp(fit.intercept / a);
+  return ParetoDistribution(k, a);
+}
+
+}  // namespace vbr::stats

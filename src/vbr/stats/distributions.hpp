@@ -1,0 +1,140 @@
+// Parametric distributions compared against the empirical trace in
+// Section 3.1 / Figs. 4-6: Normal, Gamma, Lognormal and the heavy-tailed
+// Pareto. Each provides pdf/cdf/quantile/sampling plus the fitting rule the
+// paper uses (moment matching for the bell-shaped laws, log-log tail slope
+// regression for Pareto).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "vbr/common/rng.hpp"
+
+namespace vbr::stats {
+
+/// Common interface so the distribution-comparison exhibits (Figs. 4-5) can
+/// iterate over candidate models uniformly.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  virtual double pdf(double x) const = 0;
+  virtual double cdf(double x) const = 0;
+  /// Quantile (inverse CDF) for p in (0, 1).
+  virtual double quantile(double p) const = 0;
+  virtual std::string name() const = 0;
+
+  double ccdf(double x) const { return 1.0 - cdf(x); }
+  /// Inverse-CDF sampling by default; subclasses may override with a
+  /// dedicated sampler.
+  virtual double sample(Rng& rng) const;
+
+  virtual double mean() const = 0;
+  virtual double variance() const = 0;
+};
+
+/// Normal(mu, sigma).
+class NormalDistribution final : public Distribution {
+ public:
+  NormalDistribution(double mu, double sigma);
+
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  std::string name() const override { return "Normal"; }
+  double mean() const override { return mu_; }
+  double variance() const override { return sigma_ * sigma_; }
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+  /// Moment fit.
+  static NormalDistribution fit(std::span<const double> data);
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Gamma with shape s and rate lambda, the paper's Eq. (14):
+/// f(x) = e^{-lambda x} lambda (lambda x)^{s-1} / Gamma(s).
+class GammaDistribution final : public Distribution {
+ public:
+  GammaDistribution(double shape, double rate);
+
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  std::string name() const override { return "Gamma"; }
+  double mean() const override { return shape_ / rate_; }
+  double variance() const override { return shape_ / (rate_ * rate_); }
+
+  double shape() const { return shape_; }
+  double rate() const { return rate_; }
+
+  /// Moment fit: s = mu^2/sigma^2, lambda = mu/sigma^2 ("determined
+  /// conveniently from the mean and variance", Section 4.2).
+  static GammaDistribution fit_moments(double mean, double variance);
+  static GammaDistribution fit(std::span<const double> data);
+
+ private:
+  double shape_;
+  double rate_;
+};
+
+/// Lognormal: log X ~ Normal(mu_log, sigma_log).
+class LognormalDistribution final : public Distribution {
+ public:
+  LognormalDistribution(double mu_log, double sigma_log);
+
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  std::string name() const override { return "Lognormal"; }
+  double mean() const override;
+  double variance() const override;
+
+  double mu_log() const { return mu_log_; }
+  double sigma_log() const { return sigma_log_; }
+
+  /// Fit by matching the sample mean and variance of log X.
+  static LognormalDistribution fit(std::span<const double> data);
+
+ private:
+  double mu_log_;
+  double sigma_log_;
+};
+
+/// Pareto with minimum k and tail index a, the paper's Eqs. (15)-(16):
+/// f(x) = a k^a / x^{a+1} for x > k; F(x) = 1 - (k/x)^a.
+class ParetoDistribution final : public Distribution {
+ public:
+  ParetoDistribution(double k, double a);
+
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  std::string name() const override { return "Pareto"; }
+  double mean() const override;      ///< infinite for a <= 1
+  double variance() const override;  ///< infinite for a <= 2
+
+  double k() const { return k_; }
+  double a() const { return a_; }
+
+  /// Fit the tail: least-squares line through (log x, log CCDF(x)) over the
+  /// sample's upper `tail_fraction` (paper: "slope of the straight line that
+  /// best fits the Pareto tail"). Returns the fitted Pareto with `a` from the
+  /// slope and `k` from the intercept.
+  static ParetoDistribution fit_tail(std::span<const double> data, double tail_fraction);
+
+ private:
+  double k_;
+  double a_;
+};
+
+}  // namespace vbr::stats

@@ -1,0 +1,85 @@
+#include "vbr/stats/periodogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/fft.hpp"
+#include "vbr/common/math_util.hpp"
+
+namespace vbr::stats {
+
+Periodogram periodogram(std::span<const double> data) {
+  const std::size_t n = data.size();
+  VBR_ENSURE(n >= 4, "periodogram requires at least four samples");
+  const double mean = kahan_total(data) / static_cast<double>(n);
+
+  std::vector<std::complex<double>> buf(n);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = data[i] - mean;
+  fft(buf);
+
+  const std::size_t half = (n - 1) / 2;
+  Periodogram pg;
+  pg.frequency.reserve(half);
+  pg.power.reserve(half);
+  const double norm = 1.0 / (2.0 * std::numbers::pi * static_cast<double>(n));
+  for (std::size_t k = 1; k <= half; ++k) {
+    pg.frequency.push_back(2.0 * std::numbers::pi * static_cast<double>(k) /
+                           static_cast<double>(n));
+    pg.power.push_back(std::norm(buf[k]) * norm);
+  }
+  return pg;
+}
+
+Periodogram log_binned(const Periodogram& pg, std::size_t bins) {
+  VBR_ENSURE(bins >= 2, "log binning requires at least two bins");
+  VBR_ENSURE(!pg.frequency.empty(), "empty periodogram");
+  const double lo = pg.frequency.front();
+  const double hi = pg.frequency.back();
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+
+  std::vector<double> freq_sum(bins, 0.0);
+  std::vector<double> power_sum(bins, 0.0);
+  std::vector<std::size_t> count(bins, 0);
+  for (std::size_t i = 0; i < pg.frequency.size(); ++i) {
+    double t = (std::log(pg.frequency[i]) - llo) / (lhi - llo);
+    t = std::clamp(t, 0.0, 1.0);
+    auto b = static_cast<std::size_t>(t * static_cast<double>(bins));
+    if (b == bins) b = bins - 1;
+    freq_sum[b] += pg.frequency[i];
+    power_sum[b] += pg.power[i];
+    ++count[b];
+  }
+
+  Periodogram out;
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (count[b] == 0) continue;
+    out.frequency.push_back(freq_sum[b] / static_cast<double>(count[b]));
+    out.power.push_back(power_sum[b] / static_cast<double>(count[b]));
+  }
+  return out;
+}
+
+double low_frequency_slope(const Periodogram& pg, double fraction) {
+  VBR_ENSURE(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+  const auto take = std::max<std::size_t>(
+      8, static_cast<std::size_t>(fraction * static_cast<double>(pg.frequency.size())));
+  VBR_ENSURE(take <= pg.frequency.size(), "not enough periodogram ordinates");
+
+  std::vector<double> lx;
+  std::vector<double> ly;
+  lx.reserve(take);
+  ly.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    if (pg.power[i] <= 0.0) continue;
+    lx.push_back(std::log(pg.frequency[i]));
+    ly.push_back(std::log(pg.power[i]));
+  }
+  VBR_ENSURE(lx.size() >= 3, "too few positive periodogram ordinates");
+  return -linear_fit(lx, ly).slope;
+}
+
+}  // namespace vbr::stats

@@ -1,0 +1,33 @@
+// Periodogram (empirical power spectral density), Fig. 8 and the input to
+// the Whittle estimator.
+//
+// I(w_k) = |sum_t x_t e^{-i t w_k}|^2 / (2 pi n) at the Fourier frequencies
+// w_k = 2 pi k / n, k = 1 .. floor((n-1)/2). Long-range dependence shows up
+// as I(w) ~ w^{-alpha} as w -> 0.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vbr::stats {
+
+struct Periodogram {
+  std::vector<double> frequency;  ///< angular frequencies w_k in (0, pi]
+  std::vector<double> power;      ///< I(w_k)
+};
+
+/// Periodogram of the mean-centered data at the Fourier frequencies.
+Periodogram periodogram(std::span<const double> data);
+
+/// Average periodogram ordinates into log-spaced frequency bins (for
+/// plotting; the raw periodogram is extremely noisy). Empty bins are
+/// dropped.
+Periodogram log_binned(const Periodogram& pg, std::size_t bins);
+
+/// Estimate the low-frequency power-law exponent alpha from
+/// I(w) ~ w^{-alpha}, regressing log power on log frequency over the lowest
+/// `fraction` of frequencies. alpha > 0 indicates LRD; H = (1 + alpha) / 2.
+double low_frequency_slope(const Periodogram& pg, double fraction = 0.1);
+
+}  // namespace vbr::stats

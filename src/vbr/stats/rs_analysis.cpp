@@ -1,0 +1,104 @@
+#include "vbr/stats/rs_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::stats {
+
+double rescaled_range(std::span<const double> data, std::size_t start, std::size_t n) {
+  VBR_ENSURE(n >= 2, "R/S block must have at least two observations");
+  VBR_ENSURE(start + n <= data.size(), "R/S block exceeds the record");
+
+  // Block mean.
+  KahanSum total;
+  for (std::size_t i = 0; i < n; ++i) total.add(data[start + i]);
+  const double mean = total.value() / static_cast<double>(n);
+
+  // Adjusted partial sums W_j = sum_{i<=j}(X_i - mean); R = max(0, W) - min(0, W).
+  double w = 0.0;
+  double w_max = 0.0;
+  double w_min = 0.0;
+  KahanSum ss;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = data[start + i] - mean;
+    w += d;
+    w_max = std::max(w_max, w);
+    w_min = std::min(w_min, w);
+    ss.add(d * d);
+  }
+  const double variance = ss.value() / static_cast<double>(n);  // population S(n)
+  if (variance <= 0.0) return 0.0;
+  return (w_max - w_min) / std::sqrt(variance);
+}
+
+RsResult rs_analysis(std::span<const double> data, const RsOptions& options) {
+  VBR_ENSURE(data.size() >= 64, "R/S analysis needs a longer record");
+  RsOptions opt = options;
+  if (opt.max_lag == 0) opt.max_lag = data.size() / 2;
+  VBR_ENSURE(opt.min_lag >= 2 && opt.min_lag < opt.max_lag, "invalid lag range");
+  VBR_ENSURE(opt.max_lag <= data.size(), "max lag exceeds the record");
+  VBR_ENSURE(opt.partitions >= 1, "need at least one partition");
+
+  RsResult result;
+  for (std::size_t lag : log_spaced_sizes(opt.min_lag, opt.max_lag, opt.lag_count)) {
+    // Starting points spread evenly over the usable range [0, size - lag].
+    const std::size_t span_limit = data.size() - lag;
+    const std::size_t starts = std::min<std::size_t>(opt.partitions, span_limit + 1);
+    for (std::size_t p = 0; p < starts; ++p) {
+      const std::size_t start =
+          (starts == 1) ? 0 : (span_limit * p) / (starts - 1);
+      const double rs = rescaled_range(data, start, lag);
+      if (rs > 0.0) result.points.push_back({lag, start, rs});
+    }
+  }
+  VBR_ENSURE(!result.points.empty(), "R/S analysis produced no valid points");
+
+  std::vector<double> lx;
+  std::vector<double> ly;
+  for (const auto& p : result.points) {
+    if (p.lag < options.fit_min_lag) continue;
+    lx.push_back(std::log10(static_cast<double>(p.lag)));
+    ly.push_back(std::log10(p.rs));
+  }
+  VBR_ENSURE(lx.size() >= 3, "too few R/S points in the fit window");
+  result.fit = linear_fit(lx, ly);
+  result.hurst = result.fit.slope;
+  return result;
+}
+
+RsResult rs_analysis_aggregated(std::span<const double> data, std::size_t m,
+                                RsOptions options) {
+  VBR_ENSURE(m >= 1, "aggregation level must be >= 1");
+  const auto aggregated = block_means(data, m);
+  // Scale the fit window to the aggregated time axis so the same physical
+  // lag range is used.
+  options.fit_min_lag = std::max<std::size_t>(2, options.fit_min_lag / m);
+  options.min_lag = std::max<std::size_t>(2, options.min_lag / m);
+  if (options.max_lag != 0) options.max_lag = std::max<std::size_t>(4, options.max_lag / m);
+  return rs_analysis(aggregated, options);
+}
+
+RsSweepResult rs_sweep(std::span<const double> data,
+                       std::span<const std::size_t> lag_counts,
+                       std::span<const std::size_t> partition_counts,
+                       const RsOptions& base) {
+  VBR_ENSURE(!lag_counts.empty() && !partition_counts.empty(),
+             "rs_sweep requires non-empty grids");
+  RsSweepResult sweep;
+  for (std::size_t lags : lag_counts) {
+    for (std::size_t parts : partition_counts) {
+      RsOptions opt = base;
+      opt.lag_count = lags;
+      opt.partitions = parts;
+      sweep.estimates.push_back(rs_analysis(data, opt).hurst);
+    }
+  }
+  const auto [lo, hi] = std::minmax_element(sweep.estimates.begin(), sweep.estimates.end());
+  sweep.hurst_min = *lo;
+  sweep.hurst_max = *hi;
+  return sweep;
+}
+
+}  // namespace vbr::stats

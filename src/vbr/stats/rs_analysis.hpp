@@ -1,0 +1,71 @@
+// Rescaled-adjusted-range (R/S) analysis, Section 3.2.3 and Fig. 12.
+//
+// For each lag n and each of several starting points across the record, the
+// statistic R(n)/S(n) is computed over the block of n observations: R is the
+// range of the adjusted partial sums W_j and S the block's sample standard
+// deviation. E[R/S] ~ n^H, so the "pox diagram" of log10(R/S) against
+// log10(n) has asymptotic slope H; Mandelbrot & Wallis's practical recipe
+// evaluates many (lag, partition) pairs and fits a line through the usable
+// middle of the cloud.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vbr/common/math_util.hpp"
+
+namespace vbr::stats {
+
+struct RsPoint {
+  std::size_t lag = 0;    ///< block length n
+  std::size_t start = 0;  ///< block starting index
+  double rs = 0.0;        ///< R(n)/S(n)
+};
+
+struct RsOptions {
+  std::size_t min_lag = 10;
+  /// Largest lag; 0 means n/2.
+  std::size_t max_lag = 0;
+  /// Number of log-spaced lags (density of points horizontally).
+  std::size_t lag_count = 30;
+  /// Number of block starting points per lag (density vertically).
+  std::size_t partitions = 10;
+  /// Fit window: only points with lag >= fit_min_lag enter the regression
+  /// (short lags are contaminated by short-range structure; the paper
+  /// measures from ~200 frames up).
+  std::size_t fit_min_lag = 200;
+};
+
+struct RsResult {
+  std::vector<RsPoint> points;  ///< the pox diagram
+  LinearFit fit;                ///< log10(R/S) on log10(lag) over the fit window
+  double hurst = 0.5;           ///< the fitted slope
+};
+
+/// R/S over one block [start, start+n); returns 0 if the block is constant.
+double rescaled_range(std::span<const double> data, std::size_t start, std::size_t n);
+
+/// Full pox-diagram analysis.
+RsResult rs_analysis(std::span<const double> data, const RsOptions& options = {});
+
+/// R/S analysis of the aggregated series X^(m) ("R/S Aggregated" in Table 3):
+/// removes short-range structure before estimating H. Lags in the options
+/// refer to the aggregated series.
+RsResult rs_analysis_aggregated(std::span<const double> data, std::size_t m,
+                                RsOptions options = {});
+
+/// Robustness sweep ("R/S with n, M varied", Table 3): re-run the analysis
+/// over a grid of lag densities and partition counts, returning the min and
+/// max fitted H.
+struct RsSweepResult {
+  double hurst_min = 0.0;
+  double hurst_max = 0.0;
+  std::vector<double> estimates;
+};
+RsSweepResult rs_sweep(std::span<const double> data,
+                       std::span<const std::size_t> lag_counts,
+                       std::span<const std::size_t> partition_counts,
+                       const RsOptions& base = {});
+
+}  // namespace vbr::stats

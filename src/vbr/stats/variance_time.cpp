@@ -1,0 +1,42 @@
+#include "vbr/stats/variance_time.hpp"
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::stats {
+
+VarianceTimeResult variance_time(std::span<const double> data,
+                                 const VarianceTimeOptions& options) {
+  VBR_ENSURE(data.size() >= 100, "variance-time analysis needs a long series");
+  VarianceTimeOptions opt = options;
+  if (opt.max_m == 0) opt.max_m = data.size() / 10;
+  VBR_ENSURE(opt.min_m >= 1 && opt.min_m < opt.max_m, "invalid block-size range");
+  VBR_ENSURE(opt.max_m <= data.size() / 2, "max_m leaves too few blocks");
+
+  const double base_variance = sample_variance(data);
+  VBR_ENSURE(base_variance > 0.0, "variance-time analysis of a constant series");
+
+  VarianceTimeResult result;
+  for (std::size_t m : log_spaced_sizes(opt.min_m, opt.max_m, opt.grid_points)) {
+    const auto blocks = block_means(data, m);
+    if (blocks.size() < 2) break;
+    result.points.push_back({m, sample_variance(blocks) / base_variance});
+  }
+  VBR_ENSURE(result.points.size() >= 3, "too few variance-time points");
+
+  std::vector<double> lx;
+  std::vector<double> ly;
+  for (const auto& p : result.points) {
+    if (p.m < opt.fit_min_m || p.normalized_variance <= 0.0) continue;
+    lx.push_back(std::log10(static_cast<double>(p.m)));
+    ly.push_back(std::log10(p.normalized_variance));
+  }
+  VBR_ENSURE(lx.size() >= 3, "too few points in the variance-time fit window");
+  result.fit = linear_fit(lx, ly);
+  result.beta = -result.fit.slope;
+  result.hurst = 1.0 - result.beta / 2.0;
+  return result;
+}
+
+}  // namespace vbr::stats

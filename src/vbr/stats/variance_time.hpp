@@ -1,0 +1,44 @@
+// Variance-time analysis (Section 3.2.3, Fig. 11).
+//
+// For the aggregated processes X^(m), Var(X^(m)) ~ m^{-beta} sigma^2 with
+// beta = 1 for SRD and 0 < beta < 1 under LRD; H = 1 - beta / 2. The
+// variance-time plot graphs normalized variance against m on log-log axes
+// and reads beta off the limiting slope.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vbr/common/math_util.hpp"
+
+namespace vbr::stats {
+
+struct VarianceTimePoint {
+  std::size_t m = 0;               ///< aggregation block size
+  double normalized_variance = 0;  ///< Var(X^(m)) / Var(X)
+};
+
+struct VarianceTimeResult {
+  std::vector<VarianceTimePoint> points;  ///< the plot of Fig. 11
+  LinearFit fit;                          ///< log10(var) on log10(m) over the fit window
+  double beta = 1.0;                      ///< -slope
+  double hurst = 0.5;                     ///< 1 - beta/2
+};
+
+struct VarianceTimeOptions {
+  std::size_t min_m = 1;
+  /// Largest block size; 0 means n/10 (so each variance uses >= 10 blocks).
+  std::size_t max_m = 0;
+  /// Number of log-spaced block sizes to evaluate.
+  std::size_t grid_points = 40;
+  /// Fit window: slope is estimated over m in [fit_min_m, max_m]. The paper
+  /// measures H from ~200 frames upward, below which SRD effects dominate.
+  std::size_t fit_min_m = 100;
+};
+
+/// Compute the variance-time plot and the Hurst estimate.
+VarianceTimeResult variance_time(std::span<const double> data,
+                                 const VarianceTimeOptions& options = {});
+
+}  // namespace vbr::stats

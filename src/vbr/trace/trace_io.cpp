@@ -1,0 +1,106 @@
+#include "vbr/trace/trace_io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::trace {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'V', 'B', 'R', 'T', 'R', 'C', '0', '1'};
+constexpr double kDefaultFrameDt = 1.0 / 24.0;
+
+}  // namespace
+
+void write_ascii(const TimeSeries& series, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path.string());
+  out.precision(17);
+  out << "# vbr trace v1\n";
+  out << "# dt_seconds " << series.dt_seconds() << "\n";
+  out << "# unit " << series.unit() << "\n";
+  for (double v : series.values()) out << v << "\n";
+  if (!out) throw IoError("write failed: " + path.string());
+}
+
+TimeSeries read_ascii(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path.string());
+
+  double dt = kDefaultFrameDt;
+  std::string unit = "bytes/frame";
+  std::vector<double> values;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line.substr(1));
+      std::string key;
+      header >> key;
+      if (key == "dt_seconds") {
+        header >> dt;
+      } else if (key == "unit") {
+        header >> unit;
+      }
+      continue;
+    }
+    std::istringstream row(line);
+    double v = 0.0;
+    if (!(row >> v)) {
+      throw IoError(path.string() + ":" + std::to_string(line_no) + ": not a number: " + line);
+    }
+    values.push_back(v);
+  }
+  if (dt <= 0.0) throw IoError(path.string() + ": non-positive dt_seconds header");
+  return TimeSeries(std::move(values), dt, unit);
+}
+
+void write_binary(const TimeSeries& series, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path.string());
+  out.write(kMagic.data(), kMagic.size());
+  const double dt = series.dt_seconds();
+  out.write(reinterpret_cast<const char*>(&dt), sizeof dt);
+  const auto unit_len = static_cast<std::uint32_t>(series.unit().size());
+  out.write(reinterpret_cast<const char*>(&unit_len), sizeof unit_len);
+  out.write(series.unit().data(), unit_len);
+  const auto n = static_cast<std::uint64_t>(series.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(series.values().data()),
+            static_cast<std::streamsize>(n * sizeof(double)));
+  if (!out) throw IoError("write failed: " + path.string());
+}
+
+TimeSeries read_binary(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path.string());
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0) {
+    throw IoError(path.string() + ": not a vbr binary trace (bad magic)");
+  }
+  double dt = 0.0;
+  in.read(reinterpret_cast<char*>(&dt), sizeof dt);
+  std::uint32_t unit_len = 0;
+  in.read(reinterpret_cast<char*>(&unit_len), sizeof unit_len);
+  if (!in || unit_len > 4096) throw IoError(path.string() + ": corrupt unit length");
+  std::string unit(unit_len, '\0');
+  in.read(unit.data(), unit_len);
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  if (!in || dt <= 0.0) throw IoError(path.string() + ": corrupt header");
+  std::vector<double> values(n);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  if (!in) throw IoError(path.string() + ": truncated sample data");
+  return TimeSeries(std::move(values), dt, unit);
+}
+
+}  // namespace vbr::trace

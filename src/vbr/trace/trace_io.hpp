@@ -1,0 +1,30 @@
+// Trace file I/O.
+//
+// The paper's dataset was distributed as an ASCII file with one per-frame
+// byte count per line (the classic "Star Wars trace" format from
+// thumper.bellcore.com). We read and write that format, plus a compact
+// binary format for large intermediate traces.
+#pragma once
+
+#include <filesystem>
+
+#include "vbr/trace/time_series.hpp"
+
+namespace vbr::trace {
+
+/// Write a trace as ASCII: '#'-prefixed header lines carrying dt and unit,
+/// then one sample per line.
+void write_ascii(const TimeSeries& series, const std::filesystem::path& path);
+
+/// Read an ASCII trace written by write_ascii(), or a bare list of numbers
+/// (one per line, '#' comments ignored) in which case dt defaults to
+/// 1/24 s (the paper's frame rate) and the unit to "bytes/frame".
+TimeSeries read_ascii(const std::filesystem::path& path);
+
+/// Write a trace in the library's binary format (magic, dt, n, doubles).
+void write_binary(const TimeSeries& series, const std::filesystem::path& path);
+
+/// Read a binary trace written by write_binary().
+TimeSeries read_binary(const std::filesystem::path& path);
+
+}  // namespace vbr::trace

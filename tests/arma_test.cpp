@@ -1,0 +1,149 @@
+// Tests for the ARMA filter, Yule-Walker fitting, and the fARIMA(p, d, q)
+// generator (the Section 4 "combine with an ARMA filter" extension).
+#include "vbr/model/arma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/stats/autocorrelation.hpp"
+#include "vbr/stats/whittle.hpp"
+
+namespace vbr::model {
+namespace {
+
+std::vector<double> white_noise(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.normal();
+  return x;
+}
+
+TEST(ArmaFilterTest, IdentityWithNoCoefficients) {
+  const ArmaFilter filter(ArmaParams{});
+  const auto noise = white_noise(100, 1);
+  EXPECT_EQ(filter.filter(noise), noise);
+  EXPECT_NEAR(filter.output_variance(), 1.0, 1e-12);
+}
+
+TEST(ArmaFilterTest, Ar1ImpulseResponseIsGeometric) {
+  ArmaParams params;
+  params.ar = {0.7};
+  const ArmaFilter filter(params);
+  const auto psi = filter.impulse_response(10);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(psi[k], std::pow(0.7, static_cast<double>(k)), 1e-12) << "k=" << k;
+  }
+  // Output variance of AR(1): 1 / (1 - phi^2).
+  EXPECT_NEAR(filter.output_variance(), 1.0 / (1.0 - 0.49), 1e-9);
+}
+
+TEST(ArmaFilterTest, Ma1ImpulseResponse) {
+  ArmaParams params;
+  params.ma = {0.5};
+  const ArmaFilter filter(params);
+  const auto psi = filter.impulse_response(5);
+  EXPECT_DOUBLE_EQ(psi[0], 1.0);
+  EXPECT_DOUBLE_EQ(psi[1], 0.5);
+  EXPECT_DOUBLE_EQ(psi[2], 0.0);
+  EXPECT_NEAR(filter.output_variance(), 1.25, 1e-12);
+}
+
+TEST(ArmaFilterTest, Ar1OutputHasGeometricAcf) {
+  ArmaParams params;
+  params.ar = {0.8};
+  const ArmaFilter filter(params);
+  const auto out = filter.filter(white_noise(200000, 2));
+  const auto acf = stats::autocorrelation(out, 10);
+  for (std::size_t k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(acf[k], std::pow(0.8, static_cast<double>(k)), 0.02) << "k=" << k;
+  }
+}
+
+TEST(ArmaFilterTest, RejectsNonStationaryAr) {
+  ArmaParams unit_root;
+  unit_root.ar = {1.0};
+  EXPECT_THROW(ArmaFilter{unit_root}, vbr::InvalidArgument);
+  ArmaParams explosive;
+  explosive.ar = {1.2};
+  EXPECT_THROW(ArmaFilter{explosive}, vbr::InvalidArgument);
+  ArmaParams oscillating_unstable;
+  oscillating_unstable.ar = {0.0, -1.05};
+  EXPECT_THROW(ArmaFilter{oscillating_unstable}, vbr::InvalidArgument);
+}
+
+TEST(YuleWalkerTest, RecoversAr1Coefficient) {
+  std::vector<double> acf(5);
+  for (std::size_t k = 0; k < 5; ++k) acf[k] = std::pow(0.6, static_cast<double>(k));
+  const auto phi = yule_walker(acf, 1);
+  ASSERT_EQ(phi.size(), 1u);
+  EXPECT_NEAR(phi[0], 0.6, 1e-12);
+}
+
+TEST(YuleWalkerTest, RecoversAr2Coefficients) {
+  // AR(2) with phi = (0.5, 0.3): rho_1 = phi1/(1-phi2), rho_k recursion.
+  const double phi1 = 0.5;
+  const double phi2 = 0.3;
+  std::vector<double> acf(10);
+  acf[0] = 1.0;
+  acf[1] = phi1 / (1.0 - phi2);
+  for (std::size_t k = 2; k < 10; ++k) acf[k] = phi1 * acf[k - 1] + phi2 * acf[k - 2];
+  const auto phi = yule_walker(acf, 2);
+  ASSERT_EQ(phi.size(), 2u);
+  EXPECT_NEAR(phi[0], phi1, 1e-10);
+  EXPECT_NEAR(phi[1], phi2, 1e-10);
+}
+
+TEST(YuleWalkerTest, RejectsBadInput) {
+  std::vector<double> short_acf{1.0};
+  EXPECT_THROW(yule_walker(short_acf, 1), vbr::InvalidArgument);
+  std::vector<double> not_normalized{0.9, 0.5};
+  EXPECT_THROW(yule_walker(not_normalized, 1), vbr::InvalidArgument);
+}
+
+TEST(FarimaPdqTest, PlainCoreMatchesFarima00) {
+  FarimaPdqOptions options;
+  options.hurst = 0.8;
+  Rng rng(3);
+  const auto x = farima_pdq(65536, options, rng);
+  EXPECT_NEAR(sample_mean(x), 0.0, 0.2);
+  EXPECT_NEAR(sample_variance(x), 1.0, 0.05);
+  EXPECT_NEAR(stats::whittle_estimate(x).hurst, 0.8, 0.05);
+}
+
+TEST(FarimaPdqTest, ArPartRaisesShortLagCorrelationKeepsLrd) {
+  FarimaPdqOptions plain;
+  plain.hurst = 0.8;
+  FarimaPdqOptions filtered = plain;
+  filtered.arma.ar = {0.6};
+
+  Rng rng1(4);
+  Rng rng2(4);
+  const auto x_plain = farima_pdq(131072, plain, rng1);
+  const auto x_filtered = farima_pdq(131072, filtered, rng2);
+
+  const auto acf_plain = stats::autocorrelation(x_plain, 2000);
+  const auto acf_filtered = stats::autocorrelation(x_filtered, 2000);
+  // Short-range correlation strengthened...
+  EXPECT_GT(acf_filtered[1], acf_plain[1] + 0.1);
+  // ...but the long-lag hyperbolic decay (the d part) survives.
+  EXPECT_GT(acf_filtered[2000], 0.01);
+  // Variance-normalized: requested unit variance.
+  EXPECT_NEAR(sample_variance(x_filtered), 1.0, 0.05);
+}
+
+TEST(FarimaPdqTest, RequestedVarianceHonored) {
+  FarimaPdqOptions options;
+  options.hurst = 0.7;
+  options.arma.ma = {0.4};
+  options.variance = 9.0;
+  Rng rng(5);
+  const auto x = farima_pdq(32768, options, rng);
+  EXPECT_NEAR(sample_variance(x), 9.0, 0.01);
+}
+
+}  // namespace
+}  // namespace vbr::model

@@ -1,0 +1,112 @@
+// Tests for the discrete cell-level queue and its agreement with the fluid
+// model (the validation the fluid simulator's exactness claim rests on).
+#include "vbr/net/cell_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/net/cell.hpp"
+#include "vbr/net/fluid_queue.hpp"
+
+namespace vbr::net {
+namespace {
+
+TEST(CellMathTest, BytesToCells) {
+  EXPECT_EQ(bytes_to_cells(0.0), 0u);
+  EXPECT_EQ(bytes_to_cells(1.0), 1u);
+  EXPECT_EQ(bytes_to_cells(48.0), 1u);
+  EXPECT_EQ(bytes_to_cells(49.0), 2u);
+  EXPECT_EQ(bytes_to_cells(480.0), 10u);
+  EXPECT_DOUBLE_EQ(cell_padded_bytes(49.0), 96.0);
+  EXPECT_THROW(bytes_to_cells(-1.0), vbr::InvalidArgument);
+}
+
+TEST(CellQueueTest, NoLossWhenUnderCapacity) {
+  std::vector<double> arrivals(100, 480.0);  // 10 cells per 0.1 s = 4800 B/s
+  Rng rng(1);
+  const auto r = run_cell_queue(arrivals, 0.1, 10000.0, 480.0, CellSpacing::kUniform, rng);
+  EXPECT_EQ(r.lost_cells, 0u);
+  EXPECT_EQ(r.arrived_cells, 1000u);
+  EXPECT_DOUBLE_EQ(r.loss_rate(), 0.0);
+}
+
+TEST(CellQueueTest, SevereOverloadLosesMostCells) {
+  std::vector<double> arrivals(100, 4800.0);  // 48000 B/s into 4800 B/s
+  Rng rng(2);
+  const auto r = run_cell_queue(arrivals, 0.1, 4800.0, 480.0, CellSpacing::kUniform, rng);
+  EXPECT_NEAR(r.loss_rate(), 0.9, 0.02);
+}
+
+TEST(CellQueueTest, AgreesWithFluidModelOnSmoothLoad) {
+  // Moderate overload with uniform spacing: the fluid queue is the limit of
+  // the cell queue, so loss rates must match to within cell granularity.
+  std::vector<double> arrivals;
+  Rng shape_rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    arrivals.push_back(std::max(0.0, shape_rng.normal(27791.0, 6254.0)));
+  }
+  const double dt = 1.0 / 24.0;
+  const double capacity = 27791.0 * 24.0 * 1.05;  // 5% above the mean rate
+  const double buffer = capacity * 0.002;          // 2 ms worth
+
+  Rng rng(4);
+  const auto cell = run_cell_queue(arrivals, dt, capacity, buffer, CellSpacing::kUniform, rng);
+  const auto fluid = run_fluid_queue(arrivals, dt, capacity, buffer);
+  EXPECT_GT(cell.loss_rate(), 0.0);
+  EXPECT_NEAR(cell.loss_rate(), fluid.loss_rate(), 0.015);
+}
+
+TEST(CellQueueTest, RandomSpacingLosesAtLeastAsMuchAsUniform) {
+  // Clumped arrivals stress the buffer harder than evenly spaced ones.
+  std::vector<double> arrivals;
+  Rng shape_rng(5);
+  for (int i = 0; i < 1500; ++i) {
+    arrivals.push_back(std::max(0.0, shape_rng.normal(27791.0, 6254.0)));
+  }
+  const double dt = 1.0 / 24.0;
+  const double capacity = 27791.0 * 24.0 * 1.1;
+  const double buffer = 3.0 * kCellPayloadBytes;  // tiny buffer magnifies spacing effects
+
+  Rng rng_u(6);
+  Rng rng_r(7);
+  const auto uniform =
+      run_cell_queue(arrivals, dt, capacity, buffer, CellSpacing::kUniform, rng_u);
+  const auto random =
+      run_cell_queue(arrivals, dt, capacity, buffer, CellSpacing::kRandom, rng_r);
+  EXPECT_GE(random.loss_rate(), uniform.loss_rate() * 0.9);
+  EXPECT_GT(random.loss_rate(), 0.0);
+}
+
+TEST(CellQueueTest, LossMonotoneInBuffer) {
+  std::vector<double> arrivals;
+  Rng shape_rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    arrivals.push_back(std::max(0.0, shape_rng.normal(2000.0, 900.0)));
+  }
+  Rng rng(9);
+  double prev = 1.0;
+  for (double cells : {1.0, 4.0, 16.0, 64.0}) {
+    Rng local = rng;  // same arrival pattern per run (uniform spacing ignores rng)
+    const auto r = run_cell_queue(arrivals, 0.04, 2000.0 / 0.04, cells * kCellPayloadBytes,
+                                  CellSpacing::kUniform, local);
+    EXPECT_LE(r.loss_rate(), prev + 1e-12);
+    prev = r.loss_rate();
+  }
+}
+
+TEST(CellQueueTest, Preconditions) {
+  std::vector<double> arrivals{100.0};
+  Rng rng(10);
+  EXPECT_THROW(run_cell_queue(arrivals, 0.0, 100.0, 480.0, CellSpacing::kUniform, rng),
+               vbr::InvalidArgument);
+  EXPECT_THROW(run_cell_queue(arrivals, 1.0, 0.0, 480.0, CellSpacing::kUniform, rng),
+               vbr::InvalidArgument);
+  EXPECT_THROW(run_cell_queue(arrivals, 1.0, 100.0, 10.0, CellSpacing::kUniform, rng),
+               vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::net

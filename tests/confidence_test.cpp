@@ -1,0 +1,90 @@
+// Tests for the Fig. 9 experiment machinery: running-mean confidence
+// intervals under i.i.d. vs LRD assumptions.
+#include "vbr/stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/model/davies_harte.hpp"
+
+namespace vbr::stats {
+namespace {
+
+TEST(ConfidenceTest, HalfwidthFormulas) {
+  std::vector<double> data(10000);
+  Rng rng(1);
+  for (auto& v : data) v = rng.normal(100.0, 15.0);
+  const std::vector<std::size_t> ns{100, 1000, 10000};
+  const auto points = running_mean_ci(data, ns, 0.8);
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& p : points) {
+    const auto prefix = std::span<const double>(data).subspan(0, p.n);
+    const double sd = std::sqrt(sample_variance(prefix));
+    EXPECT_NEAR(p.iid_halfwidth, 1.96 * sd / std::sqrt(static_cast<double>(p.n)), 1e-9);
+    EXPECT_NEAR(p.lrd_halfwidth, 1.96 * sd * std::pow(static_cast<double>(p.n), -0.2), 1e-9);
+    // LRD intervals are wider for H > 0.5.
+    EXPECT_GT(p.lrd_halfwidth, p.iid_halfwidth);
+  }
+}
+
+TEST(ConfidenceTest, AtHalfHurstBothWidthsCoincide) {
+  std::vector<double> data(1000);
+  Rng rng(2);
+  for (auto& v : data) v = rng.normal();
+  const std::vector<std::size_t> ns{500};
+  const auto points = running_mean_ci(data, ns, 0.5);
+  EXPECT_NEAR(points[0].iid_halfwidth, points[0].lrd_halfwidth, 1e-12);
+}
+
+TEST(ConfidenceTest, LrdWidthShrinksSlower) {
+  std::vector<double> data(100000);
+  Rng rng(3);
+  for (auto& v : data) v = rng.normal();
+  const std::vector<std::size_t> ns{100, 10000};
+  const auto points = running_mean_ci(data, ns, 0.9);
+  const double iid_ratio = points[0].iid_halfwidth / points[1].iid_halfwidth;
+  const double lrd_ratio = points[0].lrd_halfwidth / points[1].lrd_halfwidth;
+  // Over a 100x increase in n: iid shrinks ~10x (modulo the prefix-sd
+  // ratio), H=0.9 LRD shrinks only 100^0.1 ~ 1.58x.
+  EXPECT_NEAR(iid_ratio, 10.0, 2.0);
+  EXPECT_NEAR(lrd_ratio, std::pow(100.0, 0.1), 0.4);
+  EXPECT_GT(iid_ratio / lrd_ratio, 4.0);
+}
+
+TEST(ConfidenceTest, IidIntervalsFailUnderLrdButLrdIntervalsHold) {
+  // The Fig. 9 phenomenon, reproduced end to end on synthetic fGn.
+  Rng rng(4);
+  model::DaviesHarteOptions opt;
+  opt.hurst = 0.85;
+  auto data = model::davies_harte(131072, opt, rng);
+  for (auto& v : data) v = 100.0 + 10.0 * v;
+
+  std::vector<std::size_t> ns;
+  for (std::size_t n = 256; n <= data.size(); n *= 2) ns.push_back(n);
+  const auto points = running_mean_ci(data, ns, 0.85);
+  const double final_mean = sample_mean(data);
+  const auto coverage = ci_coverage(points, final_mean);
+  // The iid intervals should miss the final mean much more often than the
+  // LRD-corrected ones.
+  EXPECT_LT(coverage.iid_coverage, coverage.lrd_coverage);
+  EXPECT_GT(coverage.lrd_coverage, 0.7);
+}
+
+TEST(ConfidenceTest, Preconditions) {
+  std::vector<double> data(100, 1.0);
+  const std::vector<std::size_t> bad{0};
+  EXPECT_THROW(running_mean_ci(data, bad, 0.8), vbr::InvalidArgument);
+  const std::vector<std::size_t> too_big{101};
+  EXPECT_THROW(running_mean_ci(data, too_big, 0.8), vbr::InvalidArgument);
+  const std::vector<std::size_t> ok{50};
+  EXPECT_THROW(running_mean_ci(data, ok, 1.5), vbr::InvalidArgument);
+  EXPECT_THROW(ci_coverage({}, 0.0), vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::stats

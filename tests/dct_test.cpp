@@ -1,0 +1,155 @@
+// Tests for the 8x8 DCT: orthonormality, round trips, known transforms,
+// Parseval, and frame/block plumbing.
+#include "vbr/codec/dct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/codec/frame.hpp"
+
+namespace vbr::codec {
+namespace {
+
+TEST(DctTest, ConstantBlockMapsToDcOnly) {
+  Block spatial;
+  spatial.fill(10.0);
+  const auto freq = forward_dct(spatial);
+  // Orthonormal DCT: DC = 8 * mean.
+  EXPECT_NEAR(freq[0], 80.0, 1e-10);
+  for (std::size_t i = 1; i < 64; ++i) EXPECT_NEAR(freq[i], 0.0, 1e-10);
+}
+
+TEST(DctTest, RoundTripIsExact) {
+  Rng rng(1);
+  Block spatial;
+  for (auto& v : spatial) v = rng.uniform(-128.0, 127.0);
+  const auto recovered = inverse_dct(forward_dct(spatial));
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_NEAR(recovered[i], spatial[i], 1e-10);
+}
+
+TEST(DctTest, ParsevalEnergyPreserved) {
+  Rng rng(2);
+  Block spatial;
+  for (auto& v : spatial) v = rng.normal(0.0, 30.0);
+  const auto freq = forward_dct(spatial);
+  double spatial_energy = 0.0;
+  double freq_energy = 0.0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    spatial_energy += spatial[i] * spatial[i];
+    freq_energy += freq[i] * freq[i];
+  }
+  EXPECT_NEAR(freq_energy, spatial_energy, 1e-8 * spatial_energy);
+}
+
+TEST(DctTest, LinearityHolds) {
+  Rng rng(3);
+  Block a;
+  Block b;
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  Block sum;
+  for (std::size_t i = 0; i < 64; ++i) sum[i] = 2.0 * a[i] - 3.0 * b[i];
+  const auto fa = forward_dct(a);
+  const auto fb = forward_dct(b);
+  const auto fsum = forward_dct(sum);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(fsum[i], 2.0 * fa[i] - 3.0 * fb[i], 1e-10);
+  }
+}
+
+TEST(DctTest, HorizontalCosineHitsSingleCoefficient) {
+  // A pure horizontal DCT basis function transforms to one coefficient.
+  Block spatial;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      spatial[static_cast<std::size_t>(y * 8 + x)] =
+          std::cos((2.0 * x + 1.0) * 3.0 * M_PI / 16.0);
+    }
+  }
+  const auto freq = forward_dct(spatial);
+  // Expect energy only at (v=0, u=3).
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (i == 3) {
+      EXPECT_GT(std::abs(freq[i]), 1.0);
+    } else {
+      EXPECT_NEAR(freq[i], 0.0, 1e-10) << "index " << i;
+    }
+  }
+}
+
+TEST(DctTest, HighFrequencyContentRaisesAcEnergy) {
+  // The bandwidth driver of the whole paper: detail costs coefficients.
+  Block smooth;
+  Block busy;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      smooth[static_cast<std::size_t>(y * 8 + x)] = static_cast<double>(x + y);
+      busy[static_cast<std::size_t>(y * 8 + x)] = ((x + y) % 2 == 0) ? 60.0 : -60.0;
+    }
+  }
+  const auto fs = forward_dct(smooth);
+  const auto fb = forward_dct(busy);
+  auto ac_energy = [](const Block& f) {
+    double e = 0.0;
+    for (std::size_t i = 1; i < 64; ++i) e += f[i] * f[i];
+    return e;
+  };
+  EXPECT_GT(ac_energy(fb), 10.0 * ac_energy(fs));
+}
+
+TEST(FrameTest, GeometryValidation) {
+  EXPECT_THROW(Frame(7, 8), vbr::InvalidArgument);
+  EXPECT_THROW(Frame(12, 8), vbr::InvalidArgument);
+  const Frame f(Frame::kDefaultWidth, Frame::kDefaultHeight);
+  EXPECT_EQ(f.blocks_x(), 63u);
+  EXPECT_EQ(f.blocks_y(), 60u);
+  EXPECT_EQ(f.block_count(), 3780u);
+}
+
+TEST(FrameTest, BlockRoundTripThroughDct) {
+  Frame f(16, 16);
+  Rng rng(4);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) {
+      f.set(x, y, static_cast<std::uint8_t>(rng.uniform_index(256)));
+    }
+  }
+  const auto block = f.block(1, 1);
+  Frame g(16, 16);
+  g.set_block(1, 1, inverse_dct(forward_dct(block)));
+  for (std::size_t y = 8; y < 16; ++y) {
+    for (std::size_t x = 8; x < 16; ++x) {
+      EXPECT_EQ(g.at(x, y), f.at(x, y));
+    }
+  }
+}
+
+TEST(FrameTest, SetBlockClampsToPixelRange) {
+  Frame f(8, 8);
+  Block extreme;
+  extreme.fill(1000.0);
+  f.set_block(0, 0, extreme);
+  EXPECT_EQ(f.at(0, 0), 255);
+  extreme.fill(-1000.0);
+  f.set_block(0, 0, extreme);
+  EXPECT_EQ(f.at(0, 0), 0);
+}
+
+TEST(PsnrTest, IdenticalFramesInfinite) {
+  Frame a(8, 8);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(PsnrTest, KnownMse) {
+  Frame a(8, 8);
+  Frame b(8, 8);
+  for (auto& p : b.pixels()) p = static_cast<std::uint8_t>(p + 10);
+  // MSE = 100 -> PSNR = 10 log10(255^2 / 100) ~ 28.13 dB.
+  EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 100.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace vbr::codec

@@ -1,0 +1,82 @@
+// Tests for detrended fluctuation analysis.
+#include "vbr/stats/dfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/model/davies_harte.hpp"
+
+namespace vbr::stats {
+namespace {
+
+std::vector<double> fgn(std::size_t n, double h, std::uint64_t seed) {
+  Rng rng(seed);
+  model::DaviesHarteOptions opt;
+  opt.hurst = h;
+  return model::davies_harte(n, opt, rng);
+}
+
+TEST(DfaTest, WhiteNoiseGivesHalf) {
+  Rng rng(1);
+  std::vector<double> x(131072);
+  for (auto& v : x) v = rng.normal();
+  const auto result = dfa(x);
+  EXPECT_NEAR(result.hurst, 0.5, 0.04);
+  EXPECT_GT(result.fit.r_squared, 0.98);
+}
+
+class DfaHurstSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DfaHurstSweep, RecoversKnownH) {
+  const double h = GetParam();
+  const auto x = fgn(262144, h, 77);
+  const auto result = dfa(x);
+  EXPECT_NEAR(result.hurst, h, 0.06) << "H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstGrid, DfaHurstSweep, ::testing::Values(0.6, 0.7, 0.8, 0.9));
+
+TEST(DfaTest, FluctuationGrowsWithBoxSize) {
+  const auto x = fgn(65536, 0.8, 3);
+  const auto result = dfa(x);
+  ASSERT_GE(result.points.size(), 5u);
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    EXPECT_GT(result.points[i].box_size, result.points[i - 1].box_size);
+    EXPECT_GT(result.points[i].fluctuation, result.points[i - 1].fluctuation);
+  }
+}
+
+TEST(DfaTest, RobustToLinearTrend) {
+  // The whole point of DFA: a deterministic ramp added to white noise must
+  // not masquerade as long memory (variance-time would be fooled).
+  Rng rng(4);
+  std::vector<double> x(131072);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal() + 1e-5 * static_cast<double>(i);
+  }
+  DfaOptions opt;
+  opt.max_box = 2048;  // trend negligible within boxes of this size
+  const auto result = dfa(x, opt);
+  EXPECT_NEAR(result.hurst, 0.5, 0.06);
+}
+
+TEST(DfaTest, AgreesWithOtherEstimatorsOnFgn) {
+  const auto x = fgn(131072, 0.75, 5);
+  const auto result = dfa(x);
+  EXPECT_NEAR(result.hurst, 0.75, 0.06);
+}
+
+TEST(DfaTest, Preconditions) {
+  std::vector<double> tiny(32, 1.0);
+  EXPECT_THROW(dfa(tiny), vbr::InvalidArgument);
+  std::vector<double> ok(1024, 1.0);
+  DfaOptions bad;
+  bad.min_box = 2;
+  EXPECT_THROW(dfa(ok, bad), vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::stats

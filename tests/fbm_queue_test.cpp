@@ -1,0 +1,115 @@
+// Tests for the Norros fBm storage model.
+#include "vbr/net/fbm_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+
+namespace vbr::net {
+namespace {
+
+FbmTrafficParams paper_like() {
+  FbmTrafficParams p;
+  p.mean_bytes = 27791.0;
+  p.variance_bytes2 = 6254.0 * 6254.0;
+  p.hurst = 0.8;
+  return p;
+}
+
+TEST(FbmKappaTest, KnownValues) {
+  // kappa(1/2) = sqrt(1/2 * 1/2)... H^H (1-H)^{1-H} at H = 0.5 is 0.5.
+  EXPECT_NEAR(fbm_kappa(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(fbm_kappa(0.8), std::pow(0.8, 0.8) * std::pow(0.2, 0.2), 1e-12);
+  EXPECT_THROW(fbm_kappa(1.0), vbr::InvalidArgument);
+}
+
+TEST(FbmFitTest, MatchesSampleMoments) {
+  Rng rng(1);
+  std::vector<double> x(10000);
+  for (auto& v : x) v = std::max(0.0, rng.normal(27791.0, 6254.0));
+  const auto params = fit_fbm_traffic(x, 0.8);
+  EXPECT_NEAR(params.mean_bytes, 27791.0, 300.0);
+  EXPECT_NEAR(std::sqrt(params.variance_bytes2), 6254.0, 200.0);
+  EXPECT_DOUBLE_EQ(params.hurst, 0.8);
+}
+
+TEST(FbmSuperposeTest, MeansAndVariancesAdd) {
+  const auto one = paper_like();
+  const auto five = superpose(one, 5);
+  EXPECT_DOUBLE_EQ(five.mean_bytes, 5.0 * one.mean_bytes);
+  EXPECT_DOUBLE_EQ(five.variance_bytes2, 5.0 * one.variance_bytes2);
+  EXPECT_DOUBLE_EQ(five.hurst, one.hurst);
+}
+
+TEST(FbmOverflowTest, BoundaryBehavior) {
+  const auto traffic = paper_like();
+  // At or below the mean rate the queue is unstable.
+  EXPECT_DOUBLE_EQ(fbm_overflow_probability(traffic, traffic.mean_bytes, 1000.0), 1.0);
+  // Overflow decreases with capacity and with buffer.
+  const double c1 = traffic.mean_bytes * 1.2;
+  const double c2 = traffic.mean_bytes * 1.5;
+  EXPECT_GT(fbm_overflow_probability(traffic, c1, 10000.0),
+            fbm_overflow_probability(traffic, c2, 10000.0));
+  EXPECT_GT(fbm_overflow_probability(traffic, c1, 10000.0),
+            fbm_overflow_probability(traffic, c1, 40000.0));
+}
+
+TEST(FbmRequiredCapacityTest, InvertsOverflowProbability) {
+  const auto traffic = paper_like();
+  for (double eps : {1e-3, 1e-6}) {
+    for (double buffer : {5000.0, 50000.0, 500000.0}) {
+      const double c = fbm_required_capacity(traffic, buffer, eps);
+      EXPECT_GT(c, traffic.mean_bytes);
+      EXPECT_NEAR(fbm_overflow_probability(traffic, c, buffer), eps, eps * 1e-6)
+          << "eps=" << eps << " buffer=" << buffer;
+    }
+  }
+}
+
+TEST(FbmRequiredCapacityTest, BufferInsensitivityScalesWithH) {
+  // The LRD lesson: required capacity falls only like b^{-(1-H)/H}. Going
+  // from buffer b to 16b shaves a factor 16^{(1-H)/H} off the excess
+  // capacity: 16x for H=0.5 but only ~2x for H=0.8.
+  auto traffic = paper_like();
+  const double eps = 1e-4;
+  auto excess_ratio = [&](double h) {
+    traffic.hurst = h;
+    const double e1 = fbm_required_capacity(traffic, 10000.0, eps) - traffic.mean_bytes;
+    const double e16 = fbm_required_capacity(traffic, 160000.0, eps) - traffic.mean_bytes;
+    return e1 / e16;
+  };
+  EXPECT_NEAR(excess_ratio(0.5), 16.0, 0.01);
+  EXPECT_NEAR(excess_ratio(0.8), std::pow(16.0, 0.25), 0.01);
+  EXPECT_LT(excess_ratio(0.9), excess_ratio(0.6));
+}
+
+TEST(FbmRequiredCapacityTest, EconomyOfScale) {
+  // Per-source capacity falls with N: the excess term grows like sqrt-ish
+  // of N while the mean grows linearly.
+  const auto one = paper_like();
+  const double eps = 1e-4;
+  const double buffer_per_source = 20000.0;
+  double prev = 1e18;
+  for (std::size_t n : {1u, 2u, 5u, 20u}) {
+    const auto agg = superpose(one, n);
+    const double c = fbm_required_capacity(agg, buffer_per_source * n, eps) /
+                     static_cast<double>(n);
+    EXPECT_LT(c, prev) << "n=" << n;
+    prev = c;
+  }
+  EXPECT_LT(prev, one.mean_bytes * 1.2);  // approaches the mean
+}
+
+TEST(FbmTest, Preconditions) {
+  const auto traffic = paper_like();
+  EXPECT_THROW(fbm_required_capacity(traffic, 0.0, 1e-3), vbr::InvalidArgument);
+  EXPECT_THROW(fbm_required_capacity(traffic, 1000.0, 0.0), vbr::InvalidArgument);
+  std::vector<double> one_point{1.0};
+  EXPECT_THROW(fit_fbm_traffic(one_point, 0.8), vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::net

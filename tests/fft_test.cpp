@@ -1,0 +1,171 @@
+// Unit tests for the FFT: agreement with a naive DFT, round trips,
+// linearity, Parseval, and known transforms — over power-of-two and
+// Bluestein (arbitrary-length) paths.
+#include "vbr/common/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "vbr/common/rng.hpp"
+
+namespace vbr {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(j * k) /
+                           static_cast<double>(n);
+      acc += x[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.normal(), rng.normal());
+  return x;
+}
+
+TEST(FftTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1000));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1000), 1024u);
+}
+
+TEST(FftTest, SingleElementIsIdentity) {
+  std::vector<Complex> x{Complex(3.5, -1.25)};
+  fft(x);
+  EXPECT_NEAR(x[0].real(), 3.5, 1e-15);
+  EXPECT_NEAR(x[0].imag(), -1.25, 1e-15);
+}
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  std::vector<Complex> x(16, Complex(0.0, 0.0));
+  x[0] = 1.0;
+  fft(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, PureToneConcentratesInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t bin = 5;
+  std::vector<Complex> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double angle =
+        2.0 * std::numbers::pi * static_cast<double>(bin * j) / static_cast<double>(n);
+    x[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+  fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == bin) {
+      EXPECT_NEAR(x[k].real(), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+class FftDftComparison : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftDftComparison, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 100 + n);
+  const auto expected = naive_dft(x);
+  fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), expected[k].real(), 1e-8 * static_cast<double>(n)) << "n=" << n;
+    EXPECT_NEAR(x[k].imag(), expected[k].imag(), 1e-8 * static_cast<double>(n)) << "n=" << n;
+  }
+}
+
+// Mix of power-of-two, prime, and composite lengths exercises both kernels.
+INSTANTIATE_TEST_SUITE_P(Lengths, FftDftComparison,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 100, 127,
+                                           128, 171, 255));
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversSignal) {
+  const std::size_t n = GetParam();
+  const auto original = random_signal(n, 500 + n);
+  auto x = original;
+  fft(x);
+  ifft(x);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(x[j].real(), original[j].real(), 1e-9);
+    EXPECT_NEAR(x[j].imag(), original[j].imag(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftRoundTrip,
+                         ::testing::Values(1, 2, 3, 8, 37, 64, 1000, 1024, 4096, 17100));
+
+TEST(FftTest, LinearityHolds) {
+  const std::size_t n = 48;
+  const auto a = random_signal(n, 1);
+  const auto b = random_signal(n, 2);
+  std::vector<Complex> sum(n);
+  for (std::size_t j = 0; j < n; ++j) sum[j] = 2.0 * a[j] + 3.0 * b[j];
+  auto fa = a;
+  auto fb = b;
+  auto fsum = sum;
+  fft(fa);
+  fft(fb);
+  fft(fsum);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex expect = 2.0 * fa[k] + 3.0 * fb[k];
+    EXPECT_NEAR(fsum[k].real(), expect.real(), 1e-9);
+    EXPECT_NEAR(fsum[k].imag(), expect.imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, ParsevalEnergyConservation) {
+  for (std::size_t n : {64u, 100u}) {
+    const auto x = random_signal(n, 900 + n);
+    double time_energy = 0.0;
+    for (const auto& v : x) time_energy += std::norm(v);
+    auto fx = x;
+    fft(fx);
+    double freq_energy = 0.0;
+    for (const auto& v : fx) freq_energy += std::norm(v);
+    EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-8 * time_energy);
+  }
+}
+
+TEST(FftTest, RealTransformHasConjugateSymmetry) {
+  Rng rng(7);
+  std::vector<double> x(30);
+  for (auto& v : x) v = rng.normal();
+  const auto fx = fft_real(x);
+  ASSERT_EQ(fx.size(), x.size());
+  for (std::size_t k = 1; k < x.size(); ++k) {
+    EXPECT_NEAR(fx[k].real(), fx[x.size() - k].real(), 1e-10);
+    EXPECT_NEAR(fx[k].imag(), -fx[x.size() - k].imag(), 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace vbr

@@ -1,0 +1,94 @@
+// Tests for the fARIMA (Eq. 6) and fGn autocorrelation functions.
+#include "vbr/model/fgn_acf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::model {
+namespace {
+
+TEST(FarimaAcfTest, LagZeroIsOne) {
+  EXPECT_DOUBLE_EQ(farima_acf(0.8, 10)[0], 1.0);
+  EXPECT_DOUBLE_EQ(fgn_acf(0.8, 10)[0], 1.0);
+}
+
+TEST(FarimaAcfTest, MatchesEqSixDirectProduct) {
+  // rho_k = d(1+d)...(k-1+d) / ((1-d)(2-d)...(k-d)) with d = H - 1/2.
+  const double h = 0.8;
+  const double d = h - 0.5;
+  const auto rho = farima_acf(h, 5);
+  double num = 1.0;
+  double den = 1.0;
+  for (std::size_t k = 1; k <= 5; ++k) {
+    num *= (static_cast<double>(k) - 1.0 + d);
+    den *= (static_cast<double>(k) - d);
+    EXPECT_NEAR(rho[k], num / den, 1e-14) << "k=" << k;
+  }
+}
+
+TEST(FarimaAcfTest, HalfHurstIsWhiteNoise) {
+  const auto rho = farima_acf(0.5, 20);
+  for (std::size_t k = 1; k <= 20; ++k) EXPECT_NEAR(rho[k], 0.0, 1e-14);
+  const auto fgn = fgn_acf(0.5, 20);
+  for (std::size_t k = 1; k <= 20; ++k) EXPECT_NEAR(fgn[k], 0.0, 1e-12);
+}
+
+TEST(FarimaAcfTest, AsymptoticHyperbolicDecay) {
+  // rho_k ~ C k^{2H-2}: the log-log slope between far lags approaches 2H-2.
+  const double h = 0.8;
+  const auto rho = farima_acf(h, 20000);
+  const double slope = (std::log(rho[20000]) - std::log(rho[2000])) /
+                       (std::log(20000.0) - std::log(2000.0));
+  EXPECT_NEAR(slope, 2.0 * h - 2.0, 0.01);
+}
+
+TEST(FgnAcfTest, AsymptoticHyperbolicDecay) {
+  const double h = 0.75;
+  const auto rho = fgn_acf(h, 20000);
+  const double slope = (std::log(rho[20000]) - std::log(rho[2000])) /
+                       (std::log(20000.0) - std::log(2000.0));
+  EXPECT_NEAR(slope, 2.0 * h - 2.0, 0.01);
+}
+
+TEST(FgnAcfTest, NegativeCorrelationsForAntipersistent) {
+  // H < 0.5 fGn has negative lag-1 correlation.
+  EXPECT_LT(fgn_rho(0.3, 1), 0.0);
+  EXPECT_GT(fgn_rho(0.7, 1), 0.0);
+}
+
+TEST(FgnAcfTest, ExactSelfSimilarityIdentity) {
+  // For fGn, rho_1 = 2^{2H-1} - 1 exactly.
+  for (double h : {0.6, 0.75, 0.9}) {
+    EXPECT_NEAR(fgn_rho(h, 1), std::pow(2.0, 2.0 * h - 1.0) - 1.0, 1e-12);
+  }
+}
+
+TEST(FgnAcfTest, PositiveAndDecreasingForPersistent) {
+  const auto rho = fgn_acf(0.8, 100);
+  for (std::size_t k = 1; k < 100; ++k) {
+    EXPECT_GT(rho[k], 0.0);
+    EXPECT_LT(rho[k + 0], rho[k - 1]);
+  }
+}
+
+TEST(FgnAcfTest, SumDivergesForLrdConvergesForSrd) {
+  // Partial sums: LRD grows with cutoff, white noise stays ~0.
+  const auto lrd = fgn_acf(0.8, 100000);
+  double partial_1k = 0.0;
+  double partial_100k = 0.0;
+  for (std::size_t k = 1; k <= 1000; ++k) partial_1k += lrd[k];
+  for (std::size_t k = 1; k <= 100000; ++k) partial_100k += lrd[k];
+  EXPECT_GT(partial_100k, 2.0 * partial_1k);
+}
+
+TEST(AcfTest, RejectsInvalidHurst) {
+  EXPECT_THROW(farima_acf(0.0, 5), vbr::InvalidArgument);
+  EXPECT_THROW(farima_acf(1.0, 5), vbr::InvalidArgument);
+  EXPECT_THROW(fgn_acf(-0.1, 5), vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::model

@@ -1,0 +1,155 @@
+// Tests for the exact fluid FIFO queue: conservation laws, closed-form
+// single-interval behavior, and monotonicity in resources.
+#include "vbr/net/fluid_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+
+namespace vbr::net {
+namespace {
+
+TEST(FluidQueueTest, NoLossBelowCapacity) {
+  FluidQueue q(1000.0, 100.0);
+  const double lost = q.offer(500.0, 1.0);  // 500 B/s into 1000 B/s
+  EXPECT_DOUBLE_EQ(lost, 0.0);
+  EXPECT_DOUBLE_EQ(q.queue_bytes(), 0.0);
+}
+
+TEST(FluidQueueTest, QueueGrowsAtNetRate) {
+  FluidQueue q(1000.0, 1e9);
+  q.offer(1500.0, 1.0);  // net +500 B over 1 s
+  EXPECT_DOUBLE_EQ(q.queue_bytes(), 500.0);
+  q.offer(800.0, 1.0);  // net -200
+  EXPECT_DOUBLE_EQ(q.queue_bytes(), 300.0);
+}
+
+TEST(FluidQueueTest, LossOnceBufferFull) {
+  FluidQueue q(1000.0, 100.0);
+  // Net input +500 B/s; buffer fills after 0.2 s; loss = 500 * 0.8 = 400.
+  const double lost = q.offer(1500.0, 1.0);
+  EXPECT_NEAR(lost, 400.0, 1e-9);
+  EXPECT_DOUBLE_EQ(q.queue_bytes(), 100.0);
+}
+
+TEST(FluidQueueTest, ZeroBufferIsBufferlessMultiplexer) {
+  FluidQueue q(1000.0, 0.0);
+  const double lost = q.offer(1500.0, 1.0);
+  EXPECT_NEAR(lost, 500.0, 1e-9);
+  EXPECT_DOUBLE_EQ(q.offer(900.0, 1.0), 0.0);
+}
+
+TEST(FluidQueueTest, DrainCanEmptyMidInterval) {
+  FluidQueue q(1000.0, 1000.0);
+  q.offer(2000.0, 1.0);  // queue = 1000 (full), loss 0
+  EXPECT_DOUBLE_EQ(q.queue_bytes(), 1000.0);
+  q.offer(0.0, 2.0);  // drains 2000 B worth; queue clamps at 0
+  EXPECT_DOUBLE_EQ(q.queue_bytes(), 0.0);
+}
+
+TEST(FluidQueueTest, ConservationArrivedEqualsLostPlusServedPlusQueued) {
+  Rng rng(3);
+  std::vector<double> arrivals(1000);
+  for (auto& a : arrivals) a = rng.uniform(0.0, 3000.0);
+  const double capacity = 1200.0;
+  const double buffer = 500.0;
+  const double dt = 0.04;
+
+  FluidQueue q(capacity, buffer);
+  double served_upper = 0.0;  // capacity * time is an upper bound on service
+  for (double a : arrivals) {
+    q.offer(a, dt);
+    served_upper += capacity * dt;
+  }
+  const double accounted = q.lost_bytes() + q.queue_bytes();
+  // served = arrived - lost - queued must not exceed capacity * time.
+  const double served = q.arrived_bytes() - accounted;
+  EXPECT_GE(served, 0.0);
+  EXPECT_LE(served, served_upper + 1e-6);
+}
+
+TEST(FluidQueueTest, MaxQueueTracked) {
+  FluidQueue q(100.0, 1e6);
+  q.offer(200.0, 1.0);
+  q.offer(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(q.max_queue_bytes(), 100.0);
+  EXPECT_DOUBLE_EQ(q.queue_bytes(), 0.0);
+}
+
+TEST(FluidQueueTest, LossMonotoneInCapacityAndBuffer) {
+  Rng rng(5);
+  std::vector<double> arrivals(5000);
+  for (auto& a : arrivals) a = std::max(0.0, rng.normal(1000.0, 600.0));
+  const double dt = 1.0 / 24.0;
+  double prev_loss = 1e9;
+  for (double capacity : {18000.0, 22000.0, 26000.0, 30000.0}) {
+    const auto r = run_fluid_queue(arrivals, dt, capacity, 2000.0);
+    EXPECT_LE(r.loss_rate(), prev_loss + 1e-12);
+    prev_loss = r.loss_rate();
+  }
+  prev_loss = 1e9;
+  for (double buffer : {0.0, 500.0, 2000.0, 10000.0}) {
+    const auto r = run_fluid_queue(arrivals, dt, 22000.0, buffer);
+    EXPECT_LE(r.loss_rate(), prev_loss + 1e-12);
+    prev_loss = r.loss_rate();
+  }
+}
+
+TEST(FluidQueueTest, RecordedIntervalsSumToTotals) {
+  Rng rng(7);
+  std::vector<double> arrivals(200);
+  for (auto& a : arrivals) a = rng.uniform(0.0, 2500.0);
+  const auto r = run_fluid_queue(arrivals, 0.05, 20000.0, 300.0, true);
+  ASSERT_EQ(r.intervals.size(), arrivals.size());
+  double arrived = 0.0;
+  double lost = 0.0;
+  for (const auto& iv : r.intervals) {
+    arrived += iv.arrived_bytes;
+    lost += iv.lost_bytes;
+  }
+  EXPECT_NEAR(arrived, r.arrived_bytes, 1e-6);
+  EXPECT_NEAR(lost, r.lost_bytes, 1e-6);
+}
+
+TEST(FluidQueueTest, MeanQueueClosedForms) {
+  // Ramp 0 -> 500 over 1 s: time-average 250.
+  FluidQueue ramp(1000.0, 1e9);
+  ramp.offer(1500.0, 1.0);
+  EXPECT_NEAR(ramp.mean_queue_bytes(), 250.0, 1e-9);
+
+  // Fill to the buffer at t = 0.2 s, flat after: integral = 0.5*100*0.2 +
+  // 100*0.8 = 90 over 1 s.
+  FluidQueue fill(1000.0, 100.0);
+  fill.offer(1500.0, 1.0);
+  EXPECT_NEAR(fill.mean_queue_bytes(), 90.0, 1e-9);
+
+  // Build up, then drain to empty mid-interval and idle.
+  FluidQueue drain(1000.0, 1e9);
+  drain.offer(2000.0, 1.0);  // q: 0 -> 1000 over 1 s, integral 500
+  drain.offer(0.0, 2.0);     // empties after 1 s of this interval: +500
+  EXPECT_DOUBLE_EQ(drain.queue_bytes(), 0.0);
+  EXPECT_NEAR(drain.mean_queue_bytes(), (500.0 + 500.0) / 3.0, 1e-9);
+}
+
+TEST(FluidQueueTest, DelayAccessorsScaleByCapacity) {
+  std::vector<double> arrivals{2000.0, 0.0};
+  const auto r = run_fluid_queue(arrivals, 1.0, 1000.0, 1e9);
+  EXPECT_NEAR(r.max_delay_seconds(1000.0), r.max_queue_bytes / 1000.0, 1e-12);
+  EXPECT_GT(r.mean_queue_bytes, 0.0);
+  EXPECT_LT(r.mean_delay_seconds(1000.0), r.max_delay_seconds(1000.0));
+}
+
+TEST(FluidQueueTest, Preconditions) {
+  EXPECT_THROW(FluidQueue(0.0, 100.0), vbr::InvalidArgument);
+  EXPECT_THROW(FluidQueue(100.0, -1.0), vbr::InvalidArgument);
+  FluidQueue q(100.0, 100.0);
+  EXPECT_THROW(q.offer(-1.0, 1.0), vbr::InvalidArgument);
+  EXPECT_THROW(q.offer(1.0, 0.0), vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::net

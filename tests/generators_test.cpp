@@ -1,0 +1,176 @@
+// Tests for the two Gaussian LRD generators: Hosking's exact O(n^2)
+// recursion (Section 4.1) and Davies-Harte circulant embedding. The key
+// cross-check: both produce realizations whose sample ACF matches the
+// target fARIMA/fGn autocorrelation and whose estimated H matches the
+// input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/model/davies_harte.hpp"
+#include "vbr/model/fgn_acf.hpp"
+#include "vbr/model/hosking.hpp"
+#include "vbr/stats/autocorrelation.hpp"
+#include "vbr/stats/whittle.hpp"
+
+namespace vbr::model {
+namespace {
+
+TEST(HoskingTest, DeterministicGivenSeed) {
+  HoskingOptions opt;
+  opt.hurst = 0.8;
+  Rng rng1(5);
+  Rng rng2(5);
+  const auto a = hosking_farima(500, opt, rng1);
+  const auto b = hosking_farima(500, opt, rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HoskingTest, MarginalMomentsMatch) {
+  HoskingOptions opt;
+  opt.hurst = 0.75;
+  opt.variance = 4.0;
+  Rng rng(7);
+  const auto x = hosking_farima(30000, opt, rng);
+  EXPECT_NEAR(sample_mean(x), 0.0, 0.4);  // LRD mean converges slowly
+  EXPECT_NEAR(sample_variance(x), 4.0, 0.5);
+}
+
+TEST(HoskingTest, SampleAcfMatchesEqSix) {
+  HoskingOptions opt;
+  opt.hurst = 0.8;
+  Rng rng(11);
+  const auto x = hosking_farima(60000, opt, rng);
+  const auto sample_acf = stats::autocorrelation(x, 20);
+  const auto target = farima_acf(0.8, 20);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(sample_acf[k], target[k], 0.05) << "lag " << k;
+  }
+}
+
+TEST(HoskingTest, InnovationVarianceDecreasesMonotonically) {
+  HoskingOptions opt;
+  opt.hurst = 0.8;
+  HoskingGenerator gen(opt, Rng(13));
+  gen.next();
+  double prev = gen.innovation_variance();
+  for (int i = 0; i < 200; ++i) {
+    gen.next();
+    EXPECT_LE(gen.innovation_variance(), prev + 1e-12);
+    prev = gen.innovation_variance();
+    EXPECT_GT(prev, 0.0);
+  }
+}
+
+TEST(HoskingTest, WhittleRecoversInputH) {
+  HoskingOptions opt;
+  opt.hurst = 0.7;
+  Rng rng(17);
+  const auto x = hosking_farima(32768, opt, rng);
+  EXPECT_NEAR(stats::whittle_estimate(x).hurst, 0.7, 0.04);
+}
+
+TEST(HoskingTest, RejectsInvalidOptions) {
+  Rng rng(1);
+  HoskingOptions opt;
+  opt.hurst = 1.0;
+  EXPECT_THROW(hosking_farima(10, opt, rng), vbr::InvalidArgument);
+  opt.hurst = 0.8;
+  opt.variance = 0.0;
+  EXPECT_THROW(hosking_farima(10, opt, rng), vbr::InvalidArgument);
+}
+
+TEST(DaviesHarteTest, DeterministicGivenSeed) {
+  DaviesHarteOptions opt;
+  opt.hurst = 0.8;
+  Rng rng1(5);
+  Rng rng2(5);
+  EXPECT_EQ(davies_harte(1000, opt, rng1), davies_harte(1000, opt, rng2));
+}
+
+TEST(DaviesHarteTest, MarginalMomentsMatch) {
+  DaviesHarteOptions opt;
+  opt.hurst = 0.8;
+  opt.variance = 9.0;
+  Rng rng(19);
+  const auto x = davies_harte(100000, opt, rng);
+  EXPECT_NEAR(sample_mean(x), 0.0, 0.6);
+  EXPECT_NEAR(sample_variance(x), 9.0, 1.0);
+}
+
+TEST(DaviesHarteTest, SampleAcfMatchesFgnTarget) {
+  DaviesHarteOptions opt;
+  opt.hurst = 0.8;
+  Rng rng(23);
+  const auto x = davies_harte(131072, opt, rng);
+  const auto sample_acf = stats::autocorrelation(x, 50);
+  for (std::size_t k = 1; k <= 20; ++k) {
+    EXPECT_NEAR(sample_acf[k], fgn_rho(0.8, k), 0.04) << "lag " << k;
+  }
+}
+
+TEST(DaviesHarteTest, FarimaCovarianceOptionMatchesEqSix) {
+  DaviesHarteOptions opt;
+  opt.hurst = 0.8;
+  opt.covariance = CovarianceKind::kFarima;
+  Rng rng(29);
+  const auto x = davies_harte(131072, opt, rng);
+  const auto sample_acf = stats::autocorrelation(x, 20);
+  const auto target = farima_acf(0.8, 20);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(sample_acf[k], target[k], 0.04) << "lag " << k;
+  }
+}
+
+class DaviesHarteHurstSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DaviesHarteHurstSweep, WhittleRecoversH) {
+  const double h = GetParam();
+  DaviesHarteOptions opt;
+  opt.hurst = h;
+  Rng rng(31);
+  const auto x = davies_harte(65536, opt, rng);
+  // fGn data -> fGn spectral model (the matching density).
+  EXPECT_NEAR(stats::whittle_estimate(x, stats::SpectralModel::kFgn).hurst, h, 0.03)
+      << "H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstGrid, DaviesHarteHurstSweep,
+                         ::testing::Values(0.55, 0.6, 0.7, 0.8, 0.9));
+
+TEST(GeneratorCrossValidationTest, HoskingAndDaviesHarteAgree) {
+  // Same model (fARIMA, H=0.8), different exact algorithms: sample ACFs and
+  // Whittle estimates must agree within estimator noise.
+  const double h = 0.8;
+  Rng rng_h(37);
+  Rng rng_d(41);
+  HoskingOptions hopt;
+  hopt.hurst = h;
+  DaviesHarteOptions dopt;
+  dopt.hurst = h;
+  dopt.covariance = CovarianceKind::kFarima;
+  const auto xh = hosking_farima(32768, hopt, rng_h);
+  const auto xd = davies_harte(32768, dopt, rng_d);
+  const double hh = stats::whittle_estimate(xh).hurst;
+  const double hd = stats::whittle_estimate(xd).hurst;
+  EXPECT_NEAR(hh, hd, 0.06);
+  const auto ah = stats::autocorrelation(xh, 10);
+  const auto ad = stats::autocorrelation(xd, 10);
+  for (std::size_t k = 1; k <= 5; ++k) EXPECT_NEAR(ah[k], ad[k], 0.07) << "lag " << k;
+}
+
+TEST(DaviesHarteTest, SingleAndSmallN) {
+  DaviesHarteOptions opt;
+  opt.hurst = 0.8;
+  Rng rng(43);
+  EXPECT_EQ(davies_harte(1, opt, rng).size(), 1u);
+  EXPECT_EQ(davies_harte(2, opt, rng).size(), 2u);
+  EXPECT_EQ(davies_harte(3, opt, rng).size(), 3u);
+}
+
+}  // namespace
+}  // namespace vbr::model

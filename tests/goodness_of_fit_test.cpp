@@ -1,0 +1,120 @@
+// Tests for the goodness-of-fit toolkit (KS, chi-square, Q-Q).
+#include "vbr/stats/goodness_of_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/stats/gamma_pareto.hpp"
+
+namespace vbr::stats {
+namespace {
+
+TEST(KolmogorovTest, SurvivalFunctionKnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(0.0), 1.0);
+  // Classic critical values: Q(1.36) ~ 0.05, Q(1.63) ~ 0.01.
+  EXPECT_NEAR(kolmogorov_survival(1.36), 0.05, 0.002);
+  EXPECT_NEAR(kolmogorov_survival(1.63), 0.01, 0.001);
+  EXPECT_LT(kolmogorov_survival(3.0), 1e-6);
+}
+
+TEST(KsTest, CorrectModelGetsHighPValue) {
+  Rng rng(1);
+  NormalDistribution model(10.0, 2.0);
+  std::vector<double> data(5000);
+  for (auto& v : data) v = model.sample(rng);
+  const auto result = ks_test(data, model);
+  EXPECT_LT(result.statistic, 0.03);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(KsTest, WrongModelGetsRejected) {
+  Rng rng(2);
+  NormalDistribution truth(10.0, 2.0);
+  NormalDistribution wrong(11.0, 2.0);  // half-sigma shift
+  std::vector<double> data(5000);
+  for (auto& v : data) v = truth.sample(rng);
+  const auto result = ks_test(data, wrong);
+  EXPECT_GT(result.statistic, 0.08);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTest, RanksTailModelsLikeFigFour) {
+  // Gamma/Pareto data: the hybrid must beat the pure-Gamma fit, which must
+  // beat the Normal — the quantitative version of Fig. 4's ordering.
+  GammaParetoParams params;
+  params.mu_gamma = 27791.0;
+  params.sigma_gamma = 6254.0;
+  params.tail_slope = 9.0;
+  const GammaParetoDistribution truth(params);
+  Rng rng(3);
+  std::vector<double> data(20000);
+  for (auto& v : data) v = truth.sample(rng);
+
+  const double d_hybrid = ks_test(data, truth).statistic;
+  const double d_gamma = ks_test(data, GammaDistribution::fit(data)).statistic;
+  const double d_normal = ks_test(data, NormalDistribution::fit(data)).statistic;
+  EXPECT_LT(d_hybrid, d_gamma);
+  EXPECT_LT(d_gamma, d_normal);
+}
+
+TEST(ChiSquareTest, CorrectModelAcceptable) {
+  Rng rng(4);
+  GammaDistribution model(5.0, 0.01);
+  std::vector<double> data(10000);
+  for (auto& v : data) v = model.sample(rng);
+  const auto result = chi_square_test(data, model, 20, 2);
+  EXPECT_EQ(result.degrees_of_freedom, 17u);
+  // Statistic should be near its dof; p-value comfortably non-tiny.
+  EXPECT_LT(result.statistic, 40.0);
+  EXPECT_GT(result.p_value, 1e-3);
+}
+
+TEST(ChiSquareTest, WrongModelBlowsUp) {
+  Rng rng(5);
+  GammaDistribution truth(5.0, 0.01);
+  NormalDistribution wrong(truth.mean(), std::sqrt(truth.variance()));
+  std::vector<double> data(10000);
+  for (auto& v : data) v = truth.sample(rng);
+  const auto result = chi_square_test(data, wrong, 20, 2);
+  EXPECT_GT(result.statistic, 100.0);
+  EXPECT_LT(result.p_value, 1e-10);
+}
+
+TEST(ChiSquareTest, Preconditions) {
+  std::vector<double> data(100, 1.0);
+  NormalDistribution model(0.0, 1.0);
+  EXPECT_THROW(chi_square_test(data, model, 2, 0), vbr::InvalidArgument);
+  EXPECT_THROW(chi_square_test(data, model, 30, 0), vbr::InvalidArgument);
+  EXPECT_THROW(chi_square_test(data, model, 10, 9), vbr::InvalidArgument);
+}
+
+TEST(QqPlotTest, PerfectFitLiesOnDiagonal) {
+  Rng rng(6);
+  NormalDistribution model(5.0, 1.0);
+  std::vector<double> data(50000);
+  for (auto& v : data) v = model.sample(rng);
+  const auto plot = qq_plot(data, model, 20);
+  ASSERT_EQ(plot.probability.size(), 20u);
+  for (std::size_t i = 2; i + 2 < plot.probability.size(); ++i) {  // skip extremes
+    EXPECT_NEAR(plot.empirical_quantile[i], plot.model_quantile[i], 0.05)
+        << "p=" << plot.probability[i];
+  }
+}
+
+TEST(QqPlotTest, LightTailedModelBendsUpperPoints) {
+  // Heavy-tailed data vs a Normal fit: the top empirical quantiles exceed
+  // the model quantiles — the Fig. 4 divergence in Q-Q form.
+  Rng rng(7);
+  ParetoDistribution truth(1000.0, 3.0);
+  std::vector<double> data(50000);
+  for (auto& v : data) v = truth.sample(rng);
+  const auto normal = NormalDistribution::fit(data);
+  const auto plot = qq_plot(data, normal, 100);
+  EXPECT_GT(plot.empirical_quantile.back(), 1.5 * plot.model_quantile.back());
+}
+
+}  // namespace
+}  // namespace vbr::stats

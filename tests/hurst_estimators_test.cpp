@@ -1,0 +1,278 @@
+// Tests for the three Hurst estimators of Section 3.2.3 — variance-time,
+// R/S (pox diagram) and Whittle — including consistency sweeps over known-H
+// fGn inputs (the property the paper's Table 3 relies on: all methods agree
+// on the same H).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/model/davies_harte.hpp"
+#include "vbr/stats/rs_analysis.hpp"
+#include "vbr/stats/variance_time.hpp"
+#include "vbr/stats/whittle.hpp"
+
+namespace vbr::stats {
+namespace {
+
+std::vector<double> fgn(std::size_t n, double hurst, std::uint64_t seed) {
+  Rng rng(seed);
+  model::DaviesHarteOptions opt;
+  opt.hurst = hurst;
+  return model::davies_harte(n, opt, rng);
+}
+
+std::vector<double> white_noise(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.normal();
+  return x;
+}
+
+// ------------------------------------------------------- variance-time
+
+TEST(VarianceTimeTest, WhiteNoiseGivesHalf) {
+  const auto x = white_noise(200000, 1);
+  VarianceTimeOptions opt;
+  opt.fit_min_m = 10;
+  const auto result = variance_time(x, opt);
+  EXPECT_NEAR(result.hurst, 0.5, 0.05);
+  EXPECT_NEAR(result.beta, 1.0, 0.1);
+}
+
+TEST(VarianceTimeTest, PointsAreMonotoneDecreasing) {
+  const auto x = fgn(100000, 0.8, 2);
+  VarianceTimeOptions opt;
+  opt.max_m = 2000;  // keep >= 50 blocks so each variance estimate is stable
+  const auto result = variance_time(x, opt);
+  ASSERT_GE(result.points.size(), 5u);
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    EXPECT_GT(result.points[i].m, result.points[i - 1].m);
+    // Allow sampling noise on individual points; the trend must fall.
+    EXPECT_LT(result.points[i].normalized_variance,
+              result.points[i - 1].normalized_variance * 1.35);
+  }
+  EXPECT_DOUBLE_EQ(result.points.front().normalized_variance, 1.0);
+}
+
+class VarianceTimeHurstSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VarianceTimeHurstSweep, RecoversKnownH) {
+  const double h = GetParam();
+  const auto x = fgn(262144, h, 77);
+  VarianceTimeOptions opt;
+  opt.fit_min_m = 10;  // pure fGn has no SRD contamination
+  const auto result = variance_time(x, opt);
+  EXPECT_NEAR(result.hurst, h, 0.07) << "H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstGrid, VarianceTimeHurstSweep,
+                         ::testing::Values(0.55, 0.65, 0.75, 0.85));
+
+// ---------------------------------------------------------------- R/S
+
+TEST(RsTest, RescaledRangeOfLinearRampIsKnown) {
+  // For data 1..n the adjusted partial sums form a parabola; sanity-check
+  // positivity and scale-invariance instead of a closed form.
+  std::vector<double> ramp(1000);
+  for (std::size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<double>(i);
+  const double rs1 = rescaled_range(ramp, 0, 1000);
+  EXPECT_GT(rs1, 0.0);
+  for (auto& v : ramp) v *= 13.0;  // scale invariance
+  EXPECT_NEAR(rescaled_range(ramp, 0, 1000), rs1, 1e-9);
+}
+
+TEST(RsTest, ShiftInvariance) {
+  const auto x = white_noise(5000, 3);
+  auto shifted = x;
+  for (auto& v : shifted) v += 1234.5;
+  EXPECT_NEAR(rescaled_range(x, 100, 1000), rescaled_range(shifted, 100, 1000), 1e-6);
+}
+
+TEST(RsTest, ConstantBlockReturnsZero) {
+  std::vector<double> constant(100, 3.0);
+  EXPECT_DOUBLE_EQ(rescaled_range(constant, 0, 100), 0.0);
+}
+
+TEST(RsTest, WhiteNoiseGivesHalf) {
+  const auto x = white_noise(200000, 4);
+  RsOptions opt;
+  opt.fit_min_lag = 100;
+  const auto result = rs_analysis(x, opt);
+  EXPECT_NEAR(result.hurst, 0.5, 0.07);
+}
+
+class RsHurstSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RsHurstSweep, RecoversKnownH) {
+  const double h = GetParam();
+  const auto x = fgn(262144, h, 99);
+  RsOptions opt;
+  opt.fit_min_lag = 200;
+  const auto result = rs_analysis(x, opt);
+  // R/S is the crudest of the three estimators; wide tolerance.
+  EXPECT_NEAR(result.hurst, h, 0.12) << "H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstGrid, RsHurstSweep, ::testing::Values(0.6, 0.75, 0.9));
+
+TEST(RsTest, PoxDiagramHasRequestedDensity) {
+  const auto x = white_noise(50000, 5);
+  RsOptions opt;
+  opt.lag_count = 20;
+  opt.partitions = 8;
+  const auto result = rs_analysis(x, opt);
+  // About lag_count * partitions points (minus collapsed duplicates).
+  EXPECT_GT(result.points.size(), 100u);
+  EXPECT_LE(result.points.size(), 20u * 8u);
+}
+
+TEST(RsTest, AggregatedAnalysisStaysConsistent) {
+  const auto x = fgn(262144, 0.8, 6);
+  RsOptions opt;
+  opt.fit_min_lag = 200;
+  const auto plain = rs_analysis(x, opt);
+  const auto aggregated = rs_analysis_aggregated(x, 10, opt);
+  EXPECT_NEAR(plain.hurst, aggregated.hurst, 0.15);
+}
+
+TEST(RsTest, SweepReportsSpread) {
+  const auto x = fgn(131072, 0.8, 7);
+  const std::vector<std::size_t> lag_counts{15, 30};
+  const std::vector<std::size_t> partitions{5, 10};
+  RsOptions base;
+  base.fit_min_lag = 200;
+  const auto sweep = rs_sweep(x, lag_counts, partitions, base);
+  EXPECT_EQ(sweep.estimates.size(), 4u);
+  EXPECT_LE(sweep.hurst_min, sweep.hurst_max);
+  EXPECT_GT(sweep.hurst_min, 0.6);
+  EXPECT_LT(sweep.hurst_max, 1.0);
+}
+
+// ------------------------------------------------------------- Whittle
+
+TEST(WhittleTest, SpectralShapeDefinition) {
+  // |2 sin(w/2)|^{1-2H}; at H = 0.5 the shape is flat.
+  EXPECT_NEAR(farima_spectral_shape(1.0, 0.5), 1.0, 1e-12);
+  EXPECT_GT(farima_spectral_shape(0.01, 0.8), farima_spectral_shape(1.0, 0.8));
+}
+
+TEST(WhittleTest, WhiteNoiseGivesHalfWithValidCi) {
+  const auto x = white_noise(65536, 8);
+  const auto result = whittle_estimate(x);
+  EXPECT_NEAR(result.hurst, 0.5, 0.03);
+  EXPECT_GT(result.stderr_hurst, 0.0);
+  EXPECT_LT(result.ci_low, result.hurst);
+  EXPECT_GT(result.ci_high, result.hurst);
+  // Asymptotic sd formula: sqrt(6 / (pi^2 n)).
+  EXPECT_NEAR(result.stderr_hurst, std::sqrt(6.0 / (M_PI * M_PI * 65536.0)), 1e-12);
+}
+
+class WhittleHurstSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WhittleHurstSweep, RecoversKnownHWithMatchingSpectralModel) {
+  const double h = GetParam();
+  // fGn data fitted with the fGn density: essentially unbiased.
+  const auto x = fgn(131072, h, 111);
+  EXPECT_NEAR(whittle_estimate(x, SpectralModel::kFgn).hurst, h, 0.02) << "H=" << h;
+
+  // fARIMA data fitted with the fARIMA density: also unbiased.
+  Rng rng(112);
+  model::DaviesHarteOptions opt;
+  opt.hurst = h;
+  opt.covariance = model::CovarianceKind::kFarima;
+  const auto y = model::davies_harte(131072, opt, rng);
+  EXPECT_NEAR(whittle_estimate(y, SpectralModel::kFarima).hurst, h, 0.02) << "H=" << h;
+}
+
+TEST(WhittleTest, MismatchedSpectralModelBiasesUpward) {
+  // Fitting the fARIMA shape to fGn data overestimates H at high H — the
+  // reason whittle_aggregated defaults to the fGn density.
+  const auto x = fgn(131072, 0.85, 113);
+  const double mismatched = whittle_estimate(x, SpectralModel::kFarima).hurst;
+  const double matched = whittle_estimate(x, SpectralModel::kFgn).hurst;
+  EXPECT_GT(mismatched, matched);
+  EXPECT_NEAR(matched, 0.85, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstGrid, WhittleHurstSweep,
+                         ::testing::Values(0.55, 0.65, 0.75, 0.85, 0.92));
+
+TEST(WhittleTest, AggregationPreservesH) {
+  // Table 3 methodology: Whittle on X^(m) should keep returning ~H
+  // (the paper's "H is not reduced by aggregation" observation).
+  const auto x = fgn(262144, 0.8, 13);
+  const std::vector<std::size_t> levels{1, 4, 16, 64};
+  const auto points = whittle_aggregated(x, levels);
+  ASSERT_EQ(points.size(), 4u);
+  for (const auto& p : points) {
+    EXPECT_NEAR(p.result.hurst, 0.8, 0.1) << "m=" << p.m;
+  }
+  // CIs widen with aggregation (fewer points).
+  EXPECT_GT(points.back().result.stderr_hurst, points.front().result.stderr_hurst);
+}
+
+TEST(WhittleTest, RejectsTinySamples) {
+  std::vector<double> tiny(10, 1.0);
+  EXPECT_THROW(whittle_estimate(tiny), vbr::InvalidArgument);
+}
+
+// ------------------------------------------------------- local Whittle
+
+class LocalWhittleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LocalWhittleSweep, RecoversHModelFree) {
+  // The semiparametric estimator must work on BOTH fGn and fARIMA data
+  // without being told which — it only uses the lowest frequencies.
+  const double h = GetParam();
+  const auto x = fgn(131072, h, 211);
+  const auto result = local_whittle_estimate(x);
+  EXPECT_NEAR(result.hurst, h, 3.0 * result.stderr_hurst + 0.02) << "H=" << h;
+
+  Rng rng(212);
+  model::DaviesHarteOptions opt;
+  opt.hurst = h;
+  opt.covariance = model::CovarianceKind::kFarima;
+  const auto y = model::davies_harte(131072, opt, rng);
+  EXPECT_NEAR(local_whittle_estimate(y).hurst, h, 3.0 * result.stderr_hurst + 0.02)
+      << "H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstGrid, LocalWhittleSweep, ::testing::Values(0.55, 0.7, 0.85));
+
+TEST(LocalWhittleTest, WhiteNoiseGivesHalf) {
+  const auto x = white_noise(65536, 213);
+  EXPECT_NEAR(local_whittle_estimate(x).hurst, 0.5, 0.05);
+}
+
+TEST(LocalWhittleTest, BandwidthControlsCiWidth) {
+  const auto x = fgn(65536, 0.8, 214);
+  const auto narrow = local_whittle_estimate(x, 256);
+  const auto wide = local_whittle_estimate(x, 2048);
+  EXPECT_GT(narrow.stderr_hurst, wide.stderr_hurst);
+  EXPECT_NEAR(narrow.stderr_hurst, 1.0 / (2.0 * std::sqrt(256.0)), 1e-12);
+}
+
+// -------------------------------------------- cross-estimator agreement
+
+TEST(EstimatorAgreementTest, AllThreeMethodsAgreeOnFgn) {
+  // The Table 3 property: independent estimators cluster around true H.
+  const double h = 0.8;
+  const auto x = fgn(262144, h, 21);
+  VarianceTimeOptions vt_opt;
+  vt_opt.fit_min_m = 10;
+  RsOptions rs_opt;
+  rs_opt.fit_min_lag = 200;
+  const double h_vt = variance_time(x, vt_opt).hurst;
+  const double h_rs = rs_analysis(x, rs_opt).hurst;
+  const double h_wh = whittle_estimate(x, SpectralModel::kFgn).hurst;
+  EXPECT_NEAR(h_vt, h, 0.08);
+  EXPECT_NEAR(h_rs, h, 0.12);
+  EXPECT_NEAR(h_wh, h, 0.04);
+  EXPECT_LT(std::abs(h_vt - h_wh), 0.12);
+}
+
+}  // namespace
+}  // namespace vbr::stats

@@ -1,0 +1,161 @@
+// Cross-module integration tests: the full pipelines the paper's
+// experiments are built from.
+//
+//  1. codec: synthetic movie -> intraframe coder -> VBR trace with scene
+//     structure (Table 1 pipeline).
+//  2. analysis: surrogate trace -> Table 2 / Table 3 statistics.
+//  3. modeling: fit the 4-parameter model to the surrogate, generate, and
+//     compare marginals + H (Section 4 closure).
+//  4. simulation: trace-driven Q-C behavior matches the paper's ordering
+//     (Fig. 14/16 shape checks at reduced scale).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "vbr/codec/intraframe_coder.hpp"
+#include "vbr/codec/synthetic_movie.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/model/model_validation.hpp"
+#include "vbr/model/starwars_surrogate.hpp"
+#include "vbr/model/vbr_source.hpp"
+#include "vbr/net/qc_analysis.hpp"
+#include "vbr/stats/autocorrelation.hpp"
+#include "vbr/stats/gamma_pareto.hpp"
+#include "vbr/stats/variance_time.hpp"
+#include "vbr/stats/whittle.hpp"
+#include "vbr/trace/aggregate.hpp"
+
+namespace {
+
+const vbr::model::SurrogateTrace& surrogate() {
+  static const auto trace = [] {
+    vbr::model::SurrogateOptions opt;
+    opt.frames = 65536;
+    return vbr::model::make_starwars_surrogate(opt);
+  }();
+  return trace;
+}
+
+TEST(CodecPipelineIntegration, MovieThroughCoderYieldsSceneStructuredVbr) {
+  vbr::codec::MovieConfig config;
+  config.width = 64;
+  config.height = 64;
+  const vbr::codec::SyntheticMovie movie(config, 600);
+  vbr::codec::IntraframeCoder coder;
+
+  std::vector<double> bytes_per_frame;
+  for (std::size_t f = 0; f < movie.frame_count(); f += 2) {
+    bytes_per_frame.push_back(
+        static_cast<double>(coder.encode(movie.frame(f)).total_bytes()));
+  }
+  // VBR: nontrivial variability.
+  const double cov = std::sqrt(vbr::sample_variance(bytes_per_frame)) /
+                     vbr::sample_mean(bytes_per_frame);
+  EXPECT_GT(cov, 0.05);
+  // Scene structure: strong short-lag autocorrelation (shots hold their
+  // complexity for many frames).
+  const auto acf = vbr::stats::autocorrelation(bytes_per_frame, 20);
+  EXPECT_GT(acf[1], 0.5);
+}
+
+TEST(AnalysisIntegration, SurrogateReproducesTable2AndTable3Character) {
+  const auto& trace = surrogate();
+  const auto s = trace.frames.summary();
+  // Table 2 shape.
+  EXPECT_NEAR(s.mean, 27791.0, 0.03 * 27791.0);
+  EXPECT_NEAR(s.coefficient_of_variation, 0.23, 0.05);
+  EXPECT_GT(s.peak_to_mean, 1.8);
+  EXPECT_LT(s.peak_to_mean, 4.5);
+
+  // Table 3: two independent estimators both see H ~ 0.8.
+  vbr::stats::VarianceTimeOptions vt_opt;
+  vt_opt.fit_min_m = 100;
+  vt_opt.max_m = trace.frames.size() / 20;
+  const double h_vt = vbr::stats::variance_time(trace.frames.samples(), vt_opt).hurst;
+  auto logs = trace.frames.values();
+  for (auto& v : logs) v = std::log(v);
+  const double h_wh = vbr::stats::whittle_estimate(vbr::block_means(logs, 256),
+                                                   vbr::stats::SpectralModel::kFgn)
+                          .hurst;
+  // Realization variance of H estimates is wide at this reduced length;
+  // both methods must still see clear LRD in the right region.
+  EXPECT_NEAR(h_vt, 0.8, 0.15);
+  EXPECT_GT(h_wh, 0.65);
+  EXPECT_LE(h_wh, 0.99);
+}
+
+TEST(ModelIntegration, FitGenerateRefitCloses) {
+  const auto& trace = surrogate();
+  const auto model = vbr::model::VbrVideoSourceModel::fit(trace.frames.samples());
+  // Fitted parameters near the construction calibration.
+  EXPECT_NEAR(model.params().marginal.mu_gamma, 27791.0, 0.05 * 27791.0);
+  EXPECT_NEAR(model.params().hurst, 0.8, 0.1);
+
+  vbr::Rng rng(2024);
+  const auto report = vbr::model::validate_model(model, 65536, rng);
+  EXPECT_LT(report.mean_rel_error, 0.05);
+  EXPECT_LT(report.hurst_abs_error, 0.1);
+}
+
+TEST(SimulationIntegration, QcOrderingMatchesFig14) {
+  const auto& trace = surrogate();
+  vbr::net::MuxExperiment exp;
+  exp.sources = 2;
+  exp.replications = 2;
+  const vbr::net::MuxWorkload workload(trace.frames.samples(), exp);
+
+  // Loss-target ordering at fixed delay: stricter targets need more
+  // capacity (the vertical ordering of the Fig. 14 curves).
+  const double c_zero = vbr::net::required_capacity_bps(
+      workload, 0.002, 0.0, vbr::net::QosMeasure::kOverallLoss);
+  const double c_em4 = vbr::net::required_capacity_bps(
+      workload, 0.002, 1e-4, vbr::net::QosMeasure::kOverallLoss);
+  const double c_em2 = vbr::net::required_capacity_bps(
+      workload, 0.002, 1e-2, vbr::net::QosMeasure::kOverallLoss);
+  EXPECT_GE(c_zero, c_em4);
+  EXPECT_GE(c_em4, c_em2);
+  // All between mean and peak.
+  EXPECT_GE(c_em2, workload.source_mean_rate_bps() * 0.95);
+  EXPECT_LE(c_zero, workload.source_peak_rate_bps() * 1.05);
+}
+
+TEST(SimulationIntegration, ModelVsTraceComparisonRunsLikeFig16) {
+  // Reduced-scale Fig. 16: the full model's required capacity is closer to
+  // the trace's than the i.i.d. variant's at a long-buffer operating point
+  // (LRD dominates when buffers are large).
+  const auto& trace = surrogate();
+  const auto model = vbr::model::VbrVideoSourceModel::fit(trace.frames.samples());
+  vbr::Rng rng(77);
+  const auto full = model.generate(trace.frames.size(), rng, vbr::model::ModelVariant::kFull);
+  const auto iid =
+      model.generate(trace.frames.size(), rng, vbr::model::ModelVariant::kIidGammaPareto);
+
+  vbr::net::MuxExperiment exp;
+  exp.sources = 1;
+  const double delay = 2.0;  // long buffer: time correlation matters
+  const double target = 1e-3;
+  const auto cap = [&](std::span<const double> frames) {
+    const vbr::net::MuxWorkload w(frames, exp);
+    return vbr::net::required_capacity_bps(w, delay, target,
+                                           vbr::net::QosMeasure::kOverallLoss);
+  };
+  const double c_trace = cap(trace.frames.samples());
+  const double c_full = cap(full);
+  const double c_iid = cap(iid);
+  EXPECT_LT(std::abs(c_full - c_trace), std::abs(c_iid - c_trace) + 1e-6);
+  // And the i.i.d. model is the optimistic one (less capacity demanded).
+  EXPECT_LT(c_iid, c_full);
+}
+
+TEST(EndToEndIntegration, SliceTraceDrivesQueueConsistentlyWithFrames) {
+  // Aggregating slice-level simulation input back to frames must conserve
+  // bytes, so frame- and slice-driven runs see the same mean load.
+  const auto& trace = surrogate();
+  const auto frames = trace.frames.slice(0, 4096);
+  const auto slices = vbr::trace::expand_to_slices(frames, 30, 0.36);
+  EXPECT_NEAR(vbr::kahan_total(slices.samples()), vbr::kahan_total(frames.samples()), 1.0);
+  EXPECT_NEAR(slices.mean_rate_bps(), frames.mean_rate_bps(), frames.mean_rate_bps() * 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Tests for the interframe (I/P) codec extension: stream round trips, GoP
+// structure, and the burstiness signature the paper attributes to
+// interframe coding.
+#include "vbr/codec/interframe_coder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "vbr/codec/synthetic_movie.hpp"
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+
+namespace vbr::codec {
+namespace {
+
+MovieConfig small_movie_config() {
+  MovieConfig c;
+  c.width = 64;
+  c.height = 64;
+  return c;
+}
+
+TEST(InterframeCoderTest, FirstFrameIsIntra) {
+  InterframeCoder coder;
+  const SyntheticMovie movie(small_movie_config(), 4);
+  const auto encoded = coder.encode_next(movie.frame(0));
+  EXPECT_TRUE(encoded.is_intra);
+}
+
+TEST(InterframeCoderTest, GopStructureHonored) {
+  InterframeConfig config;
+  config.gop_length = 4;
+  InterframeCoder coder(config);
+  const SyntheticMovie movie(small_movie_config(), 12);
+  std::vector<bool> intra_flags;
+  for (std::size_t f = 0; f < 12; ++f) {
+    intra_flags.push_back(coder.encode_next(movie.frame(f)).is_intra);
+  }
+  for (std::size_t f = 0; f < 12; ++f) {
+    EXPECT_EQ(intra_flags[f], f % 4 == 0) << "frame " << f;
+  }
+}
+
+TEST(InterframeCoderTest, GopLengthOneIsAllIntra) {
+  InterframeConfig config;
+  config.gop_length = 1;
+  InterframeCoder coder(config);
+  const SyntheticMovie movie(small_movie_config(), 5);
+  for (std::size_t f = 0; f < 5; ++f) {
+    EXPECT_TRUE(coder.encode_next(movie.frame(f)).is_intra) << "frame " << f;
+  }
+}
+
+TEST(InterframeCoderTest, EncodeDecodeStreamStaysFaithful) {
+  InterframeConfig config;
+  config.gop_length = 6;
+  config.quantizer_step = 8.0;
+  InterframeCoder encoder(config);
+  InterframeCoder decoder(config);
+  const SyntheticMovie movie(small_movie_config(), 18);
+  for (std::size_t f = 0; f < 18; ++f) {
+    const Frame original = movie.frame(f);
+    const auto encoded = encoder.encode_next(original);
+    const Frame decoded = decoder.decode_next(encoded);
+    // Closed-loop coding keeps quality stable across the GoP (no drift).
+    EXPECT_GT(psnr(original, decoded), 26.0) << "frame " << f;
+  }
+}
+
+TEST(InterframeCoderTest, StaticSceneMakesPFramesTiny) {
+  InterframeConfig config;
+  config.gop_length = 8;
+  InterframeCoder coder(config);
+  const SyntheticMovie movie(small_movie_config(), 2);
+  const Frame frame = movie.frame(0);
+  const auto intra = coder.encode_next(frame);
+  const auto inter = coder.encode_next(frame);  // identical frame again
+  EXPECT_TRUE(intra.is_intra);
+  EXPECT_FALSE(inter.is_intra);
+  // Coding an unchanged frame as a residual costs a small fraction.
+  EXPECT_LT(inter.total_bytes() * 4, intra.total_bytes());
+}
+
+TEST(InterframeCoderTest, MotionRaisesPFrameCost) {
+  // Compare P-frame cost within a static pair vs across a scene cut.
+  const SyntheticMovie movie(small_movie_config(), 3000);
+  const auto& scenes = movie.scenes();
+  ASSERT_GE(scenes.size(), 2u);
+  // Find a scene with length >= 2 followed by another scene.
+  std::size_t idx = 0;
+  while (idx + 1 < scenes.size() && scenes[idx].length < 2) ++idx;
+  ASSERT_LT(idx + 1, scenes.size());
+  const auto& scene = scenes[idx];
+
+  InterframeConfig config;
+  config.gop_length = 1000;
+  InterframeCoder same_scene(config);
+  same_scene.encode_next(movie.frame(scene.start_frame));
+  const auto within =
+      same_scene.encode_next(movie.frame(scene.start_frame + 1)).total_bytes();
+
+  InterframeCoder cut_scene(config);
+  cut_scene.encode_next(movie.frame(scene.start_frame));
+  const auto across =
+      cut_scene.encode_next(movie.frame(scenes[idx + 1].start_frame)).total_bytes();
+  EXPECT_GT(across, within);
+}
+
+TEST(InterframeCoderTest, InterframeTraceIsBurstierThanIntraframe) {
+  // The paper: "Greater compression, burstiness and much stronger
+  // dependence on motion result from interframe coding."
+  const SyntheticMovie movie(small_movie_config(), 96);
+  InterframeConfig config;
+  config.gop_length = 12;
+  InterframeCoder inter(config);
+  IntraframeCoder intra;
+
+  std::vector<double> inter_bytes;
+  std::vector<double> intra_bytes;
+  double inter_total = 0.0;
+  double intra_total = 0.0;
+  for (std::size_t f = 0; f < 96; ++f) {
+    const Frame frame = movie.frame(f);
+    inter_bytes.push_back(static_cast<double>(inter.encode_next(frame).total_bytes()));
+    intra_bytes.push_back(static_cast<double>(intra.encode(frame).total_bytes()));
+    inter_total += inter_bytes.back();
+    intra_total += intra_bytes.back();
+  }
+  // Greater compression...
+  EXPECT_LT(inter_total, intra_total);
+  // ...and greater burstiness (peak/mean of the byte trace).
+  const auto burstiness = [](const std::vector<double>& xs) {
+    double peak = 0.0;
+    for (double v : xs) peak = std::max(peak, v);
+    return peak / vbr::sample_mean(xs);
+  };
+  EXPECT_GT(burstiness(inter_bytes), burstiness(intra_bytes) * 1.3);
+}
+
+TEST(InterframeCoderTest, ResetForcesIntra) {
+  InterframeConfig config;
+  config.gop_length = 100;
+  InterframeCoder coder(config);
+  const SyntheticMovie movie(small_movie_config(), 3);
+  coder.encode_next(movie.frame(0));
+  EXPECT_FALSE(coder.encode_next(movie.frame(1)).is_intra);
+  coder.reset();
+  EXPECT_TRUE(coder.encode_next(movie.frame(2)).is_intra);
+}
+
+TEST(InterframeCoderTest, RejectsInvalidConfig) {
+  InterframeConfig config;
+  config.gop_length = 0;
+  EXPECT_THROW(InterframeCoder{config}, vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::codec

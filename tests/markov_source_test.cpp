@@ -1,0 +1,130 @@
+// Tests for the classical SRD baseline models: M-state Markov chain and
+// DAR(1) with Gamma/Pareto marginals — including the paper's central claim
+// that such models cannot carry long-range dependence.
+#include "vbr/model/markov_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/model/starwars_surrogate.hpp"
+#include "vbr/stats/autocorrelation.hpp"
+#include "vbr/stats/variance_time.hpp"
+
+namespace vbr::model {
+namespace {
+
+MarkovChainSource two_state(double p_stay) {
+  return MarkovChainSource({100.0, 200.0},
+                           {p_stay, 1.0 - p_stay, 1.0 - p_stay, p_stay});
+}
+
+TEST(MarkovChainTest, ValidatesConstruction) {
+  EXPECT_THROW(MarkovChainSource({1.0}, {1.0}), vbr::InvalidArgument);
+  EXPECT_THROW(MarkovChainSource({1.0, 2.0}, {0.5, 0.4, 0.5, 0.5}),
+               vbr::InvalidArgument);  // row sum != 1
+  EXPECT_THROW(MarkovChainSource({1.0, 2.0}, {1.5, -0.5, 0.5, 0.5}),
+               vbr::InvalidArgument);  // negative entry
+}
+
+TEST(MarkovChainTest, SymmetricChainHasUniformStationary) {
+  const auto chain = two_state(0.9);
+  const auto pi = chain.stationary();
+  ASSERT_EQ(pi.size(), 2u);
+  EXPECT_NEAR(pi[0], 0.5, 1e-10);
+  EXPECT_NEAR(pi[1], 0.5, 1e-10);
+}
+
+TEST(MarkovChainTest, SecondEigenvalueOfTwoStateChain) {
+  // Eigenvalues of [[p,1-p],[1-p,p]] are 1 and 2p-1.
+  EXPECT_NEAR(two_state(0.9).second_eigenvalue_magnitude(), 0.8, 1e-6);
+  EXPECT_NEAR(two_state(0.6).second_eigenvalue_magnitude(), 0.2, 1e-6);
+}
+
+TEST(MarkovChainTest, GenerateMatchesStationaryMoments) {
+  const auto chain = two_state(0.9);
+  Rng rng(1);
+  const auto x = chain.generate(100000, rng);
+  EXPECT_NEAR(sample_mean(x), 150.0, 3.0);
+  // ACF of the two-state chain decays like (2p-1)^k = 0.8^k.
+  const auto acf = stats::autocorrelation(x, 10);
+  EXPECT_NEAR(acf[1], 0.8, 0.05);
+  EXPECT_NEAR(acf[5], std::pow(0.8, 5.0), 0.05);
+}
+
+TEST(MarkovChainTest, FitRecoversMarginalsAndLagOne) {
+  SurrogateOptions options;
+  options.frames = 30000;
+  const auto trace = make_starwars_surrogate(options);
+  const auto chain = MarkovChainSource::fit(trace.frames.samples(), 16);
+
+  Rng rng(2);
+  const auto synthetic = chain.generate(30000, rng);
+  const auto orig = trace.frames.summary();
+  EXPECT_NEAR(sample_mean(synthetic), orig.mean, 0.03 * orig.mean);
+  EXPECT_NEAR(std::sqrt(sample_variance(synthetic)), orig.stddev, 0.15 * orig.stddev);
+
+  const auto acf_orig = stats::autocorrelation(trace.frames.samples(), 1);
+  const auto acf_syn = stats::autocorrelation(synthetic, 1);
+  EXPECT_NEAR(acf_syn[1], acf_orig[1], 0.1);
+}
+
+TEST(MarkovChainTest, FittedChainIsSrdNotLrd) {
+  // The paper's point: a Markov fit reproduces short-lag behavior but its
+  // correlations die exponentially, so the variance-time slope reverts to
+  // -1 (H -> 0.5) at large m.
+  SurrogateOptions options;
+  options.frames = 60000;
+  const auto trace = make_starwars_surrogate(options);
+  const auto chain = MarkovChainSource::fit(trace.frames.samples(), 16);
+  EXPECT_LT(chain.second_eigenvalue_magnitude(), 1.0);
+
+  Rng rng(3);
+  const auto synthetic = chain.generate(60000, rng);
+  stats::VarianceTimeOptions vt;
+  vt.fit_min_m = 200;
+  vt.max_m = 3000;
+  const double h_markov = stats::variance_time(synthetic, vt).hurst;
+  const double h_trace = stats::variance_time(trace.frames.samples(), vt).hurst;
+  EXPECT_LT(h_markov, 0.65);
+  EXPECT_GT(h_trace, h_markov + 0.08);
+}
+
+TEST(DarSourceTest, ValidatesRho) {
+  stats::GammaParetoParams params;
+  params.mu_gamma = 27791.0;
+  params.sigma_gamma = 6254.0;
+  params.tail_slope = 12.0;
+  EXPECT_THROW(DarGammaParetoSource(params, 1.0), vbr::InvalidArgument);
+  EXPECT_THROW(DarGammaParetoSource(params, -0.1), vbr::InvalidArgument);
+}
+
+TEST(DarSourceTest, GeometricAcfAndExactMarginals) {
+  stats::GammaParetoParams params;
+  params.mu_gamma = 27791.0;
+  params.sigma_gamma = 6254.0;
+  params.tail_slope = 12.0;
+  const DarGammaParetoSource source(params, 0.7);
+  Rng rng(4);
+  const auto x = source.generate(200000, rng);
+  EXPECT_NEAR(sample_mean(x), 27791.0, 0.02 * 27791.0);
+  const auto acf = stats::autocorrelation(x, 10);
+  for (std::size_t k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(acf[k], std::pow(0.7, static_cast<double>(k)), 0.03) << "k=" << k;
+  }
+}
+
+TEST(DarSourceTest, FitPicksUpLagOneCorrelation) {
+  SurrogateOptions options;
+  options.frames = 30000;
+  const auto trace = make_starwars_surrogate(options);
+  const auto source = DarGammaParetoSource::fit(trace.frames.samples());
+  const auto acf = stats::autocorrelation(trace.frames.samples(), 1);
+  EXPECT_NEAR(source.rho(), acf[1], 1e-9);
+  EXPECT_GT(source.rho(), 0.3);  // the trace is strongly correlated at lag 1
+}
+
+}  // namespace
+}  // namespace vbr::model

@@ -1,0 +1,113 @@
+// Tests for the Section 5.1 multiplexer: lag drawing with circular
+// separation and the wrap-around aggregate.
+#include "vbr/net/multiplexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+
+namespace vbr::net {
+namespace {
+
+TEST(DrawLagsTest, FirstLagIsZeroAndCountMatches) {
+  Rng rng(1);
+  const auto lags = draw_lags(5, 171000, 1000, rng);
+  ASSERT_EQ(lags.size(), 5u);
+  EXPECT_EQ(lags[0], 0u);
+  for (std::size_t lag : lags) EXPECT_LT(lag, 171000u);
+}
+
+TEST(DrawLagsTest, CircularSeparationEnforced) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto lags = draw_lags(20, 171000, 1000, rng);
+    for (std::size_t i = 0; i < lags.size(); ++i) {
+      for (std::size_t j = i + 1; j < lags.size(); ++j) {
+        const std::size_t diff =
+            (lags[i] > lags[j]) ? lags[i] - lags[j] : lags[j] - lags[i];
+        const std::size_t circular = std::min(diff, 171000 - diff);
+        EXPECT_GE(circular, 1000u) << "pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(DrawLagsTest, SingleSourceNeedsNoSeparation) {
+  Rng rng(3);
+  const auto lags = draw_lags(1, 100, 1000, rng);
+  ASSERT_EQ(lags.size(), 1u);
+  EXPECT_EQ(lags[0], 0u);
+}
+
+TEST(DrawLagsTest, ImpossibleSeparationThrows) {
+  Rng rng(4);
+  EXPECT_THROW(draw_lags(10, 100, 50, rng), vbr::InvalidArgument);
+}
+
+TEST(MultiplexTest, SumWithZeroLagsIsScaledTrace) {
+  std::vector<double> trace{1.0, 2.0, 3.0};
+  const std::vector<std::size_t> lags{0, 0, 0};
+  const auto agg = multiplex_trace(trace, lags);
+  ASSERT_EQ(agg.size(), 3u);
+  EXPECT_DOUBLE_EQ(agg[0], 3.0);
+  EXPECT_DOUBLE_EQ(agg[1], 6.0);
+  EXPECT_DOUBLE_EQ(agg[2], 9.0);
+}
+
+TEST(MultiplexTest, WrapAroundUsesWholeTraceOncePerSource) {
+  std::vector<double> trace{10.0, 20.0, 30.0, 40.0};
+  const std::vector<std::size_t> lags{0, 2};
+  const auto agg = multiplex_trace(trace, lags);
+  // Source 2 reads 30,40,10,20.
+  EXPECT_DOUBLE_EQ(agg[0], 40.0);
+  EXPECT_DOUBLE_EQ(agg[1], 60.0);
+  EXPECT_DOUBLE_EQ(agg[2], 40.0);
+  EXPECT_DOUBLE_EQ(agg[3], 60.0);
+  // Total is conserved: N * sum(trace).
+  EXPECT_DOUBLE_EQ(kahan_total(agg), 2.0 * kahan_total(trace));
+}
+
+TEST(MultiplexTest, MeanScalesWithN) {
+  std::vector<double> trace(5000);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i] = 100.0 + 30.0 * std::sin(static_cast<double>(i) * 0.01);
+  }
+  Rng rng(5);
+  for (std::size_t n : {2u, 5u, 20u}) {
+    const auto lags = draw_lags(n, trace.size(), 100, rng);
+    const auto agg = multiplex_trace(trace, lags);
+    EXPECT_NEAR(sample_mean(agg), static_cast<double>(n) * sample_mean(trace), 1e-6);
+  }
+}
+
+TEST(MultiplexTest, AggregationSmoothsRelativeVariability) {
+  // CoV of the aggregate of N independent-ish offsets drops ~ 1/sqrt(N) —
+  // the statistical multiplexing effect of Section 5.
+  std::vector<double> trace(20000);
+  Rng noise(6);
+  for (auto& v : trace) v = std::max(0.0, noise.normal(100.0, 40.0));
+  Rng rng(7);
+  const auto lags1 = draw_lags(1, trace.size(), 100, rng);
+  const auto lags16 = draw_lags(16, trace.size(), 100, rng);
+  const auto agg1 = multiplex_trace(trace, lags1);
+  const auto agg16 = multiplex_trace(trace, lags16);
+  const double cov1 = std::sqrt(sample_variance(agg1)) / sample_mean(agg1);
+  const double cov16 = std::sqrt(sample_variance(agg16)) / sample_mean(agg16);
+  EXPECT_LT(cov16, cov1 / 2.5);
+}
+
+TEST(MultiplexTest, Preconditions) {
+  std::vector<double> trace{1.0, 2.0};
+  EXPECT_THROW(multiplex_trace(trace, std::vector<std::size_t>{}), vbr::InvalidArgument);
+  EXPECT_THROW(multiplex_trace(trace, std::vector<std::size_t>{5}), vbr::InvalidArgument);
+  EXPECT_THROW(multiplex_trace(std::vector<double>{}, std::vector<std::size_t>{0}),
+               vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::net

@@ -1,0 +1,110 @@
+// Unit tests for the periodogram (Fig. 8) and its low-frequency slope
+// estimator.
+#include "vbr/stats/periodogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/model/davies_harte.hpp"
+
+namespace vbr::stats {
+namespace {
+
+TEST(PeriodogramTest, FrequenciesAreFourierGrid) {
+  std::vector<double> x(100, 0.0);
+  x[3] = 1.0;
+  const auto pg = periodogram(x);
+  ASSERT_EQ(pg.frequency.size(), 49u);  // floor((n-1)/2)
+  for (std::size_t k = 0; k < pg.frequency.size(); ++k) {
+    EXPECT_NEAR(pg.frequency[k],
+                2.0 * std::numbers::pi * static_cast<double>(k + 1) / 100.0, 1e-12);
+  }
+}
+
+TEST(PeriodogramTest, PureToneConcentratesPower) {
+  const std::size_t n = 256;
+  const std::size_t bin = 10;
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = std::cos(2.0 * std::numbers::pi * static_cast<double>(bin * t) /
+                    static_cast<double>(n));
+  }
+  const auto pg = periodogram(x);
+  std::size_t argmax = 0;
+  for (std::size_t k = 1; k < pg.power.size(); ++k) {
+    if (pg.power[k] > pg.power[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, bin - 1);  // frequencies start at k=1
+  // Everything else is numerically zero.
+  for (std::size_t k = 0; k < pg.power.size(); ++k) {
+    if (k != argmax) {
+      EXPECT_NEAR(pg.power[k], 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(PeriodogramTest, TotalPowerMatchesVariance) {
+  // Sum of periodogram over all Fourier frequencies ~ variance * n / (2 pi n)
+  // ... integral check: 2 * sum_k I(w_k) * (2 pi / n) ~ variance.
+  Rng rng(5);
+  std::vector<double> x(4096);
+  for (auto& v : x) v = rng.normal();
+  const auto pg = periodogram(x);
+  double integral = 0.0;
+  for (double p : pg.power) integral += p;
+  integral *= 2.0 * (2.0 * std::numbers::pi / static_cast<double>(x.size()));
+  EXPECT_NEAR(integral, sample_variance(x), 0.1);
+}
+
+TEST(PeriodogramTest, WhiteNoiseSpectrumIsFlat) {
+  Rng rng(6);
+  std::vector<double> x(65536);
+  for (auto& v : x) v = rng.normal();
+  const auto pg = log_binned(periodogram(x), 12);
+  // Mean power should be comparable in the lowest and highest bins.
+  const double lo = pg.power.front();
+  const double hi = pg.power.back();
+  EXPECT_LT(std::abs(std::log10(lo / hi)), 0.4);
+  EXPECT_NEAR(low_frequency_slope(periodogram(x), 0.2), 0.0, 0.25);
+}
+
+TEST(PeriodogramTest, LrdSpectrumBlowsUpAtLowFrequency) {
+  // fGn with H = 0.8 has f(w) ~ w^{1-2H} = w^{-0.6} near zero.
+  Rng rng(7);
+  model::DaviesHarteOptions opt;
+  opt.hurst = 0.8;
+  const auto x = model::davies_harte(65536, opt, rng);
+  const double alpha = low_frequency_slope(periodogram(x), 0.1);
+  EXPECT_NEAR(alpha, 0.6, 0.2);
+  // Implied Hurst: H = (1 + alpha) / 2 ~ 0.8.
+  EXPECT_NEAR((1.0 + alpha) / 2.0, 0.8, 0.1);
+}
+
+TEST(LogBinnedTest, ReducesPointCountAndPreservesRange) {
+  Rng rng(8);
+  std::vector<double> x(10000);
+  for (auto& v : x) v = rng.normal();
+  const auto pg = periodogram(x);
+  const auto binned = log_binned(pg, 20);
+  EXPECT_LE(binned.frequency.size(), 20u);
+  EXPECT_GE(binned.frequency.size(), 10u);
+  EXPECT_GE(binned.frequency.front(), pg.frequency.front());
+  EXPECT_LE(binned.frequency.back(), pg.frequency.back());
+  for (std::size_t i = 1; i < binned.frequency.size(); ++i) {
+    EXPECT_GT(binned.frequency[i], binned.frequency[i - 1]);
+  }
+}
+
+TEST(PeriodogramTest, Preconditions) {
+  std::vector<double> tiny{1.0, 2.0};
+  EXPECT_THROW(periodogram(tiny), vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::stats

@@ -1,0 +1,216 @@
+// Cross-cutting property tests: invariants that must hold over whole
+// parameter families, checked with parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "vbr/codec/intraframe_coder.hpp"
+#include "vbr/codec/synthetic_movie.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/model/davies_harte.hpp"
+#include "vbr/model/marginal_transform.hpp"
+#include "vbr/net/fluid_queue.hpp"
+#include "vbr/net/qos.hpp"
+#include "vbr/net/shaper.hpp"
+#include "vbr/stats/gamma_pareto.hpp"
+#include "vbr/stats/whittle.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Property: the Gamma/Pareto hybrid is a valid distribution for any tail
+// slope — continuous at the splice, monotone CDF, quantile inverse.
+class GammaParetoSlopeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaParetoSlopeSweep, HybridIsAValidDistribution) {
+  const double slope = GetParam();
+  vbr::stats::GammaParetoParams params;
+  params.mu_gamma = 27791.0;
+  params.sigma_gamma = 6254.0;
+  params.tail_slope = slope;
+  const vbr::stats::GammaParetoDistribution d(params);
+
+  // CDF continuity at the splice.
+  const double x_th = d.threshold();
+  EXPECT_NEAR(d.cdf(x_th * (1 - 1e-9)), d.cdf(x_th * (1 + 1e-9)), 1e-6);
+  // Monotone CDF and quantile round trip across the whole range.
+  double prev_cdf = -1.0;
+  for (double p : {0.001, 0.05, 0.3, 0.6, 0.9, 0.99, 0.9999}) {
+    const double x = d.quantile(p);
+    const double c = d.cdf(x);
+    EXPECT_NEAR(c, p, 1e-7) << "slope=" << slope << " p=" << p;
+    EXPECT_GT(c, prev_cdf);
+    prev_cdf = c;
+  }
+  // The log-log CCDF slope beyond the splice equals the parameter. Keep the
+  // probe span narrow so steep tails don't underflow the CCDF.
+  const double x1 = x_th * 1.1;
+  const double x2 = x_th * 1.4;
+  ASSERT_GT(d.ccdf(x2), 0.0);
+  const double measured =
+      (std::log(d.ccdf(x2)) - std::log(d.ccdf(x1))) / (std::log(x2) - std::log(x1));
+  EXPECT_NEAR(measured, -slope, 1e-4 * slope);
+}
+
+INSTANTIATE_TEST_SUITE_P(TailSlopes, GammaParetoSlopeSweep,
+                         ::testing::Values(3.0, 5.0, 8.0, 12.0, 20.0, 35.0));
+
+// ---------------------------------------------------------------------
+// Property: coarser quantization always means fewer coded bytes and lower
+// fidelity, for any picture content.
+class QuantizerSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantizerSweep, RateAndDistortionMonotoneInStep) {
+  vbr::codec::MovieConfig config;
+  config.width = 64;
+  config.height = 64;
+  config.seed = GetParam();
+  const vbr::codec::SyntheticMovie movie(config, 3);
+  const auto frame = movie.frame(1);
+
+  // PSNR monotonicity only holds from step 8 upward: the paper's 8-bit
+  // levels clamp at +-128, and an 8x8 orthonormal DCT produces DC values up
+  // to 8 * 127, so steps below 8 clip large coefficients and *hurt* quality
+  // — a real characteristic of fixed 8-bit quantization, asserted below.
+  std::size_t prev_bytes = SIZE_MAX;
+  double prev_psnr = 1e18;
+  for (double step : {8.0, 16.0, 32.0, 64.0}) {
+    vbr::codec::CoderConfig coder_config;
+    coder_config.quantizer_step = step;
+    coder_config.slices_per_frame = 8;
+    const vbr::codec::IntraframeCoder coder(coder_config);
+    const auto encoded = coder.encode(frame);
+    const double quality = vbr::codec::psnr(frame, coder.decode(encoded));
+    EXPECT_LE(encoded.total_bytes(), prev_bytes) << "step " << step;
+    EXPECT_LE(quality, prev_psnr + 0.5) << "step " << step;  // small slack for rounding
+    prev_bytes = encoded.total_bytes();
+    prev_psnr = quality;
+  }
+}
+
+TEST(QuantizerClippingTest, SubEightStepsClipLargeCoefficients) {
+  // Documented 8-bit-level saturation: on high-contrast content, step 2
+  // clips the DC range and decodes *worse* than step 8.
+  vbr::codec::MovieConfig config;
+  config.width = 64;
+  config.height = 64;
+  config.seed = 99;
+  const vbr::codec::SyntheticMovie movie(config, 3);
+  const auto frame = movie.frame(1);
+  auto psnr_at = [&](double step) {
+    vbr::codec::CoderConfig c;
+    c.quantizer_step = step;
+    c.slices_per_frame = 8;
+    const vbr::codec::IntraframeCoder coder(c);
+    return vbr::codec::psnr(frame, coder.decode(coder.encode(frame)));
+  };
+  EXPECT_LT(psnr_at(2.0), psnr_at(8.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantizerSweep, ::testing::Values(1, 17, 23, 99));
+
+// ---------------------------------------------------------------------
+// Property: exact self-similarity — aggregating fGn preserves H at every
+// level (Section 3.2.2's definition, measured through Whittle/fGn).
+class SelfSimilaritySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SelfSimilaritySweep, AggregationPreservesHurst) {
+  const double h = GetParam();
+  vbr::Rng rng(1234);
+  vbr::model::DaviesHarteOptions options;
+  options.hurst = h;
+  const auto x = vbr::model::davies_harte(131072, options, rng);
+  for (std::size_t m : {1u, 4u, 16u, 64u}) {
+    const auto agg = vbr::block_means(x, m);
+    const double estimated =
+        vbr::stats::whittle_estimate(agg, vbr::stats::SpectralModel::kFgn).hurst;
+    EXPECT_NEAR(estimated, h, 0.06) << "H=" << h << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstGrid, SelfSimilaritySweep, ::testing::Values(0.6, 0.75, 0.9));
+
+// ---------------------------------------------------------------------
+// Property: queueing invariants over random workloads — WES dominates the
+// overall loss rate; loss is monotone in capacity and buffer; byte
+// conservation holds.
+class QueueInvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueInvariantSweep, WesDominatesAndMonotonicityHolds) {
+  vbr::Rng rng(GetParam());
+  std::vector<double> arrivals(4000);
+  for (auto& v : arrivals) v = std::max(0.0, rng.normal(27791.0, 9000.0));
+  const double dt = 1.0 / 24.0;
+  const double mean_rate = vbr::sample_mean(arrivals) / dt;
+
+  double prev_loss = 1.1;
+  for (double factor : {0.95, 1.0, 1.05, 1.15, 1.4}) {
+    const auto result = vbr::net::run_fluid_queue(arrivals, dt, mean_rate * factor,
+                                                  mean_rate * 0.002, true);
+    // Conservation: served = arrived - lost - queued within capacity budget.
+    EXPECT_GE(result.arrived_bytes, result.lost_bytes);
+    // WES >= overall.
+    const double wes = vbr::net::worst_errored_second(result.intervals, 24);
+    EXPECT_GE(wes, result.loss_rate() - 1e-12) << "factor " << factor;
+    // Monotone in capacity.
+    EXPECT_LE(result.loss_rate(), prev_loss + 1e-12) << "factor " << factor;
+    prev_loss = result.loss_rate();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueInvariantSweep, ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------
+// Property: the marginal transform preserves ordering for any target
+// distribution (monotonicity is what protects H).
+class TransformTargetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransformTargetSweep, MapIsStrictlyIncreasing) {
+  vbr::stats::GammaParetoParams params;
+  params.mu_gamma = 27791.0;
+  params.sigma_gamma = 6254.0;
+  params.tail_slope = GetParam();
+  const vbr::stats::GammaParetoDistribution target(params);
+  const vbr::model::TabulatedMarginalMap map(target, 2048);
+  double prev = 0.0;
+  for (double z = -6.0; z <= 6.0; z += 0.05) {
+    const double y = map(z);
+    if (z > -6.0) {
+      EXPECT_GT(y, prev) << "z=" << z;
+    }
+    prev = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TailSlopes, TransformTargetSweep,
+                         ::testing::Values(4.0, 9.0, 13.08, 25.0));
+
+// ---------------------------------------------------------------------
+// Property: CBR smoothing delay is monotone non-increasing in the channel
+// rate for any trace.
+class SmootherSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmootherSweep, DelayMonotoneInRate) {
+  vbr::Rng rng(GetParam());
+  std::vector<double> frames(3000);
+  double level = 27791.0;
+  for (auto& v : frames) {
+    if (rng.uniform() < 0.02) level = rng.uniform(15000.0, 45000.0);
+    v = std::max(100.0, level + rng.normal(0.0, 4000.0));
+  }
+  const double dt = 1.0 / 24.0;
+  const double mean_rate = vbr::sample_mean(frames) / dt;
+  double prev_delay = 1e18;
+  for (double factor : {1.01, 1.05, 1.15, 1.4, 2.0, 3.0}) {
+    const auto r = vbr::net::smooth_to_cbr(frames, dt, mean_rate * factor);
+    EXPECT_LE(r.max_delay_seconds, prev_delay + 1e-12) << "factor " << factor;
+    prev_delay = r.max_delay_seconds;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmootherSweep, ::testing::Values(3, 13, 31));
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Tests for the Q-C analysis engine behind Figs. 14-16: required-capacity
+// bisection, curve monotonicity, multiplexing gain, and knee detection.
+#include "vbr/net/qc_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+
+namespace vbr::net {
+namespace {
+
+// A bursty synthetic trace shaped like frame-size data (positive, CoV ~0.3).
+std::vector<double> bursty_trace(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> trace(n);
+  double level = 27791.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.01) level = rng.uniform(15000.0, 45000.0);  // scene changes
+    trace[i] = std::max(1000.0, level + rng.normal(0.0, 3000.0));
+  }
+  return trace;
+}
+
+MuxExperiment experiment(std::size_t sources) {
+  MuxExperiment e;
+  e.sources = sources;
+  e.replications = 3;
+  e.min_lag_separation = 100;
+  return e;
+}
+
+TEST(MuxWorkloadTest, RatesExposed) {
+  const auto trace = bursty_trace(20000, 1);
+  const MuxWorkload workload(trace, experiment(2));
+  EXPECT_GT(workload.source_peak_rate_bps(), workload.source_mean_rate_bps());
+  EXPECT_EQ(workload.sources(), 2u);
+  EXPECT_EQ(workload.replications(), 3u);
+  EXPECT_EQ(workload.intervals_per_second(), 24u);
+}
+
+TEST(MuxWorkloadTest, SingleSourceUsesOneReplication) {
+  const auto trace = bursty_trace(10000, 2);
+  const MuxWorkload workload(trace, experiment(1));
+  EXPECT_EQ(workload.replications(), 1u);
+}
+
+TEST(MuxWorkloadTest, LossDecreasesWithCapacity) {
+  const auto trace = bursty_trace(20000, 3);
+  const MuxWorkload workload(trace, experiment(1));
+  double prev = 1.0;
+  for (double factor : {1.0, 1.1, 1.3, 1.6}) {
+    const auto qos =
+        workload.evaluate(workload.source_mean_rate_bps() * factor, 0.002);
+    EXPECT_LE(qos.overall_loss, prev + 1e-12);
+    EXPECT_GE(qos.wes_loss, qos.overall_loss);  // WES is a max over windows
+    prev = qos.overall_loss;
+  }
+}
+
+TEST(RequiredCapacityTest, ZeroLossTargetBoundsByPeak) {
+  const auto trace = bursty_trace(20000, 4);
+  const MuxWorkload workload(trace, experiment(1));
+  const double c = required_capacity_bps(workload, 0.002, 0.0, QosMeasure::kOverallLoss);
+  // Zero loss at small buffer needs nearly peak; certainly above mean.
+  EXPECT_GT(c, workload.source_mean_rate_bps());
+  EXPECT_LE(c, workload.source_peak_rate_bps() * 1.01);
+  // And it indeed achieves zero loss.
+  EXPECT_DOUBLE_EQ(workload.evaluate(c, 0.002).overall_loss, 0.0);
+}
+
+TEST(RequiredCapacityTest, LooserTargetNeedsLessCapacity) {
+  const auto trace = bursty_trace(20000, 5);
+  const MuxWorkload workload(trace, experiment(1));
+  const double c0 = required_capacity_bps(workload, 0.002, 0.0, QosMeasure::kOverallLoss);
+  const double c4 = required_capacity_bps(workload, 0.002, 1e-4, QosMeasure::kOverallLoss);
+  const double c2 = required_capacity_bps(workload, 0.002, 1e-2, QosMeasure::kOverallLoss);
+  EXPECT_GE(c0, c4);
+  EXPECT_GE(c4, c2);
+  // The achieved loss honors the target.
+  EXPECT_LE(workload.evaluate(c4, 0.002).overall_loss, 1e-4);
+}
+
+TEST(RequiredCapacityTest, BiggerBufferNeedsLessCapacity) {
+  const auto trace = bursty_trace(20000, 6);
+  const MuxWorkload workload(trace, experiment(1));
+  const double c_small =
+      required_capacity_bps(workload, 0.0005, 1e-4, QosMeasure::kOverallLoss);
+  const double c_large =
+      required_capacity_bps(workload, 0.5, 1e-4, QosMeasure::kOverallLoss);
+  EXPECT_GT(c_small, c_large);
+}
+
+TEST(RequiredCapacityTest, WesTargetIsStricterThanSameOverallTarget) {
+  const auto trace = bursty_trace(20000, 7);
+  const MuxWorkload workload(trace, experiment(1));
+  const double c_pl = required_capacity_bps(workload, 0.002, 1e-3, QosMeasure::kOverallLoss);
+  const double c_wes =
+      required_capacity_bps(workload, 0.002, 1e-3, QosMeasure::kWorstErroredSecond);
+  EXPECT_GE(c_wes, c_pl);
+}
+
+TEST(QcCurveTest, CapacityMonotoneInDelay) {
+  const auto trace = bursty_trace(20000, 8);
+  const MuxWorkload workload(trace, experiment(1));
+  const std::vector<double> delays{0.0005, 0.002, 0.01, 0.05, 0.2};
+  const auto curve = qc_curve(workload, delays, 1e-4, QosMeasure::kOverallLoss);
+  ASSERT_EQ(curve.size(), delays.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].capacity_per_source_bps,
+              curve[i - 1].capacity_per_source_bps + 2000.0);
+  }
+}
+
+TEST(QcCurveTest, StatisticalMultiplexingGain) {
+  // Fig. 15's core finding: per-source capacity falls toward the mean as N
+  // grows.
+  const auto trace = bursty_trace(30000, 9);
+  const MuxWorkload w1(trace, experiment(1));
+  const MuxWorkload w5(trace, experiment(5));
+  const double c1 = required_capacity_bps(w1, 0.002, 1e-3, QosMeasure::kOverallLoss);
+  const double c5 = required_capacity_bps(w5, 0.002, 1e-3, QosMeasure::kOverallLoss);
+  EXPECT_LT(c5, c1);
+  EXPECT_GE(c5, w5.source_mean_rate_bps() * 0.98);
+}
+
+TEST(KneeTest, FindsCornerOfPiecewiseCurve) {
+  // Synthetic L-shaped curve in log-log space with a corner at index 3.
+  std::vector<QcPoint> curve;
+  const std::vector<double> delays{0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064};
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    const double capacity = (i < 3) ? 1e6 * std::pow(2.0, 3.0 - static_cast<double>(i))
+                                    : 1e6;  // steep then flat
+    curve.push_back({delays[i], capacity});
+  }
+  EXPECT_EQ(knee_index(curve), 3u);
+}
+
+TEST(KneeTest, RequiresThreePoints) {
+  std::vector<QcPoint> curve{{0.001, 1e6}, {0.01, 5e5}};
+  EXPECT_THROW(knee_index(curve), vbr::InvalidArgument);
+}
+
+TEST(RunDetailedTest, IntervalsMatchAggregateLength) {
+  const auto trace = bursty_trace(5000, 10);
+  const MuxWorkload workload(trace, experiment(2));
+  const auto result = workload.run_detailed(workload.source_mean_rate_bps() * 1.05, 0.002, 0);
+  EXPECT_EQ(result.intervals.size(), trace.size());
+  EXPECT_THROW(workload.run_detailed(1e6, 0.002, 99), vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::net

@@ -1,0 +1,95 @@
+// Tests for the QOS metrics: worst-errored-second loss and the windowed
+// loss-rate process of Fig. 17.
+#include "vbr/net/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::net {
+namespace {
+
+std::vector<FluidIntervalStats> make_intervals(const std::vector<double>& arrived,
+                                               const std::vector<double>& lost) {
+  std::vector<FluidIntervalStats> out(arrived.size());
+  for (std::size_t i = 0; i < arrived.size(); ++i) out[i] = {arrived[i], lost[i]};
+  return out;
+}
+
+TEST(WorstErroredSecondTest, ZeroWhenNoLoss) {
+  const auto intervals = make_intervals({100, 100, 100, 100}, {0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(worst_errored_second(intervals, 2), 0.0);
+}
+
+TEST(WorstErroredSecondTest, FindsWorstWindow) {
+  // Two "seconds" of 2 intervals each: second 1 loses 10/200, second 2
+  // loses 60/200.
+  const auto intervals = make_intervals({100, 100, 100, 100}, {10, 0, 20, 40});
+  EXPECT_DOUBLE_EQ(worst_errored_second(intervals, 2), 0.3);
+}
+
+TEST(WorstErroredSecondTest, PartialTrailingWindowCounted) {
+  const auto intervals = make_intervals({100, 100, 100}, {0, 0, 50});
+  // Last window is a single interval with 50% loss.
+  EXPECT_DOUBLE_EQ(worst_errored_second(intervals, 2), 0.5);
+}
+
+TEST(WorstErroredSecondTest, ErroredSecondsOnly) {
+  // Windows with no loss never contribute, even if arrivals are tiny.
+  const auto intervals = make_intervals({1, 1000}, {0, 10});
+  EXPECT_DOUBLE_EQ(worst_errored_second(intervals, 1), 0.01);
+}
+
+TEST(WorstErroredSecondTest, AlwaysAtLeastOverallLoss) {
+  // max over windows >= overall ratio: the paper's observation that
+  // P_l-WES curves sit above P_l curves.
+  const auto intervals =
+      make_intervals({100, 200, 300, 400}, {1, 5, 0, 12});
+  double arrived = 0.0;
+  double lost = 0.0;
+  for (const auto& iv : intervals) {
+    arrived += iv.arrived_bytes;
+    lost += iv.lost_bytes;
+  }
+  const double overall = lost / arrived;
+  for (std::size_t w : {1u, 2u, 4u}) {
+    EXPECT_GE(worst_errored_second(intervals, w), overall - 1e-12) << "w=" << w;
+  }
+}
+
+TEST(WindowedLossTest, MatchesHandComputation) {
+  const auto intervals = make_intervals({100, 100, 100, 100}, {0, 10, 20, 0});
+  const auto process = windowed_loss_process(intervals, 2);
+  ASSERT_EQ(process.size(), 3u);
+  EXPECT_DOUBLE_EQ(process[0], 10.0 / 200.0);
+  EXPECT_DOUBLE_EQ(process[1], 30.0 / 200.0);
+  EXPECT_DOUBLE_EQ(process[2], 20.0 / 200.0);
+}
+
+TEST(WindowedLossTest, StrideSkipsEvaluations) {
+  const auto intervals =
+      make_intervals(std::vector<double>(10, 100.0), std::vector<double>(10, 1.0));
+  const auto every = windowed_loss_process(intervals, 2, 1);
+  const auto strided = windowed_loss_process(intervals, 2, 3);
+  EXPECT_EQ(every.size(), 9u);
+  EXPECT_EQ(strided.size(), 3u);
+  EXPECT_DOUBLE_EQ(strided[0], every[0]);
+  EXPECT_DOUBLE_EQ(strided[1], every[3]);
+}
+
+TEST(WindowedLossTest, ShortInputGivesEmptyProcess) {
+  const auto intervals = make_intervals({100}, {0});
+  EXPECT_TRUE(windowed_loss_process(intervals, 5).empty());
+}
+
+TEST(QosTest, Preconditions) {
+  const auto intervals = make_intervals({100}, {0});
+  EXPECT_THROW(worst_errored_second(intervals, 0), vbr::InvalidArgument);
+  EXPECT_THROW(windowed_loss_process(intervals, 0), vbr::InvalidArgument);
+  EXPECT_THROW(windowed_loss_process(intervals, 1, 0), vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::net

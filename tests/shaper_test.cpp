@@ -1,0 +1,98 @@
+// Tests for the CBR smoother and peak clipper.
+#include "vbr/net/shaper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/common/rng.hpp"
+
+namespace vbr::net {
+namespace {
+
+TEST(CbrSmootherTest, NoBacklogAboveArrivalRate) {
+  const std::vector<double> frames(100, 1000.0);  // exactly 1000 B per 1 s
+  const auto result = smooth_to_cbr(frames, 1.0, 1000.0);
+  EXPECT_DOUBLE_EQ(result.max_backlog_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(result.max_delay_seconds, 0.0);
+  EXPECT_NEAR(result.utilization, 1.0, 1e-12);
+}
+
+TEST(CbrSmootherTest, BacklogAccumulatesDuringBursts) {
+  // 3 intervals at 2000 B then 3 at 0 B with a 1000 B/s drain.
+  const std::vector<double> frames{2000, 2000, 2000, 0, 0, 0};
+  const auto result = smooth_to_cbr(frames, 1.0, 1000.0);
+  EXPECT_DOUBLE_EQ(result.max_backlog_bytes, 3000.0);
+  EXPECT_DOUBLE_EQ(result.max_delay_seconds, 3.0);
+  EXPECT_NEAR(result.utilization, 1.0, 1e-12);
+}
+
+TEST(CbrSmootherTest, HigherRateMeansLessDelay) {
+  Rng rng(1);
+  std::vector<double> frames(5000);
+  for (auto& v : frames) v = std::max(0.0, rng.normal(27791.0, 6254.0));
+  const double dt = 1.0 / 24.0;
+  double prev_delay = 1e18;
+  for (double factor : {1.05, 1.2, 1.5, 2.0}) {
+    const auto r = smooth_to_cbr(frames, dt, sample_mean(frames) / dt * factor);
+    EXPECT_LE(r.max_delay_seconds, prev_delay + 1e-12);
+    prev_delay = r.max_delay_seconds;
+  }
+}
+
+TEST(CbrSmootherTest, MinRateForDelayIsTight) {
+  Rng rng(2);
+  std::vector<double> frames(5000);
+  for (auto& v : frames) v = std::max(0.0, rng.normal(27791.0, 6254.0));
+  const double dt = 1.0 / 24.0;
+  const double budget = 0.25;  // 250 ms
+  const double rate = min_cbr_rate_for_delay(frames, dt, budget);
+  EXPECT_LE(smooth_to_cbr(frames, dt, rate).max_delay_seconds, budget);
+  // 1% less rate must violate the budget (tightness).
+  EXPECT_GT(smooth_to_cbr(frames, dt, rate * 0.99).max_delay_seconds, budget);
+  // Sandwiched between mean and peak rates.
+  EXPECT_GT(rate, sample_mean(frames) / dt);
+  EXPECT_LE(rate, *std::max_element(frames.begin(), frames.end()) / dt + 1.0);
+}
+
+TEST(ClipPeaksTest, NoOpWhenLevelAbovePeak) {
+  const std::vector<double> frames{100, 200, 300};
+  const auto result = clip_peaks(frames, 10.0);
+  EXPECT_EQ(result.clipped, frames);
+  EXPECT_DOUBLE_EQ(result.frames_affected, 0.0);
+  EXPECT_DOUBLE_EQ(result.traffic_removed, 0.0);
+}
+
+TEST(ClipPeaksTest, ClipsAndAccountsExactly) {
+  const std::vector<double> frames{100, 100, 100, 500};  // mean 200
+  const auto result = clip_peaks(frames, 2.0);           // clip at 400
+  EXPECT_DOUBLE_EQ(result.clip_level_bytes, 400.0);
+  EXPECT_DOUBLE_EQ(result.clipped[3], 400.0);
+  EXPECT_DOUBLE_EQ(result.frames_affected, 0.25);
+  EXPECT_DOUBLE_EQ(result.traffic_removed, 100.0 / 800.0);
+  EXPECT_LT(result.peak_to_mean_after, result.peak_to_mean_before);
+}
+
+TEST(ClipPeaksTest, ReducesBurstinessOnHeavyTailedTrace) {
+  Rng rng(3);
+  std::vector<double> frames(20000);
+  for (auto& v : frames) v = rng.pareto(20000.0, 8.0);
+  const auto result = clip_peaks(frames, 1.8);
+  EXPECT_GT(result.frames_affected, 0.0);
+  EXPECT_LT(result.traffic_removed, 0.05);  // clipping touches little traffic...
+  EXPECT_LE(result.peak_to_mean_after, 1.85);  // ...but caps burstiness hard
+}
+
+TEST(ShaperTest, Preconditions) {
+  const std::vector<double> frames{1.0, 2.0};
+  EXPECT_THROW(smooth_to_cbr(frames, 0.0, 100.0), vbr::InvalidArgument);
+  EXPECT_THROW(smooth_to_cbr(frames, 1.0, 0.0), vbr::InvalidArgument);
+  EXPECT_THROW(clip_peaks(frames, 1.0), vbr::InvalidArgument);
+  EXPECT_THROW(min_cbr_rate_for_delay(frames, 1.0, 0.0), vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::net

@@ -1,0 +1,120 @@
+// Tests for the procedural movie renderer feeding the intraframe coder.
+#include "vbr/codec/synthetic_movie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/codec/intraframe_coder.hpp"
+#include "vbr/common/error.hpp"
+
+namespace vbr::codec {
+namespace {
+
+MovieConfig small_config() {
+  MovieConfig c;
+  c.width = 64;
+  c.height = 64;
+  return c;
+}
+
+TEST(SyntheticMovieTest, DeterministicFrames) {
+  const SyntheticMovie movie(small_config(), 100);
+  const Frame a = movie.frame(42);
+  const Frame b = movie.frame(42);
+  EXPECT_TRUE(std::equal(a.pixels().begin(), a.pixels().end(), b.pixels().begin()));
+}
+
+TEST(SyntheticMovieTest, DifferentSeedsDifferentPictures) {
+  MovieConfig c1 = small_config();
+  MovieConfig c2 = small_config();
+  c2.seed = 1234;
+  const SyntheticMovie m1(c1, 10);
+  const SyntheticMovie m2(c2, 10);
+  const Frame f1 = m1.frame(0);
+  const Frame f2 = m2.frame(0);
+  EXPECT_FALSE(std::equal(f1.pixels().begin(), f1.pixels().end(), f2.pixels().begin()));
+}
+
+TEST(SyntheticMovieTest, ScenesTileMovie) {
+  const SyntheticMovie movie(small_config(), 5000);
+  std::size_t covered = 0;
+  for (const auto& s : movie.scenes()) covered += s.length;
+  EXPECT_EQ(covered, 5000u);
+  // scene_at agrees with the scene list.
+  for (std::size_t f = 0; f < 5000; f += 123) {
+    const auto& s = movie.scene_at(f);
+    EXPECT_GE(f, s.start_frame);
+    EXPECT_LT(f, s.start_frame + s.length);
+  }
+}
+
+TEST(SyntheticMovieTest, FramesWithinSceneAreSimilarAcrossCutsDiffer) {
+  const SyntheticMovie movie(small_config(), 3000);
+  // Find a scene with length >= 3 and a neighbor.
+  const auto& scenes = movie.scenes();
+  ASSERT_GE(scenes.size(), 2u);
+  std::size_t idx = 0;
+  while (idx + 1 < scenes.size() && scenes[idx].length < 3) ++idx;
+  ASSERT_LT(idx + 1, scenes.size());
+  const auto& s = scenes[idx];
+
+  const Frame f0 = movie.frame(s.start_frame);
+  const Frame f1 = movie.frame(s.start_frame + 1);
+  const Frame other = movie.frame(scenes[idx + 1].start_frame);
+
+  auto mean_abs_diff = [](const Frame& a, const Frame& b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+      acc += std::abs(static_cast<double>(a.pixels()[i]) - static_cast<double>(b.pixels()[i]));
+    }
+    return acc / static_cast<double>(a.pixels().size());
+  };
+  // Consecutive frames of one scene differ only by grain/pan; a cut swaps
+  // the whole texture.
+  EXPECT_LT(mean_abs_diff(f0, f1) * 1.5, mean_abs_diff(f0, other));
+}
+
+TEST(SyntheticMovieTest, ComplexSceneCostsMoreBitsToCode) {
+  // The central premise: scene complexity -> coded bytes. Compare the
+  // cheapest and priciest scenes through the real coder.
+  const SyntheticMovie movie(small_config(), 4000);
+  const auto& scenes = movie.scenes();
+  const auto lo = std::min_element(scenes.begin(), scenes.end(),
+                                   [](const auto& a, const auto& b) {
+                                     return a.complexity < b.complexity;
+                                   });
+  const auto hi = std::max_element(scenes.begin(), scenes.end(),
+                                   [](const auto& a, const auto& b) {
+                                     return a.complexity < b.complexity;
+                                   });
+  ASSERT_GT(hi->complexity, 1.5 * lo->complexity);
+  IntraframeCoder coder;
+  const auto lo_bytes = coder.encode(movie.frame(lo->start_frame)).total_bytes();
+  const auto hi_bytes = coder.encode(movie.frame(hi->start_frame)).total_bytes();
+  EXPECT_GT(hi_bytes, lo_bytes);
+}
+
+TEST(SyntheticMovieTest, PixelsUseFullDynamicRangeSensibly) {
+  const SyntheticMovie movie(small_config(), 50);
+  const Frame f = movie.frame(0);
+  const auto px = f.pixels();
+  const auto [lo, hi] = std::minmax_element(px.begin(), px.end());
+  EXPECT_LT(*lo, 120);
+  EXPECT_GT(*hi, 136);
+  double mean = 0.0;
+  for (auto p : px) mean += static_cast<double>(p);
+  mean /= static_cast<double>(px.size());
+  EXPECT_NEAR(mean, 128.0, 25.0);
+}
+
+TEST(SyntheticMovieTest, Preconditions) {
+  EXPECT_THROW(SyntheticMovie(small_config(), 0), vbr::InvalidArgument);
+  const SyntheticMovie movie(small_config(), 10);
+  EXPECT_THROW(movie.frame(10), vbr::InvalidArgument);
+  EXPECT_THROW(movie.scene_at(10), vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::codec

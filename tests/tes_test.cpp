@@ -1,0 +1,113 @@
+// Tests for the TES+ process (the [JAGE92] alternative marginal-distortion
+// technique cited in Section 4.2).
+#include "vbr/model/tes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/stats/autocorrelation.hpp"
+#include "vbr/stats/variance_time.hpp"
+
+namespace vbr::model {
+namespace {
+
+stats::GammaParetoParams paper_marginal() {
+  stats::GammaParetoParams p;
+  p.mu_gamma = 27791.0;
+  p.sigma_gamma = 6254.0;
+  p.tail_slope = 12.0;
+  return p;
+}
+
+TEST(TesStitchTest, TentShapeAndUniformityPreserved) {
+  EXPECT_DOUBLE_EQ(tes_stitch(0.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(tes_stitch(0.25, 0.5), 0.5);
+  EXPECT_NEAR(tes_stitch(0.5 - 1e-12, 0.5), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(tes_stitch(0.75, 0.5), 0.5);
+  // S preserves uniformity: P(S <= y) = y for any xi.
+  Rng rng(1);
+  for (double xi : {0.2, 0.5, 0.8}) {
+    std::size_t below = 0;
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i) {
+      if (tes_stitch(rng.uniform(), xi) <= 0.3) ++below;
+    }
+    EXPECT_NEAR(static_cast<double>(below) / draws, 0.3, 0.01) << "xi=" << xi;
+  }
+}
+
+TEST(TesTest, BackgroundIsUniform) {
+  TesGammaParetoSource source(paper_marginal(), {});
+  Rng rng(2);
+  const auto u = source.background(100000, rng);
+  EXPECT_NEAR(sample_mean(u), 0.5, 0.02);
+  EXPECT_NEAR(sample_variance(u), 1.0 / 12.0, 0.01);
+  for (double v : u) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(TesTest, ForegroundHasTargetMarginals) {
+  TesGammaParetoSource source(paper_marginal(), {});
+  Rng rng(3);
+  const auto x = source.generate(200000, rng);
+  EXPECT_NEAR(sample_mean(x), 27791.0, 0.05 * 27791.0);
+  EXPECT_NEAR(std::sqrt(sample_variance(x)), 6254.0, 0.2 * 6254.0);
+  for (double v : x) ASSERT_GT(v, 0.0);
+}
+
+TEST(TesTest, SmallerAlphaMeansStrongerShortRangeCorrelation) {
+  Rng rng1(4);
+  Rng rng2(4);
+  TesParams fast;
+  fast.alpha = 0.8;
+  TesParams slow;
+  slow.alpha = 0.05;
+  const auto x_fast = TesGammaParetoSource(paper_marginal(), fast).generate(100000, rng1);
+  const auto x_slow = TesGammaParetoSource(paper_marginal(), slow).generate(100000, rng2);
+  const auto acf_fast = stats::autocorrelation(x_fast, 10);
+  const auto acf_slow = stats::autocorrelation(x_slow, 10);
+  EXPECT_GT(acf_slow[1], acf_fast[1] + 0.2);
+}
+
+TEST(TesTest, AlphaOneIsIid) {
+  TesParams params;
+  params.alpha = 1.0;
+  TesGammaParetoSource source(paper_marginal(), params);
+  Rng rng(5);
+  const auto x = source.generate(100000, rng);
+  const auto acf = stats::autocorrelation(x, 5);
+  for (std::size_t k = 1; k <= 5; ++k) EXPECT_NEAR(acf[k], 0.0, 0.02);
+}
+
+TEST(TesTest, TesIsShortRangeDependent) {
+  // Like Markov/DAR, TES matches marginals and short lags but has H ~ 0.5:
+  // the modulo-1 walk decorrelates (background correlation dies once the
+  // walk wraps), so aggregated variance decays like 1/m.
+  TesParams params;
+  params.alpha = 0.1;
+  TesGammaParetoSource source(paper_marginal(), params);
+  Rng rng(6);
+  const auto x = source.generate(200000, rng);
+  stats::VarianceTimeOptions vt;
+  vt.fit_min_m = 500;  // beyond the walk's decorrelation horizon (~1/alpha^2)
+  vt.max_m = 10000;
+  EXPECT_LT(stats::variance_time(x, vt).hurst, 0.65);
+}
+
+TEST(TesTest, ParameterValidation) {
+  EXPECT_THROW(TesGammaParetoSource(paper_marginal(), {.alpha = 0.0, .xi = 0.5}),
+               vbr::InvalidArgument);
+  EXPECT_THROW(TesGammaParetoSource(paper_marginal(), {.alpha = 1.5, .xi = 0.5}),
+               vbr::InvalidArgument);
+  EXPECT_THROW(TesGammaParetoSource(paper_marginal(), {.alpha = 0.5, .xi = 1.5}),
+               vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::model

@@ -1,0 +1,118 @@
+// Unit tests for trace file I/O: round trips, header handling, bare-number
+// compatibility with the classic Bellcore trace format, and corruption
+// detection.
+#include "vbr/trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::trace {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::filesystem::path temp_path(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "vbr_trace_io_test";
+    std::filesystem::create_directories(dir);
+    return dir / name;
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(std::filesystem::temp_directory_path() / "vbr_trace_io_test",
+                                ec);
+  }
+};
+
+TEST_F(TraceIoTest, AsciiRoundTrip) {
+  TimeSeries original({27791.5, 8622.0, 78459.25}, 1.0 / 24.0, "bytes/frame");
+  const auto path = temp_path("roundtrip.txt");
+  write_ascii(original, path);
+  const auto loaded = read_ascii(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i], original[i]);
+  }
+  EXPECT_DOUBLE_EQ(loaded.dt_seconds(), original.dt_seconds());
+  EXPECT_EQ(loaded.unit(), original.unit());
+}
+
+TEST_F(TraceIoTest, BareNumbersGetPaperDefaults) {
+  // The classic Bellcore distribution format: one frame size per line.
+  const auto path = temp_path("bare.txt");
+  {
+    std::ofstream out(path);
+    out << "27791\n8622\n# a comment\n78459\n\n";
+  }
+  const auto loaded = read_ascii(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded[0], 27791.0);
+  EXPECT_NEAR(loaded.dt_seconds(), 1.0 / 24.0, 1e-15);
+  EXPECT_EQ(loaded.unit(), "bytes/frame");
+}
+
+TEST_F(TraceIoTest, AsciiRejectsGarbageLine) {
+  const auto path = temp_path("garbage.txt");
+  {
+    std::ofstream out(path);
+    out << "123\nnot-a-number\n";
+  }
+  EXPECT_THROW(read_ascii(path), IoError);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_ascii(temp_path("does_not_exist.txt")), IoError);
+  EXPECT_THROW(read_binary(temp_path("does_not_exist.bin")), IoError);
+}
+
+TEST_F(TraceIoTest, BinaryRoundTripPreservesBitExactValues) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(27791.0 + 0.1 * i * i - 3.0 / (i + 1));
+  TimeSeries original(values, 1.389e-3, "bytes/slice");
+  const auto path = temp_path("roundtrip.bin");
+  write_binary(original, path);
+  const auto loaded = read_binary(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i], original[i]);  // bit-exact
+  }
+  EXPECT_EQ(loaded.unit(), "bytes/slice");
+  EXPECT_DOUBLE_EQ(loaded.dt_seconds(), 1.389e-3);
+}
+
+TEST_F(TraceIoTest, BinaryRejectsBadMagic) {
+  const auto path = temp_path("bad_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTATRACEFILE_____________";
+  }
+  EXPECT_THROW(read_binary(path), IoError);
+}
+
+TEST_F(TraceIoTest, BinaryRejectsTruncatedData) {
+  TimeSeries original(std::vector<double>(100, 1.0), 1.0);
+  const auto path = temp_path("trunc.bin");
+  write_binary(original, path);
+  // Chop the file.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(read_binary(path), IoError);
+}
+
+TEST_F(TraceIoTest, EmptySeriesRoundTrips) {
+  TimeSeries empty(std::vector<double>{}, 1.0, "bytes");
+  const auto apath = temp_path("empty.txt");
+  const auto bpath = temp_path("empty.bin");
+  write_ascii(empty, apath);
+  write_binary(empty, bpath);
+  EXPECT_EQ(read_ascii(apath).size(), 0u);
+  EXPECT_EQ(read_binary(bpath).size(), 0u);
+}
+
+}  // namespace
+}  // namespace vbr::trace

@@ -1,0 +1,155 @@
+// Tests for the four-parameter VBR video source model (Section 4): fitting,
+// the three Fig. 16 variants, and generate -> re-fit closure.
+#include "vbr/model/vbr_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/model/model_validation.hpp"
+#include "vbr/stats/autocorrelation.hpp"
+
+namespace vbr::model {
+namespace {
+
+VbrModelParams paper_params() {
+  VbrModelParams p;
+  p.marginal.mu_gamma = 27791.0;
+  p.marginal.sigma_gamma = 6254.0;
+  p.marginal.tail_slope = 12.0;
+  p.hurst = 0.8;
+  return p;
+}
+
+TEST(VbrSourceTest, RejectsInvalidHurst) {
+  auto p = paper_params();
+  p.hurst = 1.2;
+  EXPECT_THROW(VbrVideoSourceModel{p}, vbr::InvalidArgument);
+}
+
+TEST(VbrSourceTest, FullModelMatchesMarginalMoments) {
+  const VbrVideoSourceModel model(paper_params());
+  Rng rng(1);
+  const auto x = model.generate(100000, rng);
+  EXPECT_NEAR(sample_mean(x), 27791.0, 0.03 * 27791.0);
+  EXPECT_NEAR(std::sqrt(sample_variance(x)), 6254.0, 0.15 * 6254.0);
+  for (double v : x) ASSERT_GT(v, 0.0);
+}
+
+TEST(VbrSourceTest, FullModelHasLongRangeDependence) {
+  const VbrVideoSourceModel model(paper_params());
+  Rng rng(2);
+  const auto x = model.generate(65536, rng);
+  const auto acf = stats::autocorrelation(x, 1000);
+  // LRD: correlations persist far beyond any SRD horizon. For fARIMA(0,d,0)
+  // at H=0.8, rho_k ~ 0.43 k^{-0.4}: ~0.07 at lag 100, ~0.03 at lag 1000.
+  EXPECT_GT(acf[100], 0.04);
+  EXPECT_GT(acf[1000], 0.01);
+}
+
+TEST(VbrSourceTest, IidVariantHasNoCorrelation) {
+  const VbrVideoSourceModel model(paper_params());
+  Rng rng(3);
+  const auto x = model.generate(65536, rng, ModelVariant::kIidGammaPareto);
+  const auto acf = stats::autocorrelation(x, 100);
+  for (std::size_t k = 1; k <= 100; k += 10) EXPECT_NEAR(acf[k], 0.0, 0.02);
+  // ... but the marginals still match.
+  EXPECT_NEAR(sample_mean(x), 27791.0, 0.02 * 27791.0);
+}
+
+TEST(VbrSourceTest, GaussianVariantLacksHeavyTail) {
+  const VbrVideoSourceModel model(paper_params());
+  Rng rng(4);
+  const auto full = model.generate(100000, rng, ModelVariant::kFull);
+  const auto gauss = model.generate(100000, rng, ModelVariant::kGaussianFarima);
+  // The far tail (mu + 6 sigma) should be visited by the full model far
+  // more often than by the Gaussian variant.
+  const double far = 27791.0 + 6.0 * 6254.0;
+  const auto count_above = [&](const std::vector<double>& xs) {
+    std::size_t c = 0;
+    for (double v : xs) {
+      if (v > far) ++c;
+    }
+    return c;
+  };
+  EXPECT_GT(count_above(full), 3 * count_above(gauss) + 2);
+}
+
+TEST(VbrSourceTest, GaussianVariantClipsAtZero) {
+  auto p = paper_params();
+  p.marginal.sigma_gamma = 20000.0;  // force excursions below zero
+  const VbrVideoSourceModel model(p);
+  Rng rng(5);
+  const auto x = model.generate(20000, rng, ModelVariant::kGaussianFarima);
+  for (double v : x) ASSERT_GE(v, 0.0);
+}
+
+TEST(VbrSourceTest, HoskingBackendAgreesWithDaviesHarte) {
+  const VbrVideoSourceModel model(paper_params());
+  Rng rng1(6);
+  Rng rng2(7);
+  const auto xh =
+      model.generate(8192, rng1, ModelVariant::kFull, GeneratorBackend::kHosking);
+  const auto xd =
+      model.generate(8192, rng2, ModelVariant::kFull, GeneratorBackend::kDaviesHarte);
+  EXPECT_NEAR(sample_mean(xh), sample_mean(xd), 0.1 * 27791.0);
+  EXPECT_NEAR(std::sqrt(sample_variance(xh)), std::sqrt(sample_variance(xd)),
+              0.25 * 6254.0);
+}
+
+TEST(VbrSourceTest, GenerateTraceCarriesFrameRate) {
+  const VbrVideoSourceModel model(paper_params());
+  Rng rng(8);
+  const auto trace = model.generate_trace(1000, rng);
+  EXPECT_EQ(trace.size(), 1000u);
+  EXPECT_NEAR(trace.dt_seconds(), 1.0 / 24.0, 1e-12);
+  EXPECT_EQ(trace.unit(), "bytes/frame");
+  // Mean rate should be ~5.34 Mb/s, the paper's Table 1 value.
+  EXPECT_NEAR(trace.mean_rate_bps() / 1e6, 5.34, 0.5);
+}
+
+TEST(VbrSourceTest, FitRecoversParametersFromOwnOutput) {
+  const VbrVideoSourceModel truth(paper_params());
+  Rng rng(9);
+  const auto x = truth.generate(131072, rng);
+  const auto fitted = VbrVideoSourceModel::fit(x);
+  EXPECT_NEAR(fitted.params().marginal.mu_gamma, 27791.0, 0.05 * 27791.0);
+  EXPECT_NEAR(fitted.params().marginal.sigma_gamma, 6254.0, 0.2 * 6254.0);
+  EXPECT_NEAR(fitted.params().hurst, 0.8, 0.08);
+  EXPECT_NEAR(fitted.params().marginal.tail_slope, 12.0, 4.0);
+}
+
+TEST(ModelValidationTest, FullModelCloses) {
+  // Section 4.2: "The realizations were tested and found to agree with the
+  // model parameters, both in marginal distribution and the value of H."
+  const VbrVideoSourceModel model(paper_params());
+  Rng rng(10);
+  const auto report = validate_model(model, 131072, rng);
+  EXPECT_LT(report.mean_rel_error, 0.05);
+  EXPECT_LT(report.sigma_rel_error, 0.2);
+  EXPECT_LT(report.hurst_abs_error, 0.08);
+  EXPECT_TRUE(report.agrees(0.4, 0.1));
+}
+
+TEST(ModelValidationTest, IidVariantShowsNoLrd) {
+  const VbrVideoSourceModel model(paper_params());
+  Rng rng(11);
+  const auto report =
+      validate_model(model, 65536, rng, ModelVariant::kIidGammaPareto);
+  // Re-fitted H of an i.i.d. realization sits near 0.5, far from 0.8.
+  EXPECT_NEAR(report.refit.hurst, 0.5, 0.07);
+  EXPECT_GT(report.hurst_abs_error, 0.2);
+}
+
+TEST(VbrSourceTest, FitRejectsShortOrNonPositiveData) {
+  std::vector<double> tiny(10, 1.0);
+  EXPECT_THROW(VbrVideoSourceModel::fit(tiny), vbr::InvalidArgument);
+  std::vector<double> with_zero(2000, 100.0);
+  with_zero[500] = 0.0;
+  EXPECT_THROW(VbrVideoSourceModel::fit(with_zero), vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::model

@@ -1,0 +1,144 @@
+// Tests for zig-zag scanning, run-length coding, and the uniform quantizer.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "vbr/codec/quantizer.hpp"
+#include "vbr/codec/rle.hpp"
+#include "vbr/codec/zigzag.hpp"
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+
+namespace vbr::codec {
+namespace {
+
+TEST(ZigzagTest, OrderIsAPermutation) {
+  std::set<std::uint8_t> seen(kZigzagOrder.begin(), kZigzagOrder.end());
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 63);
+}
+
+TEST(ZigzagTest, KnownPrefix) {
+  // The classic JPEG scan starts 0, 1, 8, 16, 9, 2, 3, 10, ...
+  EXPECT_EQ(kZigzagOrder[0], 0);
+  EXPECT_EQ(kZigzagOrder[1], 1);
+  EXPECT_EQ(kZigzagOrder[2], 8);
+  EXPECT_EQ(kZigzagOrder[3], 16);
+  EXPECT_EQ(kZigzagOrder[4], 9);
+  EXPECT_EQ(kZigzagOrder[5], 2);
+  EXPECT_EQ(kZigzagOrder[6], 3);
+  EXPECT_EQ(kZigzagOrder[7], 10);
+  EXPECT_EQ(kZigzagOrder[63], 63);
+}
+
+TEST(ZigzagTest, ScanUnscanRoundTrip) {
+  std::array<std::int16_t, 64> block{};
+  std::iota(block.begin(), block.end(), static_cast<std::int16_t>(-32));
+  EXPECT_EQ(zigzag_unscan(zigzag_scan(block)), block);
+}
+
+TEST(ZigzagTest, DcStaysFirst) {
+  std::array<std::int16_t, 64> block{};
+  block[0] = 99;
+  EXPECT_EQ(zigzag_scan(block)[0], 99);
+}
+
+TEST(RleTest, AllZerosIsSingleEob) {
+  std::array<std::int16_t, 63> ac{};
+  const auto symbols = rle_encode_ac(ac);
+  ASSERT_EQ(symbols.size(), 1u);
+  EXPECT_TRUE(symbols[0].is_eob());
+}
+
+TEST(RleTest, EncodesRunsAndLevels) {
+  std::array<std::int16_t, 63> ac{};
+  ac[0] = 5;
+  ac[3] = -2;  // run of 2 zeros then -2
+  const auto symbols = rle_encode_ac(ac);
+  ASSERT_EQ(symbols.size(), 3u);
+  EXPECT_EQ(symbols[0].run, 0);
+  EXPECT_EQ(symbols[0].level, 5);
+  EXPECT_EQ(symbols[1].run, 2);
+  EXPECT_EQ(symbols[1].level, -2);
+  EXPECT_TRUE(symbols[2].is_eob());
+}
+
+TEST(RleTest, LongRunsUseZrl) {
+  std::array<std::int16_t, 63> ac{};
+  ac[40] = 7;  // run of 40 zeros: two ZRLs (32) + run of 8
+  const auto symbols = rle_encode_ac(ac);
+  ASSERT_EQ(symbols.size(), 4u);
+  EXPECT_TRUE(symbols[0].is_zrl());
+  EXPECT_TRUE(symbols[1].is_zrl());
+  EXPECT_EQ(symbols[2].run, 8);
+  EXPECT_EQ(symbols[2].level, 7);
+  EXPECT_TRUE(symbols[3].is_eob());
+}
+
+TEST(RleTest, RoundTripRandomBlocks) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::array<std::int16_t, 63> ac{};
+    // Sparse blocks, as quantized DCT output actually is.
+    const auto nonzeros = rng.uniform_index(20);
+    for (std::size_t i = 0; i < nonzeros; ++i) {
+      ac[rng.uniform_index(63)] =
+          static_cast<std::int16_t>(static_cast<int>(rng.uniform_index(255)) - 127);
+    }
+    const auto symbols = rle_encode_ac(ac);
+    const auto decoded = rle_decode_ac(symbols, 63);
+    ASSERT_EQ(decoded.size(), 63u);
+    for (std::size_t i = 0; i < 63; ++i) EXPECT_EQ(decoded[i], ac[i]) << "trial " << trial;
+  }
+}
+
+TEST(RleTest, FullBlockRoundTrips) {
+  std::array<std::int16_t, 63> ac;
+  ac.fill(1);
+  const auto symbols = rle_encode_ac(ac);
+  const auto decoded = rle_decode_ac(symbols, 63);
+  for (std::size_t i = 0; i < 63; ++i) EXPECT_EQ(decoded[i], 1);
+}
+
+TEST(RleTest, DecodeRejectsOverrun) {
+  std::vector<RleSymbol> bad{{62, 5}, {5, 3}, RleSymbol::eob()};
+  EXPECT_THROW(rle_decode_ac(bad, 63), vbr::Error);
+}
+
+TEST(QuantizerTest, RoundTripErrorBoundedByHalfStep) {
+  UniformQuantizer q(16.0);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double coefficient = rng.uniform(-900.0, 900.0);
+    const double reconstructed = q.dequantize(q.quantize(coefficient));
+    EXPECT_LE(std::abs(reconstructed - coefficient), 8.0 + 1e-9);
+  }
+}
+
+TEST(QuantizerTest, ClampsToEightBitLevels) {
+  UniformQuantizer q(1.0);
+  EXPECT_EQ(q.quantize(1e6), 127);
+  EXPECT_EQ(q.quantize(-1e6), -128);
+}
+
+TEST(QuantizerTest, LargerStepProducesMoreZeros) {
+  Rng rng(7);
+  Block coefficients;
+  for (auto& v : coefficients) v = rng.normal(0.0, 20.0);
+  UniformQuantizer fine(4.0);
+  UniformQuantizer coarse(64.0);
+  const auto count_zeros = [&](const UniformQuantizer& q) {
+    const auto levels = q.quantize_block(coefficients);
+    return std::count(levels.begin(), levels.end(), 0);
+  };
+  EXPECT_GT(count_zeros(coarse), count_zeros(fine));
+}
+
+TEST(QuantizerTest, RejectsSubUnitStep) {
+  EXPECT_THROW(UniformQuantizer(0.5), vbr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::codec
