@@ -1,0 +1,106 @@
+// bench_engine_scaling: thread-scaling throughput of the parallel
+// generation engine, emitted as JSON for dashboards/CI.
+//
+// For each thread count the same GenerationPlan (default: 16 sources of
+// 2^17 frames, the paper's model parameters) is executed and frames/sec and
+// bytes/sec recorded. A FNV-1a hash over the raw double bits of every
+// generated frame doubles as the determinism witness: the engine guarantees
+// bit-identical output for any thread count, so all runs must report the
+// same checksum.
+//
+// Usage:
+//   ./bench_engine_scaling [sources] [frames_per_source] [thread_list]
+// e.g. ./bench_engine_scaling 16 131072 1,2,4,8
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vbr/engine/engine.hpp"
+
+namespace {
+
+std::uint64_t fnv1a_trace_hash(const vbr::engine::MultiSourceTrace& trace) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& source : trace.sources) {
+    for (const double v : source) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      for (int b = 0; b < 8; ++b) {
+        h ^= (bits >> (8 * b)) & 0xffULL;
+        h *= 1099511628211ULL;
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<std::size_t> parse_thread_list(const char* arg) {
+  std::vector<std::size_t> threads;
+  std::string token;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) threads.push_back(std::stoul(token));
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token += *p;
+    }
+  }
+  return threads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vbr::engine::GenerationPlan plan;
+  plan.num_sources = (argc > 1) ? std::stoul(argv[1]) : 16;
+  plan.frames_per_source = (argc > 2) ? std::stoul(argv[2]) : (std::size_t{1} << 17);
+  plan.seed = 1994;
+  plan.params.hurst = 0.8;
+  plan.params.marginal.mu_gamma = 27791.0;
+  plan.params.marginal.sigma_gamma = 6254.0;
+  plan.params.marginal.tail_slope = 12.0;
+
+  const std::vector<std::size_t> thread_counts =
+      (argc > 3) ? parse_thread_list(argv[3]) : std::vector<std::size_t>{1, 2, 4, 8};
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"engine_scaling\",\n");
+  std::printf("  \"sources\": %zu,\n", plan.num_sources);
+  std::printf("  \"frames_per_source\": %zu,\n", plan.frames_per_source);
+  std::printf("  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("  \"results\": [\n");
+
+  double baseline_fps = 0.0;
+  std::uint64_t baseline_hash = 0;
+  bool bit_identical = true;
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    plan.threads = thread_counts[i];
+    const auto trace = vbr::engine::generate_sources(plan);
+    const auto& stats = trace.stats;
+    const std::uint64_t hash = fnv1a_trace_hash(trace);
+    if (i == 0) {
+      baseline_fps = stats.frames_per_second();
+      baseline_hash = hash;
+    } else if (hash != baseline_hash) {
+      bit_identical = false;
+    }
+    std::printf(
+        "    {\"threads\": %zu, \"threads_used\": %zu, \"wall_seconds\": %.6f, "
+        "\"frames_per_second\": %.1f, \"bytes_per_second\": %.1f, "
+        "\"speedup_vs_first\": %.3f, \"trace_hash\": \"%016llx\"}%s\n",
+        thread_counts[i], stats.threads_used, stats.wall_seconds, stats.frames_per_second(),
+        stats.bytes_per_second(),
+        baseline_fps > 0.0 ? stats.frames_per_second() / baseline_fps : 0.0,
+        static_cast<unsigned long long>(hash),
+        i + 1 < thread_counts.size() ? "," : "");
+  }
+
+  std::printf("  ],\n");
+  std::printf("  \"bit_identical_across_thread_counts\": %s\n", bit_identical ? "true" : "false");
+  std::printf("}\n");
+  return bit_identical ? 0 : 1;
+}

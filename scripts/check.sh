@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# check.sh — tier-1 verification plus the ThreadSanitizer engine suite.
+#
+#   ./scripts/check.sh            # full check (tier-1 + TSan)
+#   ./scripts/check.sh --tier1    # tier-1 only
+#
+# Tier-1 is the repo's canonical gate (see ROADMAP.md): configure, build,
+# ctest. The TSan stage rebuilds the concurrency-sensitive targets with
+# -DVBR_SANITIZE=thread and runs the engine + FFT tests under the
+# sanitizer, catching data races in the parallel generation engine and the
+# shared Davies-Harte eigenvalue cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "${1:-}" == "--tier1" ]]; then
+  echo "=== tier-1 OK (TSan stage skipped) ==="
+  exit 0
+fi
+
+echo "=== TSan: engine + fft tests under -fsanitize=thread ==="
+cmake -B build-tsan -S . -DVBR_SANITIZE=thread \
+      -DVBR_BUILD_BENCH=OFF -DVBR_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j --target engine_test fft_test generators_test >/dev/null
+./build-tsan/tests/engine_test
+./build-tsan/tests/fft_test
+./build-tsan/tests/generators_test
+echo "=== all checks OK ==="

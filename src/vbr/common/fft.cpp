@@ -106,4 +106,83 @@ std::vector<Complex> fft_real(const std::vector<double>& data) {
   return out;
 }
 
+std::vector<Complex> rfft(const std::vector<double>& data) {
+  const std::size_t n = data.size();
+  VBR_ENSURE(n >= 1, "rfft requires a non-empty sequence");
+  if (n == 1) return {Complex(data[0], 0.0)};
+  const std::size_t half = n / 2 + 1;
+  if (n % 2 != 0) {
+    // Odd lengths cannot be packed pairwise; do the full complex transform
+    // and keep the non-redundant prefix.
+    std::vector<Complex> full(data.begin(), data.end());
+    fft(full);
+    full.resize(half);
+    return full;
+  }
+
+  // Pack adjacent samples into one complex sequence of half the length:
+  // z[j] = x[2j] + i x[2j+1]. With E/O the length-L DFTs of the even/odd
+  // subsequences, Z[k] = E[k] + i O[k] and (x real) conj(Z[L-k]) =
+  // E[k] - i O[k], so one length-L FFT recovers both, and
+  // X[k] = E[k] + e^{-2 pi i k / n} O[k].
+  const std::size_t L = n / 2;
+  std::vector<Complex> z(L);
+  for (std::size_t j = 0; j < L; ++j) z[j] = Complex(data[2 * j], data[2 * j + 1]);
+  fft(z);
+
+  std::vector<Complex> out(half);
+  for (std::size_t k = 0; k <= L; ++k) {
+    const Complex zk = z[k % L];  // Z is L-periodic: Z[L] = Z[0]
+    const Complex zc = std::conj(z[(L - k) % L]);
+    const Complex even = 0.5 * (zk + zc);
+    const Complex odd = Complex(0.0, -0.5) * (zk - zc);  // (Z[k] - conj(Z[L-k])) / 2i
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(n);
+    out[k] = even + Complex(std::cos(angle), std::sin(angle)) * odd;
+  }
+  return out;
+}
+
+std::vector<double> irfft(const std::vector<Complex>& spectrum, std::size_t n) {
+  VBR_ENSURE(n >= 1, "irfft requires n >= 1");
+  VBR_ENSURE(spectrum.size() == n / 2 + 1,
+             "irfft spectrum must hold exactly floor(n/2) + 1 coefficients");
+  if (n == 1) return {spectrum[0].real()};
+  if (n % 2 != 0) {
+    // Rebuild the conjugate-symmetric full spectrum and invert directly.
+    std::vector<Complex> full(n);
+    for (std::size_t k = 0; k < spectrum.size(); ++k) full[k] = spectrum[k];
+    for (std::size_t k = 1; k < spectrum.size(); ++k) full[n - k] = std::conj(spectrum[k]);
+    ifft(full);
+    std::vector<double> out(n);
+    for (std::size_t j = 0; j < n; ++j) out[j] = full[j].real();
+    return out;
+  }
+
+  // Invert the half-length packing of rfft(): from X[k] = E[k] + W^k O[k]
+  // and conj(X[L-k]) = E[k] - W^k O[k] (W = e^{-2 pi i / n}), recover
+  // Z[k] = E[k] + i O[k]; one length-L inverse FFT then yields the
+  // interleaved samples z[j] = x[2j] + i x[2j+1]. The 1/L normalization of
+  // ifft() is exactly the 1/n of the full inverse applied subsequence-wise.
+  const std::size_t L = n / 2;
+  std::vector<Complex> z(L);
+  for (std::size_t k = 0; k < L; ++k) {
+    const Complex xk = spectrum[k];
+    const Complex xc = std::conj(spectrum[L - k]);
+    const Complex even = 0.5 * (xk + xc);
+    const Complex odd_twiddled = 0.5 * (xk - xc);  // = W^k O[k]
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(n);
+    const Complex odd = Complex(std::cos(angle), std::sin(angle)) * odd_twiddled;
+    z[k] = even + Complex(0.0, 1.0) * odd;
+  }
+  ifft(z);
+  std::vector<double> out(n);
+  for (std::size_t j = 0; j < L; ++j) {
+    out[2 * j] = z[j].real();
+    out[2 * j + 1] = z[j].imag();
+  }
+  return out;
+}
+
 }  // namespace vbr

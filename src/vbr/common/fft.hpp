@@ -22,6 +22,19 @@ void ifft(std::vector<std::complex<double>>& data);
 /// Forward DFT of a real sequence; returns all n complex coefficients.
 std::vector<std::complex<double>> fft_real(const std::vector<double>& data);
 
+/// Forward DFT of a real sequence, returning only the n/2 + 1 non-redundant
+/// coefficients X[0..n/2] (the rest follow from X[n-k] = conj(X[k])). Even
+/// lengths use the half-length complex trick — one complex FFT of length
+/// n/2 — so this costs about half of fft() on the same input. Works for any
+/// n >= 1 (odd lengths fall back to a full complex transform).
+std::vector<std::complex<double>> rfft(const std::vector<double>& data);
+
+/// Exact inverse of rfft(): reconstruct the length-n real sequence from its
+/// floor(n/2) + 1 leading DFT coefficients. The spectrum is assumed
+/// conjugate-symmetric (X[0] — and X[n/2] for even n — should be real;
+/// imaginary parts there are ignored). Normalized by 1/n like ifft().
+std::vector<double> irfft(const std::vector<std::complex<double>>& spectrum, std::size_t n);
+
 /// Smallest power of two >= n (n >= 1).
 std::size_t next_power_of_two(std::size_t n);
 

@@ -6,15 +6,31 @@
 #include "vbr/common/error.hpp"
 
 namespace vbr {
+namespace {
+
+// std::lgamma writes the process-global `signgam`, so concurrent callers
+// race on it (ThreadSanitizer flags the parallel generation engine through
+// the Gamma quantile path). Every caller here has x > 0, where the sign is
+// always +1, so the reentrant lgamma_r is a drop-in replacement.
+double lgamma_safe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
 
 double log_gamma(double x) {
   VBR_ENSURE(x > 0.0, "log_gamma requires x > 0");
-  return std::lgamma(x);
+  return lgamma_safe(x);
 }
 
 double log_beta(double a, double b) {
   VBR_ENSURE(a > 0.0 && b > 0.0, "log_beta requires positive arguments");
-  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  return lgamma_safe(a) + lgamma_safe(b) - lgamma_safe(a + b);
 }
 
 namespace {
@@ -33,7 +49,7 @@ double gamma_p_series(double s, double x) {
     term *= x / a;
     sum += term;
     if (std::abs(term) < std::abs(sum) * kEpsilon) {
-      return sum * std::exp(-x + s * std::log(x) - std::lgamma(s));
+      return sum * std::exp(-x + s * std::log(x) - lgamma_safe(s));
     }
   }
   throw NumericalError("gamma_p series failed to converge");
@@ -56,7 +72,7 @@ double gamma_q_cf(double s, double x) {
     const double delta = d * c;
     h *= delta;
     if (std::abs(delta - 1.0) < kEpsilon) {
-      return h * std::exp(-x + s * std::log(x) - std::lgamma(s));
+      return h * std::exp(-x + s * std::log(x) - lgamma_safe(s));
     }
   }
   throw NumericalError("gamma_q continued fraction failed to converge");
@@ -87,7 +103,7 @@ double gamma_p_inverse(double s, double p) {
 
   // Initial guess (Numerical Recipes / AS 26.4.17): Wilson-Hilferty for s > 1,
   // small-s expansion otherwise.
-  const double gln = std::lgamma(s);
+  const double gln = lgamma_safe(s);
   double x = 0.0;
   if (s > 1.0) {
     const double z = normal_quantile(p);

@@ -1,0 +1,56 @@
+#include "vbr/engine/engine.hpp"
+
+#include <chrono>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/math_util.hpp"
+#include "vbr/engine/thread_pool.hpp"
+
+namespace vbr::engine {
+
+std::vector<double> MultiSourceTrace::aggregate() const {
+  if (sources.empty()) return {};
+  std::vector<double> total(sources.front().size(), 0.0);
+  for (const auto& source : sources) {
+    for (std::size_t f = 0; f < total.size(); ++f) total[f] += source[f];
+  }
+  return total;
+}
+
+MultiSourceTrace generate_sources(const GenerationPlan& plan) {
+  VBR_ENSURE(plan.num_sources >= 1, "plan needs at least one source");
+  VBR_ENSURE(plan.frames_per_source >= 1, "plan needs at least one frame per source");
+
+  const model::VbrVideoSourceModel model(plan.params);
+
+  // Derive every child stream up front, in source order, from one master
+  // stream. The split() sequence depends only on the seed, so source i sees
+  // the same Rng no matter how many threads later run it.
+  Rng master(plan.seed);
+  std::vector<Rng> streams;
+  streams.reserve(plan.num_sources);
+  for (std::size_t i = 0; i < plan.num_sources; ++i) streams.push_back(master.split());
+
+  MultiSourceTrace out;
+  out.sources.resize(plan.num_sources);
+
+  const std::size_t threads =
+      std::min(resolve_thread_count(plan.threads), plan.num_sources);
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_for_index(plan.num_sources, threads, [&](std::size_t i) {
+    Rng rng = streams[i];
+    out.sources[i] = model.generate(plan.frames_per_source, rng, plan.variant, plan.backend);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  out.stats.sources = plan.num_sources;
+  out.stats.frames = plan.num_sources * plan.frames_per_source;
+  double bytes = 0.0;
+  for (const auto& source : out.sources) bytes += kahan_total(source);
+  out.stats.bytes = bytes;
+  out.stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.stats.threads_used = threads;
+  return out;
+}
+
+}  // namespace vbr::engine

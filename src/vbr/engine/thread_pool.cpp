@@ -1,0 +1,52 @@
+#include "vbr/engine/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vbr::engine {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for_index(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  threads = resolve_thread_count(threads);
+  if (threads > count) threads = count;
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Drain the remaining indices so every worker exits promptly.
+        next.store(count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vbr::engine

@@ -1,0 +1,27 @@
+// Minimal fixed-size fork/join parallelism for the generation engine.
+//
+// Deliberately work-stealing-free: a task set is a contiguous index range
+// and every worker pulls the next index from one atomic counter. Because
+// each index owns a disjoint output slot and carries its own pre-derived
+// Rng stream, the assignment of indices to OS threads — which *is*
+// nondeterministic — cannot affect the results, only the wall time.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace vbr::engine {
+
+/// Clamp a requested worker count: 0 means "use hardware concurrency",
+/// anything else is taken literally. Always returns >= 1.
+std::size_t resolve_thread_count(std::size_t requested);
+
+/// Run fn(i) for every i in [0, count) across `threads` OS threads (the
+/// calling thread counts as one of them, so `threads == 1` never spawns).
+/// fn must only write to state owned by index i. If any invocation throws,
+/// remaining indices are abandoned, all workers are joined, and the first
+/// exception is rethrown on the calling thread.
+void parallel_for_index(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace vbr::engine

@@ -1,13 +1,111 @@
 #include "vbr/model/davies_harte.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
 
 #include "vbr/common/error.hpp"
 #include "vbr/common/fft.hpp"
 #include "vbr/model/fgn_acf.hpp"
 
 namespace vbr::model {
+namespace {
+
+// Square roots of the circulant eigenvalues for one embedding, indexed
+// k = 0..m (the upper half follows by symmetry). Shared immutably between
+// threads once computed.
+using SqrtEigenvalues = std::shared_ptr<const std::vector<double>>;
+
+// Cache key: (H bit pattern via exact double compare, embedding length 2m,
+// covariance kind). The eigenvalues do not depend on options.variance —
+// that is a plain output scale — so it is deliberately not part of the key.
+using EigenKey = std::tuple<double, std::size_t, int>;
+
+struct EigenCache {
+  std::mutex mutex;
+  std::map<EigenKey, SqrtEigenvalues> entries;
+};
+
+EigenCache& eigen_cache() {
+  static EigenCache cache;
+  return cache;
+}
+
+// Compute sqrt(lambda_k), k = 0..m, for the 2m-circulant embedding of the
+// first m+1 autocovariances. Deterministic in its inputs, so concurrent
+// duplicate computations of the same key yield identical vectors.
+SqrtEigenvalues compute_sqrt_eigenvalues(double hurst, std::size_t m,
+                                         CovarianceKind covariance) {
+  const std::size_t two_m = 2 * m;
+  const auto rho =
+      (covariance == CovarianceKind::kFgn) ? fgn_acf(hurst, m) : farima_acf(hurst, m);
+
+  // First row of the circulant: r_0..r_m, then mirrored r_{m-1}..r_1. The
+  // row is real and even, so its DFT is real and even — rfft() gives the
+  // m+1 distinct eigenvalues at half the cost of the full complex FFT.
+  std::vector<double> row(two_m);
+  for (std::size_t j = 0; j <= m; ++j) row[j] = rho[j];
+  for (std::size_t j = 1; j < m; ++j) row[two_m - j] = rho[j];
+  const auto spectrum = rfft(row);
+
+  // The exact eigenvalues are non-negative for fGn/fARIMA; roundoff in the
+  // length-2m FFT perturbs them by O(eps log2(2m) lambda_max) ~ 1e-14 *
+  // lambda_max. A relative threshold of 1e-10 * lambda_max leaves four
+  // orders of margin over that while still rejecting genuinely indefinite
+  // embeddings — and since lambda_max <= 2m (|rho| <= 1), it is strictly
+  // tighter than the old absolute 1e-8 * 2m rule, which at 2m = 2^18
+  // would have silently zeroed eigenvalues as large as 2.6e-3.
+  double lambda_max = 0.0;
+  for (std::size_t k = 0; k <= m; ++k) {
+    lambda_max = std::max(lambda_max, std::abs(spectrum[k].real()));
+  }
+  const double tolerance = 1e-10 * std::max(1.0, lambda_max);
+
+  auto sqrt_lambda = std::make_shared<std::vector<double>>(m + 1);
+  for (std::size_t k = 0; k <= m; ++k) {
+    const double val = spectrum[k].real();
+    if (val < -tolerance) {
+      throw NumericalError("circulant embedding is not non-negative definite");
+    }
+    (*sqrt_lambda)[k] = std::sqrt(std::max(0.0, val));
+  }
+  return sqrt_lambda;
+}
+
+SqrtEigenvalues cached_sqrt_eigenvalues(double hurst, std::size_t m,
+                                        CovarianceKind covariance) {
+  const EigenKey key(hurst, 2 * m, static_cast<int>(covariance));
+  auto& cache = eigen_cache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    const auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) return it->second;
+  }
+  // Compute outside the lock so a cold cache does not serialize the
+  // N-source fan-out; a racing duplicate computes the identical vector and
+  // the first insert wins.
+  auto computed = compute_sqrt_eigenvalues(hurst, m, covariance);
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  return cache.entries.emplace(key, std::move(computed)).first->second;
+}
+
+}  // namespace
+
+std::size_t davies_harte_cache_size() {
+  auto& cache = eigen_cache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  return cache.entries.size();
+}
+
+void davies_harte_cache_clear() {
+  auto& cache = eigen_cache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.entries.clear();
+}
 
 std::vector<double> davies_harte(std::size_t n, const DaviesHarteOptions& options, Rng& rng) {
   VBR_ENSURE(n >= 1, "cannot generate an empty realization");
@@ -19,46 +117,31 @@ std::vector<double> davies_harte(std::size_t n, const DaviesHarteOptions& option
   const std::size_t m = next_power_of_two(n);
   const std::size_t two_m = 2 * m;
 
-  const auto rho = (options.covariance == CovarianceKind::kFgn)
-                       ? fgn_acf(options.hurst, m)
-                       : farima_acf(options.hurst, m);
+  const auto sqrt_lambda =
+      options.use_eigenvalue_cache
+          ? cached_sqrt_eigenvalues(options.hurst, m, options.covariance)
+          : compute_sqrt_eigenvalues(options.hurst, m, options.covariance);
 
-  // First row of the circulant: r_0..r_m, then mirrored r_{m-1}..r_1.
-  std::vector<std::complex<double>> eigen(two_m);
-  for (std::size_t j = 0; j <= m; ++j) eigen[j] = rho[j];
-  for (std::size_t j = 1; j < m; ++j) eigen[two_m - j] = rho[j];
-  fft(eigen);
-
-  // Eigenvalues are real for a symmetric circulant; clip tiny negatives due
-  // to roundoff, reject material ones.
-  std::vector<double> lambda(two_m);
-  for (std::size_t k = 0; k < two_m; ++k) {
-    const double val = eigen[k].real();
-    if (val < -1e-8 * static_cast<double>(two_m)) {
-      throw NumericalError("circulant embedding is not non-negative definite");
-    }
-    lambda[k] = std::max(0.0, val);
-  }
-
-  // Color complex white noise: W_0, W_m real; W_k (0<k<m) complex with
-  // conjugate symmetry W_{2m-k} = conj(W_k).
-  std::vector<std::complex<double>> w(two_m);
-  w[0] = rng.normal();
-  w[m] = rng.normal();
+  // Color complex white noise. The full spectrum has W_0, W_m real and
+  // conjugate symmetry W_{2m-k} = conj(W_k), so only the non-redundant half
+  // W_0..W_m is ever materialized; irfft() supplies the mirrored half
+  // implicitly. The Rng draw order matches the pre-rfft implementation
+  // exactly: W_0, W_m, then (Re, Im) pairs for k = 1..m-1.
+  std::vector<std::complex<double>> w(m + 1);
+  w[0] = rng.normal() * (*sqrt_lambda)[0];
+  w[m] = rng.normal() * (*sqrt_lambda)[m];
   const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
   for (std::size_t k = 1; k < m; ++k) {
     const std::complex<double> g(rng.normal() * inv_sqrt2, rng.normal() * inv_sqrt2);
-    w[k] = g;
-    w[two_m - k] = std::conj(g);
+    w[k] = g * (*sqrt_lambda)[k];
   }
-  for (std::size_t k = 0; k < two_m; ++k) w[k] *= std::sqrt(lambda[k]);
 
   // X_j = (1/sqrt(2m)) sum_k sqrt(lambda_k) W_k e^{+2 pi i jk / 2m}:
-  // ifft() includes a 1/(2m) factor, so scale by sqrt(2m).
-  ifft(w);
+  // irfft() includes a 1/(2m) factor, so scale by sqrt(2m).
+  const auto x = irfft(w, two_m);
   const double scale = std::sqrt(static_cast<double>(two_m) * options.variance);
   std::vector<double> out(n);
-  for (std::size_t j = 0; j < n; ++j) out[j] = w[j].real() * scale;
+  for (std::size_t j = 0; j < n; ++j) out[j] = x[j] * scale;
   return out;
 }
 

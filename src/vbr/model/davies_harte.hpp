@@ -25,11 +25,26 @@ struct DaviesHarteOptions {
   double hurst = 0.8;
   double variance = 1.0;
   CovarianceKind covariance = CovarianceKind::kFgn;
+  /// Reuse circulant eigenvalue vectors across calls with the same
+  /// (H, embedding length, covariance). Repeated same-length generations —
+  /// the N-source case — then skip the ACF evaluation and embedding FFT
+  /// entirely. The cache is process-wide and thread-safe, and caching never
+  /// changes the output (the eigenvalues are a deterministic function of
+  /// the key).
+  bool use_eigenvalue_cache = true;
 };
 
 /// Generate n points of the zero-mean Gaussian process. Throws
 /// NumericalError if the circulant embedding has a materially negative
 /// eigenvalue (does not happen for fGn/fARIMA with 0 < H < 1).
 std::vector<double> davies_harte(std::size_t n, const DaviesHarteOptions& options, Rng& rng);
+
+/// Number of distinct (H, embedding length, covariance) eigenvalue vectors
+/// currently held by the process-wide cache.
+std::size_t davies_harte_cache_size();
+
+/// Drop every cached eigenvalue vector (frees memory; next generations
+/// recompute).
+void davies_harte_cache_clear();
 
 }  // namespace vbr::model

@@ -16,19 +16,22 @@ std::vector<double> autocorrelation(std::span<const double> data, std::size_t ma
 
   const double mean = kahan_total(data) / static_cast<double>(n);
 
-  // Wiener-Khinchin: pad to >= 2n to avoid circular wrap.
+  // Wiener-Khinchin: pad to >= 2n to avoid circular wrap. The input is
+  // real, so rfft() gives the half spectrum; the power spectrum is real and
+  // even, so irfft() of the half power spectrum is the circular
+  // autocovariance — both transforms at half the complex-FFT cost.
   const std::size_t padded = next_power_of_two(2 * n);
-  std::vector<std::complex<double>> buf(padded, {0.0, 0.0});
+  std::vector<double> buf(padded, 0.0);
   for (std::size_t i = 0; i < n; ++i) buf[i] = data[i] - mean;
-  fft(buf);
-  for (auto& v : buf) v = v * std::conj(v);
-  ifft(buf);
+  auto spectrum = rfft(buf);
+  for (auto& v : spectrum) v = std::norm(v);
+  const auto acov = irfft(spectrum, padded);
 
-  const double c0 = buf[0].real() / static_cast<double>(n);
+  const double c0 = acov[0] / static_cast<double>(n);
   VBR_ENSURE(c0 > 0.0, "autocorrelation of a constant series is undefined");
   std::vector<double> r(max_lag + 1);
   for (std::size_t k = 0; k <= max_lag; ++k) {
-    r[k] = (buf[k].real() / static_cast<double>(n)) / c0;
+    r[k] = (acov[k] / static_cast<double>(n)) / c0;
   }
   return r;
 }

@@ -16,9 +16,12 @@ Periodogram periodogram(std::span<const double> data) {
   VBR_ENSURE(n >= 4, "periodogram requires at least four samples");
   const double mean = kahan_total(data) / static_cast<double>(n);
 
-  std::vector<std::complex<double>> buf(n);
-  for (std::size_t i = 0; i < n; ++i) buf[i] = data[i] - mean;
-  fft(buf);
+  // Real input: rfft() returns the n/2 + 1 non-redundant coefficients,
+  // which cover every ordinate k = 1..(n-1)/2 used below at half the cost
+  // of the complex transform.
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = data[i] - mean;
+  const auto buf = rfft(centered);
 
   const std::size_t half = (n - 1) / 2;
   Periodogram pg;

@@ -10,6 +10,7 @@
 #include <numbers>
 #include <vector>
 
+#include "vbr/common/error.hpp"
 #include "vbr/common/rng.hpp"
 
 namespace vbr {
@@ -153,6 +154,94 @@ TEST(FftTest, ParsevalEnergyConservation) {
     for (const auto& v : fx) freq_energy += std::norm(v);
     EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-8 * time_energy);
   }
+}
+
+std::vector<double> random_real_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.normal();
+  return x;
+}
+
+// Golden-value check: rfft must agree with the full complex fft() on the
+// non-redundant half, across both the radix-2 and Bluestein kernels and
+// both parities (even lengths take the half-length packed path, odd
+// lengths the complex fallback).
+class RfftGolden : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RfftGolden, MatchesComplexFft) {
+  const std::size_t n = GetParam();
+  const auto x = random_real_signal(n, 7000 + n);
+  std::vector<Complex> full(x.begin(), x.end());
+  fft(full);
+  const auto half = rfft(x);
+  ASSERT_EQ(half.size(), n / 2 + 1);
+  for (std::size_t k = 0; k < half.size(); ++k) {
+    EXPECT_NEAR(half[k].real(), full[k].real(), 1e-12 * static_cast<double>(n))
+        << "n=" << n << " k=" << k;
+    EXPECT_NEAR(half[k].imag(), full[k].imag(), 1e-12 * static_cast<double>(n))
+        << "n=" << n << " k=" << k;
+  }
+}
+
+TEST_P(RfftGolden, IrfftRoundTripsToInput) {
+  const std::size_t n = GetParam();
+  const auto x = random_real_signal(n, 8000 + n);
+  const auto back = irfft(rfft(x), n);
+  ASSERT_EQ(back.size(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(back[j], x[j], 1e-12 * static_cast<double>(n)) << "n=" << n << " j=" << j;
+  }
+}
+
+TEST_P(RfftGolden, IrfftMatchesFullComplexInverse) {
+  // Feed irfft a conjugate-symmetric spectrum and compare against ifft()
+  // on the fully mirrored spectrum — same 1/n normalization.
+  const std::size_t n = GetParam();
+  const auto half = rfft(random_real_signal(n, 9000 + n));
+  std::vector<Complex> mirrored(n);
+  for (std::size_t k = 0; k < half.size(); ++k) mirrored[k] = half[k];
+  for (std::size_t k = 1; k < (n + 1) / 2; ++k) mirrored[n - k] = std::conj(half[k]);
+  ifft(mirrored);
+  const auto real_path = irfft(half, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(real_path[j], mirrored[j].real(), 1e-12 * static_cast<double>(n))
+        << "n=" << n << " j=" << j;
+  }
+}
+
+// n = 1, even/odd powers of two, odd primes, and composite Bluestein
+// lengths, as the acceptance criteria require.
+INSTANTIATE_TEST_SUITE_P(Lengths, RfftGolden,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 30, 31, 64, 100,
+                                           127, 128, 171, 255, 256, 1000, 1024));
+
+TEST(RfftTest, SingleElementIsIdentity) {
+  const std::vector<double> x{4.25};
+  const auto fx = rfft(x);
+  ASSERT_EQ(fx.size(), 1u);
+  EXPECT_NEAR(fx[0].real(), 4.25, 1e-15);
+  EXPECT_NEAR(fx[0].imag(), 0.0, 1e-15);
+  const auto back = irfft(fx, 1);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_NEAR(back[0], 4.25, 1e-15);
+}
+
+TEST(RfftTest, DcComponentIsTheSum) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const auto fx = rfft(x);
+  EXPECT_NEAR(fx[0].real(), 21.0, 1e-12);
+  EXPECT_NEAR(fx[0].imag(), 0.0, 1e-12);
+  // Nyquist bin of an even-length real transform is real.
+  EXPECT_NEAR(fx[3].imag(), 0.0, 1e-12);
+}
+
+TEST(RfftTest, IrfftRejectsWrongSpectrumSize) {
+  std::vector<Complex> spec(4);
+  EXPECT_THROW(irfft(spec, 4), InvalidArgument);   // needs 3
+  EXPECT_THROW(irfft(spec, 8), InvalidArgument);   // needs 5
+  EXPECT_NO_THROW(irfft(spec, 6));                 // 6/2+1 == 4
+  EXPECT_NO_THROW(irfft(spec, 7));                 // 7/2+1 == 4
 }
 
 TEST(FftTest, RealTransformHasConjugateSymmetry) {

@@ -163,6 +163,108 @@ TEST(GeneratorCrossValidationTest, HoskingAndDaviesHarteAgree) {
   for (std::size_t k = 1; k <= 5; ++k) EXPECT_NEAR(ah[k], ad[k], 0.07) << "lag " << k;
 }
 
+TEST(DaviesHarteCacheTest, CachedAndUncachedProduceIdenticalOutput) {
+  davies_harte_cache_clear();
+  DaviesHarteOptions uncached;
+  uncached.hurst = 0.8;
+  uncached.use_eigenvalue_cache = false;
+
+  DaviesHarteOptions cached = uncached;
+  cached.use_eigenvalue_cache = true;
+
+  Rng rng_a(97);
+  const auto a = davies_harte(3000, uncached, rng_a);
+  EXPECT_EQ(davies_harte_cache_size(), 0u);
+
+  Rng rng_b(97);  // same Rng state, cold cache
+  const auto b = davies_harte(3000, cached, rng_b);
+  EXPECT_EQ(davies_harte_cache_size(), 1u);
+
+  Rng rng_c(97);  // same Rng state, warm cache
+  const auto c = davies_harte(3000, cached, rng_c);
+  EXPECT_EQ(davies_harte_cache_size(), 1u);
+
+  EXPECT_EQ(a, b);  // exact double equality: caching must not change output
+  EXPECT_EQ(b, c);
+  davies_harte_cache_clear();
+  EXPECT_EQ(davies_harte_cache_size(), 0u);
+}
+
+TEST(DaviesHarteCacheTest, KeyedByHurstLengthAndCovariance) {
+  davies_harte_cache_clear();
+  DaviesHarteOptions opt;
+  opt.hurst = 0.7;
+  Rng rng(101);
+
+  davies_harte(512, opt, rng);
+  EXPECT_EQ(davies_harte_cache_size(), 1u);
+
+  // Same key again: no new entry.
+  davies_harte(512, opt, rng);
+  EXPECT_EQ(davies_harte_cache_size(), 1u);
+
+  // n = 300 embeds into the same 2m = 1024 circulant as n = 512, so it
+  // must share the entry rather than duplicate it.
+  davies_harte(300, opt, rng);
+  EXPECT_EQ(davies_harte_cache_size(), 1u);
+
+  // Different H -> new entry.
+  opt.hurst = 0.8;
+  davies_harte(512, opt, rng);
+  EXPECT_EQ(davies_harte_cache_size(), 2u);
+
+  // Different covariance kind at the same H and length -> new entry.
+  opt.covariance = CovarianceKind::kFarima;
+  davies_harte(512, opt, rng);
+  EXPECT_EQ(davies_harte_cache_size(), 3u);
+
+  // Different embedding length -> new entry. variance is only an output
+  // scale and must NOT key the cache.
+  opt.variance = 5.0;
+  davies_harte(2048, opt, rng);
+  EXPECT_EQ(davies_harte_cache_size(), 4u);
+  opt.variance = 9.0;
+  davies_harte(2048, opt, rng);
+  EXPECT_EQ(davies_harte_cache_size(), 4u);
+  davies_harte_cache_clear();
+}
+
+TEST(DaviesHarteCacheTest, VarianceScalesCachedOutputExactly) {
+  davies_harte_cache_clear();
+  DaviesHarteOptions opt;
+  opt.hurst = 0.8;
+  Rng rng1(111);
+  const auto unit = davies_harte(1024, opt, rng1);
+  opt.variance = 4.0;
+  Rng rng2(111);
+  const auto scaled = davies_harte(1024, opt, rng2);
+  EXPECT_EQ(davies_harte_cache_size(), 1u);  // shared entry despite variance
+  for (std::size_t i = 0; i < unit.size(); ++i) {
+    EXPECT_NEAR(scaled[i], 2.0 * unit[i], 1e-12 * std::abs(unit[i]) + 1e-15) << i;
+  }
+  davies_harte_cache_clear();
+}
+
+TEST(DaviesHarteTest, EigenvalueClippingNearHurstBoundary) {
+  // Near H -> 1 at large n the smallest circulant eigenvalues sit closest
+  // to zero, so FFT roundoff can push them slightly negative; the clipping
+  // threshold is relative (1e-10 * lambda_max), not scaled by 2m as it
+  // once was. Pin the behaviour: H = 0.95 at n = 2^15 (embedding 2^16)
+  // must generate, not throw, and produce a sane realization.
+  DaviesHarteOptions opt;
+  opt.hurst = 0.95;
+  Rng rng(131);
+  std::vector<double> x;
+  ASSERT_NO_THROW(x = davies_harte(std::size_t{1} << 15, opt, rng));
+  ASSERT_EQ(x.size(), std::size_t{1} << 15);
+  for (const double v : x) ASSERT_TRUE(std::isfinite(v));
+  // Unit target variance; H = 0.95 LRD makes the sample estimate noisy,
+  // so only bracket it loosely.
+  const double var = sample_variance(x);
+  EXPECT_GT(var, 0.2);
+  EXPECT_LT(var, 5.0);
+}
+
 TEST(DaviesHarteTest, SingleAndSmallN) {
   DaviesHarteOptions opt;
   opt.hurst = 0.8;
