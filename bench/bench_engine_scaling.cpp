@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_support.hpp"
 #include "vbr/engine/engine.hpp"
 
 namespace {
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
   std::printf("  \"sources\": %zu,\n", plan.num_sources);
   std::printf("  \"frames_per_source\": %zu,\n", plan.frames_per_source);
   std::printf("  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("  \"contracts\": \"%s\",\n", vbrbench::contracts_state());
   std::printf("  \"results\": [\n");
 
   double baseline_fps = 0.0;

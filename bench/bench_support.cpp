@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "vbr/common/error.hpp"
+
 namespace vbrbench {
 
 const vbr::model::SurrogateTrace& full_trace() {
@@ -38,6 +40,14 @@ void print_exhibit_header(const std::string& exhibit, const std::string& descrip
 void print_paper_vs_measured(const std::string& quantity, double paper, double measured) {
   std::printf("  %-36s paper %10.4g   measured %10.4g\n", quantity.c_str(), paper,
               measured);
+}
+
+const char* contracts_state() {
+#if VBR_DCHECK_ENABLED
+  return "on";
+#else
+  return "off";
+#endif
 }
 
 }  // namespace vbrbench

@@ -28,4 +28,9 @@ void print_exhibit_header(const std::string& exhibit, const std::string& descrip
 /// One "paper vs measured" line for EXPERIMENTS.md-style summaries.
 void print_paper_vs_measured(const std::string& quantity, double paper, double measured);
 
+/// "on" when hot-loop VBR_DCHECK contracts are compiled in, "off" for a
+/// plain Release build. Stamped into benchmark JSON so a number measured
+/// with contracts enabled is never compared against a contract-free run.
+const char* contracts_state();
+
 }  // namespace vbrbench

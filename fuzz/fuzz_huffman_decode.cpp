@@ -1,0 +1,39 @@
+// Fuzz harness: canonical Huffman table construction + bitstream decode.
+//
+// Input layout: byte 0 selects the alphabet size (1..64), the next
+// `alphabet` bytes are symbol frequencies, and the remainder is the bit
+// stream to decode. The harness builds a code from the (attacker-chosen)
+// frequency table, then decodes the stream to exhaustion, re-encoding each
+// decoded symbol as a round-trip invariant. vbr::Error is the contract for
+// malformed input; any other escape (UB, OOB, non-vbr exception) crashes
+// the process and fails the run.
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "vbr/codec/huffman.hpp"
+#include "vbr/common/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 2) return 0;
+  const std::size_t alphabet = 1 + data[0] % 64;
+  if (size < 1 + alphabet) return 0;
+
+  std::vector<std::uint64_t> freqs(alphabet);
+  for (std::size_t s = 0; s < alphabet; ++s) freqs[s] = data[1 + s];
+
+  try {
+    const auto code = vbr::codec::HuffmanCode::build(freqs, 16);
+    vbr::codec::BitReader reader({data + 1 + alphabet, size - 1 - alphabet});
+    vbr::codec::BitWriter writer;
+    for (int i = 0; i < 1 << 14; ++i) {
+      const std::size_t symbol = code.decode(reader);
+      // Decoded symbols must exist in the code's alphabet with a real code.
+      if (symbol >= alphabet || code.length(symbol) == 0) std::abort();
+      code.encode(writer, symbol);
+    }
+  } catch (const vbr::Error&) {
+    // Malformed table or exhausted/invalid bit stream: the documented path.
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fuzz harness: run-length decode of zig-zag AC coefficients.
+//
+// Input: a stream of 3-byte records (run, level_lo, level_hi) interpreted
+// as RleSymbols, decoded into a 63-coefficient block. On success the result
+// is re-encoded and decoded again; the round trip must be exact — RLE is
+// lossless by construction, so any divergence is a real bug, not noise.
+// vbr::Error is the documented rejection path for malformed symbol streams.
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "vbr/codec/rle.hpp"
+#include "vbr/common/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  constexpr std::size_t kAcCoefficients = 63;
+
+  std::vector<vbr::codec::RleSymbol> symbols;
+  symbols.reserve(size / 3);
+  for (std::size_t i = 0; i + 2 < size; i += 3) {
+    vbr::codec::RleSymbol s;
+    s.run = data[i];
+    s.level = static_cast<std::int16_t>(data[i + 1] | (data[i + 2] << 8));
+    symbols.push_back(s);
+  }
+
+  try {
+    const auto coeffs = vbr::codec::rle_decode_ac(symbols, kAcCoefficients);
+    if (coeffs.size() != kAcCoefficients) std::abort();
+    const auto re_encoded = vbr::codec::rle_encode_ac(coeffs);
+    const auto round_trip = vbr::codec::rle_decode_ac(re_encoded, kAcCoefficients);
+    if (round_trip != coeffs) std::abort();
+  } catch (const vbr::Error&) {
+    // Malformed symbol stream (overrun, bad run length): the documented path.
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fuzz harness: trace file parsing (ASCII and binary formats).
+//
+// Byte 0 selects the format; the rest of the input is fed to the parser
+// through a stringstream. A successful parse must yield a series that obeys
+// the format's contract — finite, non-negative samples and a positive dt —
+// anything else means the validation in trace_io let corruption through.
+// vbr::IoError (a vbr::Error) is the documented rejection path.
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "vbr/common/error.hpp"
+#include "vbr/trace/trace_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 1) return 0;
+  const bool binary = (data[0] & 1) != 0;
+  std::istringstream in(std::string(reinterpret_cast<const char*>(data + 1), size - 1));
+
+  try {
+    const auto series = binary ? vbr::trace::read_binary(in, "fuzz")
+                               : vbr::trace::read_ascii(in, "fuzz");
+    if (!(series.dt_seconds() > 0.0) || !std::isfinite(series.dt_seconds())) std::abort();
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (!std::isfinite(series[i]) || series[i] < 0.0) std::abort();
+    }
+  } catch (const vbr::Error&) {
+    // Malformed trace: the documented path.
+  }
+  return 0;
+}

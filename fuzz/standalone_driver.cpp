@@ -1,0 +1,134 @@
+// Standalone driver for the fuzz harnesses when libFuzzer is unavailable
+// (GCC has no -fsanitize=fuzzer). Replays every file in the given corpus
+// directories, then runs a seeded, fully deterministic mutation loop over
+// the corpus — byte flips, truncations, extensions, and splices — feeding
+// each variant to LLVMFuzzerTestOneInput. Not coverage-guided, but combined
+// with ASan/UBSan it still shakes out parser bugs, and determinism makes
+// every failure a one-command repro:
+//
+//   fuzz_foo CORPUS_DIR... [-runs=N] [-seed=S] [FILE...]
+//
+// The flag spelling matches libFuzzer's, so scripts/check.sh can invoke a
+// harness the same way whether it was linked against libFuzzer (Clang) or
+// this driver (GCC).
+//
+// A bare file argument is replayed only (regression mode for checked-in
+// crash reproducers). Exit status is nonzero if the harness aborts or a
+// sanitizer fires (both terminate the process).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "vbr/common/rng.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+using Input = std::vector<std::uint8_t>;
+
+Input read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Input(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+constexpr std::size_t kMaxInputBytes = 1 << 16;
+
+// One deterministic mutation of a corpus member. Mirrors libFuzzer's core
+// mutators at a much smaller scale.
+Input mutate(const Input& base, vbr::Rng& rng) {
+  Input out = base;
+  const std::uint64_t op = rng.uniform_index(4);
+  switch (op) {
+    case 0: {  // flip 1..8 bytes
+      if (out.empty()) break;
+      const std::uint64_t flips = 1 + rng.uniform_index(8);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        out[rng.uniform_index(out.size())] ^= static_cast<std::uint8_t>(1 + rng.uniform_index(255));
+      }
+      break;
+    }
+    case 1: {  // truncate
+      if (out.empty()) break;
+      out.resize(rng.uniform_index(out.size() + 1));
+      break;
+    }
+    case 2: {  // append random bytes
+      const std::uint64_t extra = 1 + rng.uniform_index(64);
+      for (std::uint64_t e = 0; e < extra && out.size() < kMaxInputBytes; ++e) {
+        out.push_back(static_cast<std::uint8_t>(rng.uniform_index(256)));
+      }
+      break;
+    }
+    default: {  // overwrite a window with random bytes
+      if (out.empty()) break;
+      const std::size_t start = rng.uniform_index(out.size());
+      const std::size_t len = 1 + rng.uniform_index(out.size() - start);
+      for (std::size_t i = start; i < start + len; ++i) {
+        out[i] = static_cast<std::uint8_t>(rng.uniform_index(256));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Input> corpus;
+  std::uint64_t runs = 10000;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg == "--runs" && i + 1 < argc) {
+      runs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());  // directory order is not deterministic
+      for (const auto& f : files) corpus.push_back(read_file(f));
+    } else if (std::filesystem::is_regular_file(arg)) {
+      corpus.push_back(read_file(arg));
+    } else {
+      std::fprintf(stderr, "fuzz driver: no such corpus: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "usage: %s CORPUS_DIR... [-runs=N] [-seed=S]\n", argv[0]);
+    return 2;
+  }
+
+  // Replay the corpus verbatim (regression pass), then mutate.
+  std::uint64_t execs = 0;
+  for (const auto& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++execs;
+  }
+  vbr::Rng rng(seed);
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    const Input variant = mutate(corpus[rng.uniform_index(corpus.size())], rng);
+    LLVMFuzzerTestOneInput(variant.data(), variant.size());
+    ++execs;
+  }
+  std::printf("%s: %llu execs (corpus %zu, seed %llu) — no crashes\n", argv[0],
+              static_cast<unsigned long long>(execs), corpus.size(),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -1,32 +1,76 @@
 #!/usr/bin/env bash
-# check.sh — tier-1 verification plus the ThreadSanitizer engine suite.
+# check.sh — the repo's correctness gauntlet.
 #
-#   ./scripts/check.sh            # full check (tier-1 + TSan)
-#   ./scripts/check.sh --tier1    # tier-1 only
+#   ./scripts/check.sh            # every stage, in order
+#   ./scripts/check.sh --tier1    # configure + build + ctest (canonical gate)
+#   ./scripts/check.sh --asan     # full ctest under ASan+UBSan
+#   ./scripts/check.sh --tsan     # engine/fft/generator tests under TSan
+#   ./scripts/check.sh --lint     # domain lint + clang-tidy (if installed)
+#   ./scripts/check.sh --fuzz     # fuzz harness smoke (~12k execs each)
 #
-# Tier-1 is the repo's canonical gate (see ROADMAP.md): configure, build,
-# ctest. The TSan stage rebuilds the concurrency-sensitive targets with
-# -DVBR_SANITIZE=thread and runs the engine + FFT tests under the
-# sanitizer, catching data races in the parallel generation engine and the
-# shared Davies-Harte eigenvalue cache.
+# Stages may be combined (e.g. --tier1 --lint). Tier-1 is the canonical
+# gate from ROADMAP.md. The sanitizer stages force hot-loop VBR_DCHECK
+# contracts on (see CMakeLists.txt), so instrumented runs exercise both the
+# sanitizer and the contract layer; tier-1 stays a plain Release build with
+# contracts compiled out, matching what the benchmarks measure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== tier-1: configure + build + ctest ==="
-cmake -B build -S . >/dev/null
-cmake --build build -j >/dev/null
-ctest --test-dir build --output-on-failure -j"$(nproc)"
+run_tier1=0 run_asan=0 run_tsan=0 run_lint=0 run_fuzz=0
+if [[ $# -eq 0 ]]; then
+  run_tier1=1 run_asan=1 run_tsan=1 run_lint=1 run_fuzz=1
+fi
+for arg in "$@"; do
+  case "$arg" in
+    --tier1) run_tier1=1 ;;
+    --asan)  run_asan=1 ;;
+    --tsan)  run_tsan=1 ;;
+    --lint)  run_lint=1 ;;
+    --fuzz)  run_fuzz=1 ;;
+    *) echo "unknown stage: $arg (expected --tier1/--asan/--tsan/--lint/--fuzz)" >&2
+       exit 2 ;;
+  esac
+done
 
-if [[ "${1:-}" == "--tier1" ]]; then
-  echo "=== tier-1 OK (TSan stage skipped) ==="
-  exit 0
+if [[ $run_tier1 -eq 1 ]]; then
+  echo "=== tier-1: configure + build + ctest (Release, contracts off) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j >/dev/null
+  ctest --test-dir build --output-on-failure -j"$(nproc)"
 fi
 
-echo "=== TSan: engine + fft tests under -fsanitize=thread ==="
-cmake -B build-tsan -S . -DVBR_SANITIZE=thread \
-      -DVBR_BUILD_BENCH=OFF -DVBR_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j --target engine_test fft_test generators_test >/dev/null
-./build-tsan/tests/engine_test
-./build-tsan/tests/fft_test
-./build-tsan/tests/generators_test
-echo "=== all checks OK ==="
+if [[ $run_asan -eq 1 ]]; then
+  echo "=== asan: full ctest under -fsanitize=address,undefined ==="
+  cmake --preset asan-ubsan >/dev/null
+  cmake --build --preset asan-ubsan -j >/dev/null
+  ctest --preset asan-ubsan
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+  echo "=== tsan: engine + fft + generator tests under -fsanitize=thread ==="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j --target engine_test fft_test generators_test >/dev/null
+  ./build-tsan/tests/engine_test
+  ./build-tsan/tests/fft_test
+  ./build-tsan/tests/generators_test
+fi
+
+if [[ $run_lint -eq 1 ]]; then
+  echo "=== lint: domain rules + clang-tidy ==="
+  python3 scripts/lint_domain.py
+  ./scripts/tidy.sh
+fi
+
+if [[ $run_fuzz -eq 1 ]]; then
+  echo "=== fuzz: harness smoke (deterministic, ~12k execs each) ==="
+  cmake --preset fuzz >/dev/null
+  cmake --build --preset fuzz -j >/dev/null
+  # -runs=/-seed= is libFuzzer's flag spelling; the GCC standalone driver
+  # accepts the same flags, so this line works with either toolchain.
+  for pair in huffman_decode:huffman rle_decode:rle trace_io:trace_io; do
+    harness="${pair%%:*}" corpus="${pair##*:}"
+    ./build-fuzz/fuzz/fuzz_"$harness" fuzz/corpus/"$corpus" -runs=12000 -seed=1
+  done
+fi
+
+echo "=== all requested checks OK ==="

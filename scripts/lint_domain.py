@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Domain lint: repo-specific invariants that generic tools don't know about.
+
+Run from the repo root (or via ctest, test name `domain_lint`):
+
+    python3 scripts/lint_domain.py            # lint the whole tree
+    python3 scripts/lint_domain.py --list     # show the rules and exit
+
+Rules (each encodes a bug class this repo has actually hit or must never hit):
+
+  R1 rng-purity        std::rand / srand / std::random_device / std::mt19937
+                       appear only in src/vbr/common/rng.cpp. Every stochastic
+                       component must draw from the seeded, splittable
+                       vbr::Rng so experiments stay reproducible.
+  R2 lgamma-reentrancy bare (std::)lgamma appears only in
+                       src/vbr/common/special_functions.cpp, which wraps the
+                       reentrant lgamma_r. std::lgamma writes the process
+                       global `signgam` — the data race TSan caught in PR 1.
+  R3 no-mutable-static no namespace-scope mutable globals and no function-
+                       local `static` non-const state in library sources
+                       outside the allowlist (same `signgam` bug class).
+  R4 no-naked-new      no `new`/`delete` expressions; the library is
+                       value-semantic and RAII-managed throughout.
+  R5 pragma-once       every header under src/ starts its preprocessor life
+                       with #pragma once.
+
+Violations print as file:line: [rule] message, and the exit status is the
+number of violations (0 = clean).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Directories scanned per rule. Tests are exempt from R1/R3 (they may use
+# local statics for fixtures) but not from the others.
+LIBRARY_DIRS = ["src"]
+CODE_DIRS = ["src", "bench", "examples", "fuzz"]
+ALL_DIRS = ["src", "bench", "examples", "fuzz", "tests"]
+
+# R1: the one file allowed to touch the raw entropy/stdlib generators.
+RNG_ALLOWLIST = {"src/vbr/common/rng.cpp"}
+
+# R2: the one file allowed to call lgamma (it wraps lgamma_r).
+LGAMMA_ALLOWLIST = {"src/vbr/common/special_functions.cpp"}
+
+# R3: files with reviewed, synchronization-guarded static state.
+#   davies_harte.cpp — the mutex-guarded eigenvalue cache
+#   dct.cpp          — `static const` basis (const, listed for the declaration
+#                      form `static const Basis b;` inside a function)
+MUTABLE_STATIC_ALLOWLIST = {
+    "src/vbr/model/davies_harte.cpp",
+}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                if text[j] == "\n":  # unterminated; bail at line end
+                    break
+                j += 1
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_sources(dirs, suffixes):
+    for d in dirs:
+        root = REPO_ROOT / d
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in suffixes and path.is_file():
+                yield path
+
+
+def relpath(path: Path) -> str:
+    return path.relative_to(REPO_ROOT).as_posix()
+
+
+def lint(violations):
+    def report(path, line_no, rule, message):
+        violations.append(f"{relpath(path)}:{line_no}: [{rule}] {message}")
+
+    # --- R1 / R2 / R4: token scans over comment-stripped sources ----------
+    r1_pattern = re.compile(r"\bstd::rand\b|\bsrand\s*\(|\brandom_device\b|\bmt19937\b")
+    r2_pattern = re.compile(r"(?<![\w:])(?:std::)?lgamma\s*\(")
+    r4_pattern = re.compile(r"(?<![\w:.])new\s+[\w:<(]|(?<![\w:.])delete\s*(?:\[\s*\])?\s+\w|(?<![\w:.])delete\s+\[")
+
+    for path in iter_sources(CODE_DIRS, {".cpp", ".hpp", ".h"}):
+        rel = relpath(path)
+        clean = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for line_no, line in enumerate(clean.splitlines(), 1):
+            if rel not in RNG_ALLOWLIST and r1_pattern.search(line):
+                report(path, line_no, "R1",
+                       "stdlib RNG outside rng.cpp; draw from the seeded vbr::Rng")
+            if rel not in LGAMMA_ALLOWLIST and r2_pattern.search(line):
+                report(path, line_no, "R2",
+                       "bare lgamma writes global signgam; use vbr::lgamma_safe")
+            if r4_pattern.search(line):
+                report(path, line_no, "R4",
+                       "naked new/delete; use containers or smart pointers")
+
+    # --- R3: mutable static state in library sources ----------------------
+    # `static` at statement level that is not const/constexpr. Headers are
+    # covered implicitly: class-member `static` declarations carry no storage
+    # here, and the regex requires a definition-like line in a .cpp file.
+    r3_pattern = re.compile(r"^\s*static\s+(?!const\b|constexpr\b|_Thread_local\b|thread_local\b)")
+    for path in iter_sources(LIBRARY_DIRS, {".cpp"}):
+        rel = relpath(path)
+        if rel in MUTABLE_STATIC_ALLOWLIST:
+            continue
+        clean = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for line_no, line in enumerate(clean.splitlines(), 1):
+            if r3_pattern.search(line):
+                report(path, line_no, "R3",
+                       "mutable static state (the signgam bug class); "
+                       "pass state explicitly or allowlist a reviewed cache")
+
+    # --- R5: #pragma once in every header ----------------------------------
+    for path in iter_sources(LIBRARY_DIRS, {".hpp", ".h"}):
+        text = path.read_text(encoding="utf-8")
+        for line in text.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.startswith("//"):
+                continue
+            if stripped == "#pragma once":
+                break
+            report(path, 1, "R5", "header must open with #pragma once")
+            break
+        else:
+            report(path, 1, "R5", "header must open with #pragma once")
+
+
+def main(argv):
+    if "--list" in argv:
+        print(__doc__)
+        return 0
+    violations = []
+    lint(violations)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"domain lint: {len(violations)} violation(s)")
+    else:
+        print("domain lint: clean")
+    return min(len(violations), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# tidy.sh — run clang-tidy (config: .clang-tidy) over the library, bench,
+# example, and fuzz sources using a fresh compile database.
+#
+#   ./scripts/tidy.sh              # analyze everything
+#   ./scripts/tidy.sh src/vbr/stats/whittle.cpp ...   # analyze specific files
+#
+# Exits 0 with a notice when clang-tidy is not installed (the toolchain image
+# may be GCC-only); CI's lint job provides clang-tidy and runs this for real.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy.sh: clang-tidy not found on PATH; skipping (install clang-tidy to run this stage)"
+  exit 0
+fi
+
+BUILD_DIR=build-tidy
+cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DVBR_BUILD_FUZZERS=ON >/dev/null
+
+if [[ $# -gt 0 ]]; then
+  FILES=("$@")
+else
+  mapfile -t FILES < <(find src bench examples fuzz -name '*.cpp' | sort)
+fi
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p "$BUILD_DIR" "${FILES[@]}"
+else
+  status=0
+  for f in "${FILES[@]}"; do
+    clang-tidy -quiet -p "$BUILD_DIR" "$f" || status=1
+  done
+  exit $status
+fi

@@ -114,6 +114,8 @@ std::vector<unsigned> huffman_lengths(std::span<const std::uint64_t> freqs) {
 HuffmanCode HuffmanCode::build(std::span<const std::uint64_t> frequencies,
                                unsigned max_length) {
   VBR_ENSURE(!frequencies.empty(), "empty alphabet");
+  // Tree nodes are indexed with int (2 * alphabet - 1 of them at most).
+  VBR_ENSURE(frequencies.size() < (std::size_t{1} << 28), "alphabet too large");
   VBR_ENSURE(max_length >= 2 && max_length <= 31, "max code length must be in [2, 31]");
 
   // Scale-and-retry: halving frequencies flattens the tree; converges
@@ -186,7 +188,9 @@ std::size_t HuffmanCode::decode(BitReader& in) const {
     code = (code << 1) | in.read_bit();
     if (count_[len] != 0 && code >= first_code_[len] &&
         code < first_code_[len] + count_[len]) {
-      return sorted_symbols_[first_index_[len] + (code - first_code_[len])];
+      const std::uint32_t index = first_index_[len] + (code - first_code_[len]);
+      VBR_DCHECK(index < sorted_symbols_.size(), "canonical decode index out of range");
+      return sorted_symbols_[index];
     }
   }
   throw Error("invalid Huffman code in bit stream");

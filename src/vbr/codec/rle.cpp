@@ -36,6 +36,8 @@ std::vector<std::int16_t> rle_decode_ac(std::span<const RleSymbol> symbols, std:
       out.insert(out.end(), 16, 0);
       continue;
     }
+    VBR_ENSURE(s.run <= 15, "RLE run exceeds 15");
+    VBR_ENSURE(s.level != 0, "zero level in a non-sentinel RLE symbol");
     VBR_ENSURE(out.size() + s.run + 1 <= count, "RLE symbol overruns the block");
     out.insert(out.end(), s.run, 0);
     out.push_back(s.level);

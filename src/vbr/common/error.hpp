@@ -1,10 +1,29 @@
-// Error handling primitives for the vbr library.
+// Error handling and contract-checking primitives for the vbr library.
 //
 // The library reports contract violations and unrecoverable runtime failures
-// with exceptions derived from vbr::Error. Hot inner loops use assertions via
-// VBR_ENSURE only at API boundaries so release builds stay fast.
+// with exceptions derived from vbr::Error. Checks come in two tiers:
+//
+//   VBR_ENSURE(expr, msg)   Boundary contract, always on. Use at API entry
+//                           points where the cost is amortized over the call.
+//   VBR_DCHECK(expr, msg)   Hot-loop contract, compiled out in Release
+//                           (NDEBUG) builds unless VBR_FORCE_DCHECKS is
+//                           defined (sanitizer builds force it on so the
+//                           instrumented suites exercise every check).
+//
+// Numeric guards for the quantities the reproduction's headline figures rest
+// on (always on — use at boundaries, not per-sample):
+//
+//   VBR_CHECK_FINITE(v, msg)         v is neither NaN nor infinite
+//   VBR_CHECK_PROB(p, msg)           p is a probability in [0, 1]
+//   VBR_CHECK_RANGE(v, lo, hi, msg)  v lies in [lo, hi]
+//
+// check_finite_series() scans a whole input span; estimators call it once at
+// entry so a silent NaN cannot propagate into a Hurst estimate or tail fit.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -40,14 +59,80 @@ namespace detail {
   throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
                         ": precondition failed: (" + expr + ") " + msg);
 }
+
+[[noreturn]] inline void throw_numerical(const char* expr, const char* file, int line,
+                                         const std::string& msg, double value) {
+  throw NumericalError(std::string(file) + ":" + std::to_string(line) +
+                       ": numeric contract failed: (" + expr + ") = " +
+                       std::to_string(value) + " " + msg);
+}
 }  // namespace detail
+
+/// Throw NumericalError if any element of `data` is NaN or infinite. Call at
+/// estimator/model boundaries so bad samples fail loudly with an index
+/// instead of corrupting downstream statistics.
+inline void check_finite_series(std::span<const double> data, const char* what) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (!std::isfinite(data[i])) {
+      throw NumericalError(std::string(what) + ": non-finite sample at index " +
+                           std::to_string(i));
+    }
+  }
+}
 
 }  // namespace vbr
 
 /// Validate a precondition at an API boundary; throws vbr::InvalidArgument.
-#define VBR_ENSURE(expr, msg)                                              \
-  do {                                                                     \
-    if (!(expr)) {                                                         \
-      ::vbr::detail::throw_invalid_argument(#expr, __FILE__, __LINE__, msg); \
-    }                                                                      \
+#define VBR_ENSURE(expr, msg)                                                 \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::vbr::detail::throw_invalid_argument(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                         \
+  } while (false)
+
+// VBR_DCHECK_ENABLED is 1 when VBR_DCHECK is an active check, 0 when it
+// expands to nothing. Release (NDEBUG) builds compile it out; defining
+// VBR_FORCE_DCHECKS (done automatically by sanitizer builds) forces it on.
+#if defined(VBR_FORCE_DCHECKS) || !defined(NDEBUG)
+#define VBR_DCHECK_ENABLED 1
+#else
+#define VBR_DCHECK_ENABLED 0
+#endif
+
+/// Hot-loop contract: identical to VBR_ENSURE in checked builds, compiled out
+/// (expression not evaluated) in Release builds.
+#if VBR_DCHECK_ENABLED
+#define VBR_DCHECK(expr, msg) VBR_ENSURE(expr, msg)
+#else
+#define VBR_DCHECK(expr, msg)     \
+  do {                            \
+    (void)sizeof((expr) ? 1 : 0); \
+  } while (false)
+#endif
+
+/// Numeric guard: `value` must be finite (neither NaN nor +-inf).
+#define VBR_CHECK_FINITE(value, msg)                                             \
+  do {                                                                           \
+    const double vbr_chk_v_ = (value);                                           \
+    if (!std::isfinite(vbr_chk_v_)) {                                            \
+      ::vbr::detail::throw_numerical(#value, __FILE__, __LINE__, msg, vbr_chk_v_); \
+    }                                                                            \
+  } while (false)
+
+/// Numeric guard: `value` must be a probability in [0, 1] (NaN fails).
+#define VBR_CHECK_PROB(value, msg)                                               \
+  do {                                                                           \
+    const double vbr_chk_v_ = (value);                                           \
+    if (!(vbr_chk_v_ >= 0.0 && vbr_chk_v_ <= 1.0)) {                             \
+      ::vbr::detail::throw_numerical(#value, __FILE__, __LINE__, msg, vbr_chk_v_); \
+    }                                                                            \
+  } while (false)
+
+/// Numeric guard: `value` must lie in [lo, hi] (NaN fails).
+#define VBR_CHECK_RANGE(value, lo, hi, msg)                                      \
+  do {                                                                           \
+    const double vbr_chk_v_ = (value);                                           \
+    if (!(vbr_chk_v_ >= (lo) && vbr_chk_v_ <= (hi))) {                           \
+      ::vbr::detail::throw_numerical(#value, __FILE__, __LINE__, msg, vbr_chk_v_); \
+    }                                                                            \
   } while (false)

@@ -61,8 +61,10 @@ SqrtEigenvalues compute_sqrt_eigenvalues(double hurst, std::size_t m,
   // would have silently zeroed eigenvalues as large as 2.6e-3.
   double lambda_max = 0.0;
   for (std::size_t k = 0; k <= m; ++k) {
+    VBR_DCHECK(std::isfinite(spectrum[k].real()), "non-finite circulant eigenvalue");
     lambda_max = std::max(lambda_max, std::abs(spectrum[k].real()));
   }
+  VBR_CHECK_FINITE(lambda_max, "largest circulant eigenvalue");
   const double tolerance = 1e-10 * std::max(1.0, lambda_max);
 
   auto sqrt_lambda = std::make_shared<std::vector<double>>(m + 1);
@@ -141,7 +143,10 @@ std::vector<double> davies_harte(std::size_t n, const DaviesHarteOptions& option
   const auto x = irfft(w, two_m);
   const double scale = std::sqrt(static_cast<double>(two_m) * options.variance);
   std::vector<double> out(n);
-  for (std::size_t j = 0; j < n; ++j) out[j] = x[j] * scale;
+  for (std::size_t j = 0; j < n; ++j) {
+    VBR_DCHECK(std::isfinite(x[j]), "non-finite Davies-Harte sample");
+    out[j] = x[j] * scale;
+  }
   return out;
 }
 

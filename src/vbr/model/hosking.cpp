@@ -62,6 +62,7 @@ double HoskingGenerator::next() {
   v_ *= (1.0 - phi_kk * phi_kk);
 
   const double xk = rng_.normal(m_acc.value(), std::sqrt(v_));
+  VBR_DCHECK(std::isfinite(xk), "non-finite Hosking sample");
   x_.push_back(xk);
   n_prev_ = n_k;
   d_prev_ = d_k;

@@ -12,6 +12,7 @@ namespace {
 // Keep probabilities strictly inside (0, 1) so target quantiles stay finite.
 double clamp_probability(double p) {
   constexpr double kEps = 1e-15;
+  VBR_DCHECK(p >= 0.0 && p <= 1.0, "CDF value left [0, 1]");
   return std::clamp(p, kEps, 1.0 - kEps);
 }
 
@@ -21,11 +22,15 @@ std::vector<double> transform_marginal(std::span<const double> gaussian,
                                        const stats::Distribution& target, double mu,
                                        double sigma) {
   VBR_ENSURE(sigma > 0.0, "Gaussian sigma must be positive");
+  VBR_CHECK_FINITE(mu, "Gaussian mean");
+  VBR_CHECK_FINITE(sigma, "Gaussian sigma");
   std::vector<double> out;
   out.reserve(gaussian.size());
   for (double x : gaussian) {
     const double p = clamp_probability(normal_cdf((x - mu) / sigma));
-    out.push_back(target.quantile(p));
+    const double y = target.quantile(p);
+    VBR_DCHECK(std::isfinite(y), "non-finite marginal-transform output");
+    out.push_back(y);
   }
   return out;
 }
@@ -45,6 +50,7 @@ TabulatedMarginalMap::TabulatedMarginalMap(const stats::Distribution& target,
     const double z = -kZMax + 2.0 * kZMax * t;
     z_grid_[i] = z;
     y_grid_[i] = target.quantile(clamp_probability(normal_cdf(z)));
+    VBR_CHECK_FINITE(y_grid_[i], "tabulated marginal-map quantile");
   }
 }
 

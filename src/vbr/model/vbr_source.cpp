@@ -20,6 +20,7 @@ VbrVideoSourceModel::VbrVideoSourceModel(const VbrModelParams& params)
 VbrVideoSourceModel VbrVideoSourceModel::fit(std::span<const double> frame_bytes,
                                              const FitOptions& options) {
   VBR_ENSURE(frame_bytes.size() >= 1000, "fitting needs a long record");
+  check_finite_series(frame_bytes, "VbrVideoSourceModel::fit input");
   VbrModelParams params;
   params.marginal =
       stats::GammaParetoDistribution::fit(frame_bytes, options.tail_fraction);
@@ -42,6 +43,7 @@ VbrVideoSourceModel VbrVideoSourceModel::fit(std::span<const double> frame_bytes
   const auto model =
       (m > 1) ? stats::SpectralModel::kFgn : stats::SpectralModel::kFarima;
   params.hurst = stats::whittle_estimate(aggregated, model).hurst;
+  VBR_CHECK_RANGE(params.hurst, 0.0, 1.0, "fitted H left (0, 1)");
   return VbrVideoSourceModel(params);
 }
 
@@ -77,6 +79,7 @@ std::vector<double> VbrVideoSourceModel::generate(std::size_t n, Rng& rng,
     // sizes are physically impossible, so clip at zero (rare for the
     // paper's coefficient of variation of ~0.23).
     for (auto& x : gaussian) {
+      VBR_DCHECK(std::isfinite(x), "non-finite Gaussian core sample");
       x = std::max(0.0, params_.marginal.mu_gamma + params_.marginal.sigma_gamma * x);
     }
     return gaussian;

@@ -31,14 +31,18 @@ double BufferlessAdmission::loss_fraction(std::size_t sources,
   const double capacity_bytes = total_capacity_bps / 8.0 * dt_seconds_;
   const auto& sum = convolved(sources);
   const double excess = sum.partial_expectation_above(capacity_bytes);
-  return excess / (static_cast<double>(sources) * per_source_mean_bytes_);
+  const double fraction = excess / (static_cast<double>(sources) * per_source_mean_bytes_);
+  VBR_CHECK_PROB(fraction, "bufferless loss fraction");
+  return fraction;
 }
 
 double BufferlessAdmission::overload_probability(std::size_t sources,
                                                  double total_capacity_bps) const {
   VBR_ENSURE(total_capacity_bps > 0.0, "capacity must be positive");
   const double capacity_bytes = total_capacity_bps / 8.0 * dt_seconds_;
-  return 1.0 - convolved(sources).cdf(capacity_bytes);
+  const double probability = 1.0 - convolved(sources).cdf(capacity_bytes);
+  VBR_CHECK_PROB(probability, "overload probability");
+  return probability;
 }
 
 double BufferlessAdmission::required_capacity_bps(std::size_t sources,

@@ -14,6 +14,9 @@ CellQueueResult run_cell_queue(std::span<const double> interval_bytes, double dt
   VBR_ENSURE(dt_seconds > 0.0, "interval must have positive duration");
   VBR_ENSURE(capacity_bytes_per_sec > 0.0, "capacity must be positive");
   VBR_ENSURE(buffer_bytes >= kCellPayloadBytes, "buffer must hold at least one cell");
+  VBR_CHECK_FINITE(capacity_bytes_per_sec, "cell-queue capacity");
+  VBR_CHECK_FINITE(buffer_bytes, "cell-queue buffer");
+  check_finite_series(interval_bytes, "run_cell_queue arrivals");
 
   CellQueueResult result;
   // Unfinished work in the queue, in bytes, as seen just after the last
@@ -23,6 +26,7 @@ CellQueueResult run_cell_queue(std::span<const double> interval_bytes, double dt
   std::vector<double> offsets;
 
   for (std::size_t i = 0; i < interval_bytes.size(); ++i) {
+    VBR_DCHECK(interval_bytes[i] >= 0.0, "negative arrival volume");
     const double t0 = static_cast<double>(i) * dt_seconds;
     const std::size_t cells = bytes_to_cells(interval_bytes[i]);
     if (cells == 0) continue;

@@ -15,6 +15,7 @@ double fbm_kappa(double hurst) {
 FbmTrafficParams fit_fbm_traffic(std::span<const double> interval_bytes, double hurst) {
   VBR_ENSURE(interval_bytes.size() >= 2, "need at least two intervals");
   VBR_ENSURE(hurst > 0.0 && hurst < 1.0, "H must be in (0, 1)");
+  check_finite_series(interval_bytes, "fit_fbm_traffic input");
   FbmTrafficParams params;
   params.mean_bytes = sample_mean(interval_bytes);
   params.variance_bytes2 = sample_variance(interval_bytes);
@@ -44,7 +45,9 @@ double fbm_overflow_probability(const FbmTrafficParams& traffic,
       std::pow(capacity_bytes_per_interval - m, 2.0 * h) *
       std::pow(buffer_bytes, 2.0 - 2.0 * h) /
       (2.0 * kappa * kappa * traffic.variance_bytes2);
-  return std::exp(-exponent);
+  const double probability = std::exp(-exponent);
+  VBR_CHECK_PROB(probability, "fBm overflow probability");
+  return probability;
 }
 
 double fbm_required_capacity(const FbmTrafficParams& traffic, double buffer_bytes,
@@ -55,8 +58,10 @@ double fbm_required_capacity(const FbmTrafficParams& traffic, double buffer_byte
   const double kappa = fbm_kappa(h);
   const double numerator =
       -2.0 * std::log(epsilon) * kappa * kappa * traffic.variance_bytes2;
-  return traffic.mean_bytes + std::pow(numerator, 1.0 / (2.0 * h)) *
-                                  std::pow(buffer_bytes, -(1.0 - h) / h);
+  const double capacity = traffic.mean_bytes + std::pow(numerator, 1.0 / (2.0 * h)) *
+                                                   std::pow(buffer_bytes, -(1.0 - h) / h);
+  VBR_CHECK_FINITE(capacity, "fBm required capacity");
+  return capacity;
 }
 
 }  // namespace vbr::net

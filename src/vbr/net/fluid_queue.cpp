@@ -8,6 +8,10 @@ namespace vbr::net {
 
 FluidQueue::FluidQueue(double capacity_bytes_per_sec, double buffer_bytes)
     : capacity_(capacity_bytes_per_sec), buffer_(buffer_bytes) {
+  // Finiteness first: a NaN parameter is numerical poisoning, not a merely
+  // out-of-range request, and the error should say so.
+  VBR_CHECK_FINITE(capacity_, "fluid-queue capacity");
+  VBR_CHECK_FINITE(buffer_, "fluid-queue buffer");
   VBR_ENSURE(capacity_ > 0.0, "capacity must be positive");
   VBR_ENSURE(buffer_ >= 0.0, "buffer must be non-negative");
 }
@@ -15,6 +19,7 @@ FluidQueue::FluidQueue(double capacity_bytes_per_sec, double buffer_bytes)
 double FluidQueue::offer(double bytes, double duration_sec) {
   VBR_ENSURE(bytes >= 0.0, "cannot offer negative traffic");
   VBR_ENSURE(duration_sec > 0.0, "interval must have positive duration");
+  VBR_DCHECK(std::isfinite(bytes), "non-finite arrival volume");
   arrived_ += bytes;
 
   const double arrival_rate = bytes / duration_sec;
@@ -52,6 +57,7 @@ double FluidQueue::offer(double bytes, double duration_sec) {
   elapsed_seconds_ += duration_sec;
   max_queue_ = std::max(max_queue_, queue_);
   lost_ += lost;
+  VBR_DCHECK(queue_ >= 0.0 && queue_ <= buffer_, "fluid queue left [0, buffer]");
   return lost;
 }
 
@@ -62,6 +68,7 @@ double FluidQueue::mean_queue_bytes() const {
 FluidQueueResult run_fluid_queue(std::span<const double> interval_bytes, double dt_seconds,
                                  double capacity_bytes_per_sec, double buffer_bytes,
                                  bool record_intervals) {
+  check_finite_series(interval_bytes, "run_fluid_queue arrivals");
   FluidQueue queue(capacity_bytes_per_sec, buffer_bytes);
   FluidQueueResult result;
   if (record_intervals) result.intervals.reserve(interval_bytes.size());

@@ -8,6 +8,7 @@ namespace vbr::stats {
 
 DfaResult dfa(std::span<const double> data, const DfaOptions& options) {
   VBR_ENSURE(data.size() >= 128, "DFA needs a longer series");
+  check_finite_series(data, "dfa input");
   DfaOptions opt = options;
   if (opt.max_box == 0) opt.max_box = data.size() / 8;
   VBR_ENSURE(opt.min_box >= 4 && opt.min_box < opt.max_box, "invalid box range");
@@ -62,6 +63,7 @@ DfaResult dfa(std::span<const double> data, const DfaOptions& options) {
   VBR_ENSURE(lx.size() >= 3, "too few DFA points in the fit window");
   result.fit = linear_fit(lx, ly);
   result.hurst = result.fit.slope;
+  VBR_CHECK_FINITE(result.hurst, "DFA Hurst estimate");
   return result;
 }
 

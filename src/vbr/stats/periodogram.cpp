@@ -14,6 +14,7 @@ namespace vbr::stats {
 Periodogram periodogram(std::span<const double> data) {
   const std::size_t n = data.size();
   VBR_ENSURE(n >= 4, "periodogram requires at least four samples");
+  check_finite_series(data, "periodogram input");
   const double mean = kahan_total(data) / static_cast<double>(n);
 
   // Real input: rfft() returns the n/2 + 1 non-redundant coefficients,
@@ -31,6 +32,7 @@ Periodogram periodogram(std::span<const double> data) {
   for (std::size_t k = 1; k <= half; ++k) {
     pg.frequency.push_back(2.0 * std::numbers::pi * static_cast<double>(k) /
                            static_cast<double>(n));
+    VBR_DCHECK(std::isfinite(std::norm(buf[k])), "non-finite periodogram ordinate");
     pg.power.push_back(std::norm(buf[k]) * norm);
   }
   return pg;

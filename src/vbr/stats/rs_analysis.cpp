@@ -10,6 +10,7 @@ namespace vbr::stats {
 double rescaled_range(std::span<const double> data, std::size_t start, std::size_t n) {
   VBR_ENSURE(n >= 2, "R/S block must have at least two observations");
   VBR_ENSURE(start + n <= data.size(), "R/S block exceeds the record");
+  VBR_DCHECK(start <= data.size(), "R/S block start past the record");
 
   // Block mean.
   KahanSum total;
@@ -35,6 +36,7 @@ double rescaled_range(std::span<const double> data, std::size_t start, std::size
 
 RsResult rs_analysis(std::span<const double> data, const RsOptions& options) {
   VBR_ENSURE(data.size() >= 64, "R/S analysis needs a longer record");
+  check_finite_series(data, "rs_analysis input");
   RsOptions opt = options;
   if (opt.max_lag == 0) opt.max_lag = data.size() / 2;
   VBR_ENSURE(opt.min_lag >= 2 && opt.min_lag < opt.max_lag, "invalid lag range");
@@ -65,6 +67,7 @@ RsResult rs_analysis(std::span<const double> data, const RsOptions& options) {
   VBR_ENSURE(lx.size() >= 3, "too few R/S points in the fit window");
   result.fit = linear_fit(lx, ly);
   result.hurst = result.fit.slope;
+  VBR_CHECK_FINITE(result.hurst, "R/S Hurst estimate");
   return result;
 }
 

@@ -9,6 +9,7 @@ namespace vbr::stats {
 VarianceTimeResult variance_time(std::span<const double> data,
                                  const VarianceTimeOptions& options) {
   VBR_ENSURE(data.size() >= 100, "variance-time analysis needs a long series");
+  check_finite_series(data, "variance_time input");
   VarianceTimeOptions opt = options;
   if (opt.max_m == 0) opt.max_m = data.size() / 10;
   VBR_ENSURE(opt.min_m >= 1 && opt.min_m < opt.max_m, "invalid block-size range");
@@ -36,6 +37,7 @@ VarianceTimeResult variance_time(std::span<const double> data,
   result.fit = linear_fit(lx, ly);
   result.beta = -result.fit.slope;
   result.hurst = 1.0 - result.beta / 2.0;
+  VBR_CHECK_FINITE(result.hurst, "variance-time Hurst estimate");
   return result;
 }
 

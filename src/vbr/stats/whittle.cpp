@@ -13,12 +13,14 @@ namespace vbr::stats {
 double farima_spectral_shape(double angular_frequency, double hurst) {
   VBR_ENSURE(angular_frequency > 0.0 && angular_frequency <= std::numbers::pi,
              "frequency must be in (0, pi]");
+  VBR_DCHECK(hurst > 0.0 && hurst < 1.0, "H must be in (0, 1)");
   return std::pow(2.0 * std::sin(angular_frequency / 2.0), 1.0 - 2.0 * hurst);
 }
 
 double fgn_spectral_shape(double angular_frequency, double hurst) {
   VBR_ENSURE(angular_frequency > 0.0 && angular_frequency <= std::numbers::pi,
              "frequency must be in (0, pi]");
+  VBR_DCHECK(hurst > 0.0 && hurst < 1.0, "H must be in (0, 1)");
   // f(w) ~ 2 (1 - cos w) sum_{j in Z} |w + 2 pi j|^{-2H-1}; truncate the
   // aliasing sum at |j| <= K and add the integral tail
   // 2 * integral_{2 pi (K + 1/2)}^{inf} x^{-2H-1} dx = (2 pi (K+1/2))^{-2H}/H.
@@ -64,6 +66,7 @@ double whittle_objective(const Periodogram& pg, SpectralModel model, double hurs
 
 WhittleResult whittle_estimate(std::span<const double> data, SpectralModel model) {
   VBR_ENSURE(data.size() >= 32, "Whittle estimation needs at least 32 observations");
+  check_finite_series(data, "whittle_estimate input");
   const Periodogram pg = periodogram(data);
 
   // Golden-section search over H in (0.01, 0.99); the objective is smooth
@@ -95,6 +98,8 @@ WhittleResult whittle_estimate(std::span<const double> data, SpectralModel model
   result.hurst = 0.5 * (a + b);
   result.n = data.size();
   whittle_objective(pg, model, result.hurst, &result.innovation_scale);
+  VBR_CHECK_RANGE(result.hurst, 0.0, 1.0, "Whittle H estimate left (0, 1)");
+  VBR_CHECK_FINITE(result.innovation_scale, "Whittle innovation scale");
   // Asymptotic variance of the Whittle estimate of d (= H - 1/2) for
   // fARIMA(0,d,0): Var = 6 / (pi^2 n) [Beran 1994].
   result.stderr_hurst =
@@ -107,6 +112,7 @@ WhittleResult whittle_estimate(std::span<const double> data, SpectralModel model
 WhittleResult local_whittle_estimate(std::span<const double> data,
                                      std::size_t frequencies) {
   VBR_ENSURE(data.size() >= 64, "local Whittle needs at least 64 observations");
+  check_finite_series(data, "local_whittle_estimate input");
   const Periodogram pg = periodogram(data);
   if (frequencies == 0) {
     frequencies = static_cast<std::size_t>(
@@ -156,6 +162,8 @@ WhittleResult local_whittle_estimate(std::span<const double> data,
   result.hurst = 0.5 * (a + b);
   result.n = frequencies;
   result.innovation_scale = std::exp(objective(result.hurst));
+  VBR_CHECK_RANGE(result.hurst, 0.0, 1.0, "local Whittle H estimate left (0, 1)");
+  VBR_CHECK_FINITE(result.innovation_scale, "local Whittle innovation scale");
   // Robinson (1995): sqrt(m) (H_hat - H) -> N(0, 1/4).
   result.stderr_hurst = 1.0 / (2.0 * std::sqrt(static_cast<double>(frequencies)));
   result.ci_low = result.hurst - 1.96 * result.stderr_hurst;

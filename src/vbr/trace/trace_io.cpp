@@ -1,9 +1,13 @@
 #include "vbr/trace/trace_io.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -14,6 +18,17 @@ namespace {
 
 constexpr std::array<char, 8> kMagic = {'V', 'B', 'R', 'T', 'R', 'C', '0', '1'};
 constexpr double kDefaultFrameDt = 1.0 / 24.0;
+
+// Frame/slice sizes are byte counts: finite and non-negative by definition.
+// Anything else in a trace file is corruption, not data.
+void validate_sample(double v, const std::string& name, std::size_t index) {
+  if (!std::isfinite(v)) {
+    throw IoError(name + ": non-finite frame size at sample " + std::to_string(index));
+  }
+  if (v < 0.0) {
+    throw IoError(name + ": negative frame size at sample " + std::to_string(index));
+  }
+}
 
 }  // namespace
 
@@ -28,10 +43,7 @@ void write_ascii(const TimeSeries& series, const std::filesystem::path& path) {
   if (!out) throw IoError("write failed: " + path.string());
 }
 
-TimeSeries read_ascii(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) throw IoError("cannot open for reading: " + path.string());
-
+TimeSeries read_ascii(std::istream& in, const std::string& name) {
   double dt = kDefaultFrameDt;
   std::string unit = "bytes/frame";
   std::vector<double> values;
@@ -45,7 +57,9 @@ TimeSeries read_ascii(const std::filesystem::path& path) {
       std::string key;
       header >> key;
       if (key == "dt_seconds") {
-        header >> dt;
+        if (!(header >> dt)) {
+          throw IoError(name + ":" + std::to_string(line_no) + ": unreadable dt_seconds header");
+        }
       } else if (key == "unit") {
         header >> unit;
       }
@@ -54,12 +68,21 @@ TimeSeries read_ascii(const std::filesystem::path& path) {
     std::istringstream row(line);
     double v = 0.0;
     if (!(row >> v)) {
-      throw IoError(path.string() + ":" + std::to_string(line_no) + ": not a number: " + line);
+      throw IoError(name + ":" + std::to_string(line_no) + ": not a number: " + line);
     }
+    validate_sample(v, name, values.size());
     values.push_back(v);
   }
-  if (dt <= 0.0) throw IoError(path.string() + ": non-positive dt_seconds header");
+  if (!(dt > 0.0) || !std::isfinite(dt)) {
+    throw IoError(name + ": non-positive dt_seconds header");
+  }
   return TimeSeries(std::move(values), dt, unit);
+}
+
+TimeSeries read_ascii(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path.string());
+  return read_ascii(in, path.string());
 }
 
 void write_binary(const TimeSeries& series, const std::filesystem::path& path) {
@@ -78,29 +101,50 @@ void write_binary(const TimeSeries& series, const std::filesystem::path& path) {
   if (!out) throw IoError("write failed: " + path.string());
 }
 
-TimeSeries read_binary(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("cannot open for reading: " + path.string());
+TimeSeries read_binary(std::istream& in, const std::string& name) {
   std::array<char, 8> magic{};
   in.read(magic.data(), magic.size());
   if (!in || std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0) {
-    throw IoError(path.string() + ": not a vbr binary trace (bad magic)");
+    throw IoError(name + ": not a vbr binary trace (bad magic)");
   }
   double dt = 0.0;
   in.read(reinterpret_cast<char*>(&dt), sizeof dt);
   std::uint32_t unit_len = 0;
   in.read(reinterpret_cast<char*>(&unit_len), sizeof unit_len);
-  if (!in || unit_len > 4096) throw IoError(path.string() + ": corrupt unit length");
+  if (!in || unit_len > 4096) throw IoError(name + ": corrupt unit length");
   std::string unit(unit_len, '\0');
   in.read(unit.data(), unit_len);
   std::uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof n);
-  if (!in || dt <= 0.0) throw IoError(path.string() + ": corrupt header");
-  std::vector<double> values(n);
-  in.read(reinterpret_cast<char*>(values.data()),
-          static_cast<std::streamsize>(n * sizeof(double)));
-  if (!in) throw IoError(path.string() + ": truncated sample data");
+  if (!in || !std::isfinite(dt) || dt <= 0.0) throw IoError(name + ": corrupt header");
+
+  // The sample count is untrusted: read in bounded chunks so a forged header
+  // claiming 2^60 samples fails with IoError on the first short read instead
+  // of attempting an n * 8-byte allocation.
+  constexpr std::size_t kChunkSamples = std::size_t{1} << 16;
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, kChunkSamples)));
+  std::vector<double> chunk;
+  std::uint64_t remaining = n;
+  while (remaining > 0) {
+    const auto take = static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kChunkSamples));
+    chunk.resize(take);
+    in.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(take * sizeof(double)));
+    if (!in) throw IoError(name + ": truncated sample data");
+    for (std::size_t i = 0; i < take; ++i) {
+      validate_sample(chunk[i], name, values.size() + i);
+    }
+    values.insert(values.end(), chunk.begin(), chunk.end());
+    remaining -= take;
+  }
   return TimeSeries(std::move(values), dt, unit);
+}
+
+TimeSeries read_binary(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path.string());
+  return read_binary(in, path.string());
 }
 
 }  // namespace vbr::trace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -101,6 +102,81 @@ TEST_F(TraceIoTest, BinaryRejectsTruncatedData) {
   // Chop the file.
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(read_binary(path), IoError);
+}
+
+TEST_F(TraceIoTest, AsciiRejectsNegativeFrameSize) {
+  const auto path = temp_path("negative.txt");
+  {
+    std::ofstream out(path);
+    out << "123\n-456\n789\n";
+  }
+  EXPECT_THROW(read_ascii(path), IoError);
+}
+
+TEST_F(TraceIoTest, AsciiRejectsNonFiniteFrameSize) {
+  const auto path = temp_path("nonfinite.txt");
+  {
+    std::ofstream out(path);
+    out << "123\ninf\n";
+  }
+  EXPECT_THROW(read_ascii(path), IoError);
+}
+
+TEST_F(TraceIoTest, AsciiRejectsBadDtHeader) {
+  for (const char* header : {"# dt_seconds oops\n1\n", "# dt_seconds -0.04\n1\n",
+                             "# dt_seconds 0\n1\n", "# dt_seconds inf\n1\n"}) {
+    const auto path = temp_path("bad_dt.txt");
+    {
+      std::ofstream out(path);
+      out << header;
+    }
+    EXPECT_THROW(read_ascii(path), IoError) << header;
+  }
+}
+
+TEST_F(TraceIoTest, BinaryRejectsNegativeSample) {
+  // A negative frame size can only be produced by corruption (the writer
+  // never emits one), so the reader must refuse it.
+  TimeSeries original({100.0, 200.0}, 1.0);
+  const auto path = temp_path("neg_sample.bin");
+  write_binary(original, path);
+  {
+    std::fstream patch(path, std::ios::binary | std::ios::in | std::ios::out);
+    patch.seekp(-2 * static_cast<std::streamoff>(sizeof(double)), std::ios::end);
+    const double bad = -200.0;
+    patch.write(reinterpret_cast<const char*>(&bad), sizeof bad);
+  }
+  EXPECT_THROW(read_binary(path), IoError);
+}
+
+TEST_F(TraceIoTest, BinaryRejectsOverflowingSampleCount) {
+  // Forge the 8-byte sample count to 2^62: the reader must fail on the
+  // short read rather than trying to allocate 32 EiB.
+  TimeSeries original({100.0, 200.0, 300.0}, 1.0);
+  const auto path = temp_path("forged_n.bin");
+  write_binary(original, path);
+  {
+    std::fstream patch(path, std::ios::binary | std::ios::in | std::ios::out);
+    patch.seekp(-3 * static_cast<std::streamoff>(sizeof(double)) -
+                    static_cast<std::streamoff>(sizeof(std::uint64_t)),
+                std::ios::end);
+    const std::uint64_t forged = std::uint64_t{1} << 62;
+    patch.write(reinterpret_cast<const char*>(&forged), sizeof forged);
+  }
+  EXPECT_THROW(read_binary(path), IoError);
+}
+
+TEST_F(TraceIoTest, BinaryRejectsOversizedUnitLength) {
+  const auto path = temp_path("big_unit.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("VBRTRC01", 8);
+    const double dt = 0.04;
+    out.write(reinterpret_cast<const char*>(&dt), sizeof dt);
+    const std::uint32_t unit_len = 1u << 20;  // claims a 1 MiB unit string
+    out.write(reinterpret_cast<const char*>(&unit_len), sizeof unit_len);
+  }
   EXPECT_THROW(read_binary(path), IoError);
 }
 
