@@ -11,6 +11,8 @@
 // Usage:
 //   ./bench_engine_scaling [sources] [frames_per_source] [thread_list]
 // e.g. ./bench_engine_scaling 16 131072 1,2,4,8
+#include <algorithm>
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -36,6 +38,19 @@ std::uint64_t fnv1a_trace_hash(const vbr::engine::MultiSourceTrace& trace) {
     }
   }
   return h;
+}
+
+// printf-style append to the JSON document under construction. The whole
+// document is built in memory and emitted in one shot — to stdout and, when
+// VBR_BENCH_JSON_DIR is set, atomically to BENCH_engine_scaling.json — so an
+// interrupted run can never leave a truncated file.
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int len = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (len > 0) out.append(buf, std::min(static_cast<std::size_t>(len), sizeof buf - 1));
 }
 
 std::vector<std::size_t> parse_thread_list(const char* arg) {
@@ -68,13 +83,14 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> thread_counts =
       (argc > 3) ? parse_thread_list(argv[3]) : std::vector<std::size_t>{1, 2, 4, 8};
 
-  std::printf("{\n");
-  std::printf("  \"benchmark\": \"engine_scaling\",\n");
-  std::printf("  \"sources\": %zu,\n", plan.num_sources);
-  std::printf("  \"frames_per_source\": %zu,\n", plan.frames_per_source);
-  std::printf("  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
-  std::printf("  \"contracts\": \"%s\",\n", vbrbench::contracts_state());
-  std::printf("  \"results\": [\n");
+  std::string json;
+  appendf(json, "{\n");
+  appendf(json, "  \"benchmark\": \"engine_scaling\",\n");
+  appendf(json, "  \"sources\": %zu,\n", plan.num_sources);
+  appendf(json, "  \"frames_per_source\": %zu,\n", plan.frames_per_source);
+  appendf(json, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  appendf(json, "  \"contracts\": \"%s\",\n", vbrbench::contracts_state());
+  appendf(json, "  \"results\": [\n");
 
   double baseline_fps = 0.0;
   std::uint64_t baseline_hash = 0;
@@ -90,7 +106,8 @@ int main(int argc, char** argv) {
     } else if (hash != baseline_hash) {
       bit_identical = false;
     }
-    std::printf(
+    appendf(
+        json,
         "    {\"threads\": %zu, \"threads_used\": %zu, \"wall_seconds\": %.6f, "
         "\"frames_per_second\": %.1f, \"bytes_per_second\": %.1f, "
         "\"speedup_vs_first\": %.3f, \"trace_hash\": \"%016llx\"}%s\n",
@@ -101,8 +118,11 @@ int main(int argc, char** argv) {
         i + 1 < thread_counts.size() ? "," : "");
   }
 
-  std::printf("  ],\n");
-  std::printf("  \"bit_identical_across_thread_counts\": %s\n", bit_identical ? "true" : "false");
-  std::printf("}\n");
+  appendf(json, "  ],\n");
+  appendf(json, "  \"bit_identical_across_thread_counts\": %s\n",
+          bit_identical ? "true" : "false");
+  appendf(json, "}\n");
+  std::fputs(json.c_str(), stdout);
+  vbrbench::emit_bench_json("engine_scaling", json);
   return bit_identical ? 0 : 1;
 }

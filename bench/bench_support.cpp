@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <system_error>
 
 #include "vbr/common/error.hpp"
 
@@ -48,6 +50,42 @@ const char* contracts_state() {
 #else
   return "off";
 #endif
+}
+
+void write_json_atomic(const std::filesystem::path& path, const std::string& json) {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw vbr::IoError("cannot open for writing: " + tmp.string());
+    out << json;
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw vbr::IoError("write failed: " + tmp.string());
+    }
+  }
+  // rename within one directory is atomic on POSIX: readers see either the
+  // previous complete file or the new complete file, never a prefix.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw vbr::IoError("rename failed: " + tmp.string() + " -> " + path.string() +
+                       ": " + ec.message());
+  }
+}
+
+void emit_bench_json(const std::string& name, const std::string& json) {
+  const char* dir = std::getenv("VBR_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // rename below reports failure
+  const auto path = std::filesystem::path(dir) / ("BENCH_" + name + ".json");
+  write_json_atomic(path, json);
+  std::fprintf(stderr, "[bench] wrote %s\n", path.string().c_str());
 }
 
 }  // namespace vbrbench

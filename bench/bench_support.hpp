@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <filesystem>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,5 +33,17 @@ void print_paper_vs_measured(const std::string& quantity, double paper, double m
 /// plain Release build. Stamped into benchmark JSON so a number measured
 /// with contracts enabled is never compared against a contract-free run.
 const char* contracts_state();
+
+/// Write `json` to `path` atomically: the content goes to a sibling temp
+/// file first and is renamed into place only after a successful flush, so a
+/// killed or crashing bench can never leave a truncated JSON file behind.
+/// Throws vbr::IoError on failure (the temp file is cleaned up).
+void write_json_atomic(const std::filesystem::path& path, const std::string& json);
+
+/// Drop `json` as BENCH_<name>.json in the directory named by the
+/// VBR_BENCH_JSON_DIR environment variable (created if missing), using
+/// write_json_atomic. No-op when the variable is unset, so interactive runs
+/// still just print to stdout.
+void emit_bench_json(const std::string& name, const std::string& json);
 
 }  // namespace vbrbench

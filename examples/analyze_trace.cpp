@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "vbr/common/error.hpp"
 #include "vbr/model/starwars_surrogate.hpp"
 #include "vbr/stats/autocorrelation.hpp"
 #include "vbr/stats/distributions.hpp"
@@ -40,7 +41,7 @@ vbr::trace::TimeSeries load_trace(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const auto trace = load_trace(argc, argv);
   const auto data = trace.samples();
   if (data.size() < 4096) {
@@ -138,4 +139,17 @@ int main(int argc, char** argv) {
   std::printf("\nInterpretation: H in (0.5, 1) across methods indicates long-range\n");
   std::printf("dependence; H ~ 0.8 matches the paper's finding for action-movie video.\n");
   return EXIT_SUCCESS;
+}
+
+int main(int argc, char** argv) {
+  // A bad input path (or a corrupt trace) is an expected user error, not a
+  // programming error: report it and exit cleanly instead of aborting.
+  try {
+    return run(argc, argv);
+  } catch (const vbr::IoError& e) {
+    std::fprintf(stderr, "analyze_trace: I/O error: %s\n", e.what());
+  } catch (const vbr::Error& e) {
+    std::fprintf(stderr, "analyze_trace: error: %s\n", e.what());
+  }
+  return EXIT_FAILURE;
 }

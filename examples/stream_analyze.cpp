@@ -1,0 +1,363 @@
+// stream_analyze: one-pass, bounded-memory analysis of a VBR trace of any
+// length.
+//
+// Where analyze_trace loads the whole trace and runs the batch estimators,
+// this tool streams the file through a chain of constant-memory sketches
+// (src/vbr/stream/) and prints the same core exhibits: Table-2 summary
+// moments, Fig.-4 CCDF tail quantiles, Fig.-7 short-lag autocorrelation,
+// the Fig.-11 variance-time Hurst estimate and the Fig.-8 low-frequency
+// spectral slope. Peak RSS stays bounded no matter how long the trace is.
+//
+// Usage:
+//   ./stream_analyze <trace-file> [options]
+//       Analyze an ASCII or binary trace (format is sniffed).
+//       --block N        samples per read chunk        (default 65536)
+//       --max-lag L      ACF lags tracked              (default 128)
+//       --welch N        Welch segment size, pow2      (default 4096)
+//       --max-rss-mib M  exit nonzero if peak RSS > M MiB
+//   ./stream_analyze --generate <out-file> <samples> [options]
+//       Write a binary model trace in bounded blocks (block-independent
+//       sources, concatenated), suitable as large streaming-test input.
+//       --seed S         master seed                   (default 1994)
+//       --hurst H        Hurst parameter               (default 0.8)
+//       --block N        frames per generated block    (default 131072)
+//   ./stream_analyze --selftest
+//       Quick streaming-vs-batch consistency check on a generated trace.
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/model/vbr_source.hpp"
+#include "vbr/stats/autocorrelation.hpp"
+#include "vbr/stats/descriptive.hpp"
+#include "vbr/stats/periodogram.hpp"
+#include "vbr/stream/acf.hpp"
+#include "vbr/stream/moments.hpp"
+#include "vbr/stream/quantiles.hpp"
+#include "vbr/stream/sink.hpp"
+#include "vbr/stream/variance_time.hpp"
+#include "vbr/stream/welch.hpp"
+#include "vbr/trace/trace_stream.hpp"
+
+namespace {
+
+/// Peak resident set size in MiB, or a negative value where unsupported.
+double peak_rss_mib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB
+#endif
+#else
+  return -1.0;
+#endif
+}
+
+struct Options {
+  std::string mode;  // "analyze", "generate", "selftest"
+  std::string trace_path;
+  std::string out_path;
+  std::uint64_t samples = 0;
+  std::size_t block = 0;  // 0: per-mode default
+  std::size_t max_lag = 128;
+  std::size_t welch_segment = 4096;
+  double max_rss_mib = 0.0;  // 0: no limit
+  std::uint64_t seed = 1994;
+  double hurst = 0.8;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace-file> [--block N] [--max-lag L] [--welch N] "
+               "[--max-rss-mib M]\n"
+               "       %s --generate <out-file> <samples> [--seed S] "
+               "[--hurst H] [--block N]\n"
+               "       %s --selftest\n",
+               argv0, argv0, argv0);
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* what) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != text.size()) {
+    throw vbr::InvalidArgument(std::string(what) + ": not a number: " + text);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_double(const std::string& text, const char* what) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != text.size()) {
+    throw vbr::InvalidArgument(std::string(what) + ": not a number: " + text);
+  }
+  return v;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) throw vbr::InvalidArgument(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--generate") {
+      opt.mode = "generate";
+    } else if (arg == "--selftest") {
+      opt.mode = "selftest";
+    } else if (arg == "--block") {
+      opt.block = static_cast<std::size_t>(parse_u64(next("--block"), "--block"));
+    } else if (arg == "--max-lag") {
+      opt.max_lag = static_cast<std::size_t>(parse_u64(next("--max-lag"), "--max-lag"));
+    } else if (arg == "--welch") {
+      opt.welch_segment =
+          static_cast<std::size_t>(parse_u64(next("--welch"), "--welch"));
+    } else if (arg == "--max-rss-mib") {
+      opt.max_rss_mib = parse_double(next("--max-rss-mib"), "--max-rss-mib");
+    } else if (arg == "--seed") {
+      opt.seed = parse_u64(next("--seed"), "--seed");
+    } else if (arg == "--hurst") {
+      opt.hurst = parse_double(next("--hurst"), "--hurst");
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw vbr::InvalidArgument("unknown option: " + arg);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (opt.mode == "generate") {
+    if (positional.size() != 2) {
+      throw vbr::InvalidArgument("--generate needs <out-file> <samples>");
+    }
+    opt.out_path = positional[0];
+    opt.samples = parse_u64(positional[1], "<samples>");
+    if (opt.samples == 0) throw vbr::InvalidArgument("<samples> must be positive");
+    if (opt.block == 0) opt.block = std::size_t{1} << 17;
+  } else if (opt.mode == "selftest") {
+    if (!positional.empty()) throw vbr::InvalidArgument("--selftest takes no trace file");
+  } else {
+    if (positional.size() != 1) {
+      throw vbr::InvalidArgument("expected exactly one trace file");
+    }
+    opt.mode = "analyze";
+    opt.trace_path = positional[0];
+    if (opt.block == 0) opt.block = std::size_t{1} << 16;
+  }
+  return opt;
+}
+
+vbr::model::VbrModelParams paper_params(double hurst) {
+  // Table 2 / Section 4 parameterization of the Star Wars record.
+  vbr::model::VbrModelParams params;
+  params.marginal.mu_gamma = 27791.0;
+  params.marginal.sigma_gamma = 6254.0;
+  params.marginal.tail_slope = 12.0;
+  params.hurst = hurst;
+  return params;
+}
+
+int run_generate(const Options& opt) {
+  const vbr::model::VbrVideoSourceModel model(paper_params(opt.hurst));
+  vbr::trace::ChunkedTraceWriter writer(opt.out_path, opt.samples, 1.0 / 24.0,
+                                        "bytes/frame");
+  // Bounded memory: the FGN generator needs the whole block in memory, so a
+  // long trace is written as independent model sources of `block` frames
+  // each (fresh split Rng per block). LRD holds within blocks; across block
+  // boundaries the sources are independent — fine for streaming/RSS tests.
+  vbr::Rng master(opt.seed);
+  std::uint64_t remaining = opt.samples;
+  std::uint64_t written = 0;
+  while (remaining > 0) {
+    const auto take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, opt.block));
+    vbr::Rng rng = master.split();
+    const auto block = model.generate(take, rng);
+    writer.append(block);
+    remaining -= take;
+    written += take;
+  }
+  writer.finish();
+  std::printf("wrote %" PRIu64 " samples to %s (block %zu, seed %" PRIu64
+              ", H = %.2f)\n",
+              written, opt.out_path.c_str(), opt.block, opt.seed, opt.hurst);
+  return EXIT_SUCCESS;
+}
+
+int run_analyze(const Options& opt) {
+  vbr::trace::ChunkedTraceReader reader(opt.trace_path);
+  const auto& info = reader.info();
+  std::printf("Streaming %s trace %s (dt %.6f s, unit %s)\n",
+              info.binary ? "binary" : "ascii", opt.trace_path.c_str(),
+              info.dt_seconds, info.unit.c_str());
+
+  vbr::stream::StreamingMoments moments;
+  vbr::stream::StreamingQuantiles quantiles;
+  vbr::stream::StreamingAcf acf(opt.max_lag);
+  vbr::stream::StreamingVarianceTime vt;
+  vbr::stream::WelchOptions welch_opt;
+  welch_opt.segment_size = opt.welch_segment;
+  vbr::stream::StreamingWelchPeriodogram welch(welch_opt);
+  auto sinks = vbr::stream::chain(moments, quantiles, acf, vt, welch);
+
+  std::vector<double> block(opt.block);
+  while (true) {
+    const std::size_t got = reader.read(block);
+    if (got == 0) break;
+    sinks.push(std::span<const double>(block.data(), got));
+  }
+  if (moments.count() < 4) {
+    std::fprintf(stderr, "trace too short for a streaming report (need >= 4)\n");
+    return EXIT_FAILURE;
+  }
+
+  std::printf("\n== Summary statistics (cf. Table 2, one pass) ==\n");
+  std::printf("  samples            %zu\n", moments.count());
+  std::printf("  mean bandwidth     %.1f %s\n", moments.mean(), info.unit.c_str());
+  std::printf("  std deviation      %.1f\n", moments.stddev());
+  std::printf("  coef. of variation %.3f\n", moments.coefficient_of_variation());
+  std::printf("  skewness           %.3f\n", moments.skewness());
+  std::printf("  excess kurtosis    %.3f\n", moments.excess_kurtosis());
+  std::printf("  min / max          %.0f / %.0f\n", moments.min(), moments.max());
+  std::printf("  peak/mean          %.2f\n", moments.peak_to_mean());
+
+  std::printf("\n== Marginal quantiles (cf. Fig. 4; sketch, %.1f%% rel. err.) ==\n",
+              quantiles.options().relative_error * 100.0);
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    std::printf("  q%-5.3f  %.0f\n", q, quantiles.quantile(q));
+  }
+  const auto curve = quantiles.ccdf_curve(6);
+  std::printf("  log-log CCDF tail:");
+  for (std::size_t i = 0; i < curve.x.size(); ++i) {
+    std::printf(" (%.3g, %.2e)", curve.x[i], curve.p[i]);
+  }
+  std::printf("\n");
+
+  const auto r = acf.acf();
+  std::printf("\n== Autocorrelation (cf. Fig. 7, lags <= %zu) ==\n", acf.max_lag());
+  std::printf("  r(1)=%.3f", r.size() > 1 ? r[1] : 0.0);
+  for (const std::size_t k : {std::size_t{10}, std::size_t{50}, acf.max_lag()}) {
+    if (k < r.size()) std::printf(" r(%zu)=%.3f", k, r[k]);
+  }
+  std::printf("\n");
+
+  std::printf("\n== Variance-time Hurst (cf. Fig. 11) ==\n");
+  const auto vt_result = vt.result();
+  std::printf("  fit on %zu dyadic levels: beta = %.3f  -> H = %.3f (R^2 = %.3f)\n",
+              vt_result.points.size(), vt_result.beta, vt_result.hurst,
+              vt_result.fit.r_squared);
+
+  std::printf("\n== Welch periodogram (cf. Fig. 8, %zu segments of %zu) ==\n",
+              welch.segments(), welch.options().segment_size);
+  if (welch.segments() > 0) {
+    const auto pg = welch.result();
+    const double alpha = vbr::stats::low_frequency_slope(pg, 0.05);
+    std::printf("  low-frequency power law ~ w^-%.3f  -> H = %.3f\n", alpha,
+                (1.0 + alpha) / 2.0);
+  } else {
+    std::printf("  (trace shorter than one segment)\n");
+  }
+
+  const double rss = peak_rss_mib();
+  if (rss >= 0.0) std::printf("\npeak RSS: %.1f MiB\n", rss);
+  if (opt.max_rss_mib > 0.0) {
+    if (rss < 0.0) {
+      std::fprintf(stderr, "--max-rss-mib: RSS measurement unsupported here\n");
+      return EXIT_FAILURE;
+    }
+    if (rss > opt.max_rss_mib) {
+      std::fprintf(stderr, "FAIL: peak RSS %.1f MiB exceeds limit %.1f MiB\n", rss,
+                   opt.max_rss_mib);
+      return EXIT_FAILURE;
+    }
+    std::printf("RSS within limit (%.1f MiB)\n", opt.max_rss_mib);
+  }
+  return EXIT_SUCCESS;
+}
+
+bool check_close(const char* what, double got, double want, double tol) {
+  const double err = std::abs(got - want);
+  const bool ok = err <= tol * std::max(1.0, std::abs(want));
+  std::printf("  %-22s streaming %.6g vs batch %.6g  %s\n", what, got, want,
+              ok ? "ok" : "MISMATCH");
+  return ok;
+}
+
+int run_selftest(const Options& opt) {
+  std::printf("selftest: streaming vs batch on a generated trace\n");
+  const std::size_t n = std::size_t{1} << 15;
+  const vbr::model::VbrVideoSourceModel model(paper_params(opt.hurst));
+  vbr::Rng rng(opt.seed);
+  const auto data = model.generate(n, rng);
+
+  vbr::stream::StreamingMoments moments;
+  vbr::stream::StreamingQuantiles quantiles;
+  vbr::stream::StreamingAcf acf(64);
+  auto sinks = vbr::stream::chain(moments, quantiles, acf);
+  // Deliberately odd chunk size: results must not depend on chunking.
+  const std::size_t chunk = 4097;
+  for (std::size_t i = 0; i < data.size(); i += chunk) {
+    const std::size_t take = std::min(chunk, data.size() - i);
+    sinks.push(std::span<const double>(data.data() + i, take));
+  }
+
+  const auto batch = vbr::stats::batch_moments(data);
+  const auto batch_acf = vbr::stats::autocorrelation(data, 64);
+  const vbr::stats::Ecdf ecdf(data);
+  const auto r = acf.acf();
+
+  bool ok = true;
+  ok &= check_close("mean", moments.mean(), batch.mean, 1e-9);
+  ok &= check_close("variance", moments.variance(), batch.variance, 1e-9);
+  ok &= check_close("skewness", moments.skewness(), batch.skewness, 1e-6);
+  ok &= check_close("kurtosis", moments.excess_kurtosis(), batch.excess_kurtosis, 1e-6);
+  ok &= check_close("acf r(1)", r[1], batch_acf[1], 1e-6);
+  ok &= check_close("acf r(64)", r[64], batch_acf[64], 1e-6);
+  ok &= check_close("median", quantiles.quantile(0.5), ecdf.quantile(0.5), 0.03);
+  ok &= check_close("q0.99", quantiles.quantile(0.99), ecdf.quantile(0.99), 0.03);
+  std::printf("selftest: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+    if (opt.mode == "generate") return run_generate(opt);
+    if (opt.mode == "selftest") return run_selftest(opt);
+    return run_analyze(opt);
+  } catch (const vbr::InvalidArgument& e) {
+    std::fprintf(stderr, "stream_analyze: %s\n", e.what());
+    usage(argv[0]);
+  } catch (const vbr::IoError& e) {
+    std::fprintf(stderr, "stream_analyze: I/O error: %s\n", e.what());
+  } catch (const vbr::Error& e) {
+    std::fprintf(stderr, "stream_analyze: error: %s\n", e.what());
+  }
+  return EXIT_FAILURE;
+}

@@ -1,0 +1,46 @@
+// Fuzz harness: the chunked streaming trace reader.
+//
+// The whole input is handed to ChunkedTraceReader, which sniffs the format
+// itself (magic bytes -> binary, else ASCII), so one harness exercises both
+// paths plus the sniffing boundary — truncated headers, forged sample
+// counts, mid-stream corruption. Every sample the reader yields must obey
+// the trace contract (finite, non-negative); byte 0 varies the read block
+// size so chunk-boundary handling is fuzzed too. vbr::IoError is the
+// documented rejection path.
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/trace/trace_stream.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 1) return 0;
+  const std::size_t block = 1 + (data[0] & 0x3f);  // 1..64 samples per read
+  std::istringstream in(std::string(reinterpret_cast<const char*>(data + 1), size - 1));
+
+  try {
+    vbr::trace::ChunkedTraceReader reader(in, "fuzz");
+    if (!(reader.info().dt_seconds > 0.0) || !std::isfinite(reader.info().dt_seconds)) {
+      std::abort();
+    }
+    std::vector<double> buf(block);
+    std::uint64_t total = 0;
+    while (true) {
+      const std::size_t got = reader.read(buf);
+      if (got == 0) break;
+      for (std::size_t i = 0; i < got; ++i) {
+        if (!std::isfinite(buf[i]) || buf[i] < 0.0) std::abort();
+      }
+      total += got;
+    }
+    if (total != reader.samples_read()) std::abort();
+    if (reader.info().binary && total != reader.info().declared_samples) std::abort();
+  } catch (const vbr::Error&) {
+    // Malformed trace: the documented path.
+  }
+  return 0;
+}

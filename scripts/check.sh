@@ -7,6 +7,8 @@
 #   ./scripts/check.sh --tsan     # engine/fft/generator tests under TSan
 #   ./scripts/check.sh --lint     # domain lint + clang-tidy (if installed)
 #   ./scripts/check.sh --fuzz     # fuzz harness smoke (~12k execs each)
+#   ./scripts/check.sh --stream   # stream_analyze on a 2^24-sample trace,
+#                                 # peak RSS checked against the 64 MiB bound
 #
 # Stages may be combined (e.g. --tier1 --lint). Tier-1 is the canonical
 # gate from ROADMAP.md. The sanitizer stages force hot-loop VBR_DCHECK
@@ -16,18 +18,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-run_tier1=0 run_asan=0 run_tsan=0 run_lint=0 run_fuzz=0
+run_tier1=0 run_asan=0 run_tsan=0 run_lint=0 run_fuzz=0 run_stream=0
 if [[ $# -eq 0 ]]; then
-  run_tier1=1 run_asan=1 run_tsan=1 run_lint=1 run_fuzz=1
+  run_tier1=1 run_asan=1 run_tsan=1 run_lint=1 run_fuzz=1 run_stream=1
 fi
 for arg in "$@"; do
   case "$arg" in
-    --tier1) run_tier1=1 ;;
-    --asan)  run_asan=1 ;;
-    --tsan)  run_tsan=1 ;;
-    --lint)  run_lint=1 ;;
-    --fuzz)  run_fuzz=1 ;;
-    *) echo "unknown stage: $arg (expected --tier1/--asan/--tsan/--lint/--fuzz)" >&2
+    --tier1)  run_tier1=1 ;;
+    --asan)   run_asan=1 ;;
+    --tsan)   run_tsan=1 ;;
+    --lint)   run_lint=1 ;;
+    --fuzz)   run_fuzz=1 ;;
+    --stream) run_stream=1 ;;
+    *) echo "unknown stage: $arg (expected --tier1/--asan/--tsan/--lint/--fuzz/--stream)" >&2
        exit 2 ;;
   esac
 done
@@ -67,10 +70,24 @@ if [[ $run_fuzz -eq 1 ]]; then
   cmake --build --preset fuzz -j >/dev/null
   # -runs=/-seed= is libFuzzer's flag spelling; the GCC standalone driver
   # accepts the same flags, so this line works with either toolchain.
-  for pair in huffman_decode:huffman rle_decode:rle trace_io:trace_io; do
+  for pair in huffman_decode:huffman rle_decode:rle trace_io:trace_io \
+              stream_reader:stream_reader; do
     harness="${pair%%:*}" corpus="${pair##*:}"
     ./build-fuzz/fuzz/fuzz_"$harness" fuzz/corpus/"$corpus" -runs=12000 -seed=1
   done
+fi
+
+if [[ $run_stream -eq 1 ]]; then
+  echo "=== stream: 2^24-sample one-pass analysis under the 64 MiB RSS bound ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target stream_analyze >/dev/null
+  stream_trace="$(mktemp /tmp/vbr_stream_check.XXXXXX.bin)"
+  trap 'rm -f "$stream_trace"' EXIT
+  # Generation is a separate process so its (block-sized) footprint does not
+  # count against the analyzer's RSS measurement.
+  ./build/examples/stream_analyze --generate "$stream_trace" $((1 << 24))
+  ./build/examples/stream_analyze "$stream_trace" --max-rss-mib 64
+  rm -f "$stream_trace"
 fi
 
 echo "=== all requested checks OK ==="

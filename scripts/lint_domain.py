@@ -19,6 +19,10 @@ Rules (each encodes a bug class this repo has actually hit or must never hit):
   R3 no-mutable-static no namespace-scope mutable globals and no function-
                        local `static` non-const state in library sources
                        outside the allowlist (same `signgam` bug class).
+                       Headers are scanned too — subsystems with
+                       header-visible code (e.g. src/vbr/stream/) get the
+                       same guarantee; static member-function declarations
+                       are recognized and skipped.
   R4 no-naked-new      no `new`/`delete` expressions; the library is
                        value-semantic and RAII-managed throughout.
   R5 pragma-once       every header under src/ starts its preprocessor life
@@ -130,21 +134,29 @@ def lint(violations):
                 report(path, line_no, "R4",
                        "naked new/delete; use containers or smart pointers")
 
-    # --- R3: mutable static state in library sources ----------------------
+    # --- R3: mutable static state in library sources and headers ----------
     # `static` at statement level that is not const/constexpr. Headers are
-    # covered implicitly: class-member `static` declarations carry no storage
-    # here, and the regex requires a definition-like line in a .cpp file.
+    # scanned as well so subsystems that keep inline code in headers (the
+    # streaming sketches in src/vbr/stream/, templates in common/) can't
+    # smuggle in global state; a `static` line in a header is skipped only
+    # when it parses as a member-function declaration — a parenthesized
+    # parameter list with no initializer before it.
     r3_pattern = re.compile(r"^\s*static\s+(?!const\b|constexpr\b|_Thread_local\b|thread_local\b)")
-    for path in iter_sources(LIBRARY_DIRS, {".cpp"}):
+    r3_function_decl = re.compile(r"^[^=]*\(")
+    for path in iter_sources(LIBRARY_DIRS, {".cpp", ".hpp", ".h"}):
         rel = relpath(path)
         if rel in MUTABLE_STATIC_ALLOWLIST:
             continue
+        is_header = path.suffix != ".cpp"
         clean = strip_comments_and_strings(path.read_text(encoding="utf-8"))
         for line_no, line in enumerate(clean.splitlines(), 1):
-            if r3_pattern.search(line):
-                report(path, line_no, "R3",
-                       "mutable static state (the signgam bug class); "
-                       "pass state explicitly or allowlist a reviewed cache")
+            if not r3_pattern.search(line):
+                continue
+            if is_header and r3_function_decl.search(line):
+                continue
+            report(path, line_no, "R3",
+                   "mutable static state (the signgam bug class); "
+                   "pass state explicitly or allowlist a reviewed cache")
 
     # --- R5: #pragma once in every header ----------------------------------
     for path in iter_sources(LIBRARY_DIRS, {".hpp", ".h"}):

@@ -1,10 +1,12 @@
 #include "vbr/engine/engine.hpp"
 
 #include <chrono>
+#include <memory>
 
 #include "vbr/common/error.hpp"
 #include "vbr/common/math_util.hpp"
 #include "vbr/engine/thread_pool.hpp"
+#include "vbr/stream/sink.hpp"
 
 namespace vbr::engine {
 
@@ -17,7 +19,7 @@ std::vector<double> MultiSourceTrace::aggregate() const {
   return total;
 }
 
-MultiSourceTrace generate_sources(const GenerationPlan& plan) {
+MultiSourceTrace generate_sources(const GenerationPlan& plan, stream::Sink* tap) {
   VBR_ENSURE(plan.num_sources >= 1, "plan needs at least one source");
   VBR_ENSURE(plan.frames_per_source >= 1, "plan needs at least one frame per source");
 
@@ -34,14 +36,28 @@ MultiSourceTrace generate_sources(const GenerationPlan& plan) {
   MultiSourceTrace out;
   out.sources.resize(plan.num_sources);
 
+  // Per-source sink clones: each worker fills only the clone owned by its
+  // source index, so the parallel phase needs no synchronization, and the
+  // in-order reduction below makes the tap independent of scheduling.
+  std::vector<std::unique_ptr<stream::Sink>> source_sinks;
+  if (tap != nullptr) source_sinks.resize(plan.num_sources);
+
   const std::size_t threads =
       std::min(resolve_thread_count(plan.threads), plan.num_sources);
   const auto t0 = std::chrono::steady_clock::now();
   parallel_for_index(plan.num_sources, threads, [&](std::size_t i) {
     Rng rng = streams[i];
     out.sources[i] = model.generate(plan.frames_per_source, rng, plan.variant, plan.backend);
+    if (tap != nullptr) {
+      source_sinks[i] = tap->clone_empty();
+      source_sinks[i]->push(out.sources[i]);
+    }
   });
   const auto t1 = std::chrono::steady_clock::now();
+
+  if (tap != nullptr) {
+    for (const auto& sink : source_sinks) tap->merge(*sink);
+  }
 
   out.stats.sources = plan.num_sources;
   out.stats.frames = plan.num_sources * plan.frames_per_source;

@@ -21,6 +21,10 @@
 
 #include "vbr/model/vbr_source.hpp"
 
+namespace vbr::stream {
+class Sink;
+}
+
 namespace vbr::engine {
 
 /// Everything needed to reproduce a multi-source generation run.
@@ -64,6 +68,15 @@ struct MultiSourceTrace {
 
 /// Execute the plan. Output depends only on the plan fields other than
 /// `threads`. Throws InvalidArgument on an empty plan.
-MultiSourceTrace generate_sources(const GenerationPlan& plan);
+///
+/// If `tap` is non-null, every source's frame stream is also pushed into a
+/// streaming-statistics sink while the run is in flight: each source gets a
+/// private tap->clone_empty() filled on whichever worker generates it, and
+/// the per-source sinks are merged into `tap` *in source order on the
+/// calling thread* after the join. Because the sinks never touch generation
+/// and the merge order is fixed, the generated trace stays bit-identical
+/// for any thread count and the tap statistics are deterministic too.
+MultiSourceTrace generate_sources(const GenerationPlan& plan,
+                                  stream::Sink* tap = nullptr);
 
 }  // namespace vbr::engine

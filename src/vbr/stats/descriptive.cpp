@@ -8,6 +8,33 @@
 
 namespace vbr::stats {
 
+BatchMoments batch_moments(std::span<const double> data) {
+  VBR_ENSURE(data.size() >= 4, "batch_moments requires at least 4 samples");
+  BatchMoments out;
+  out.count = data.size();
+  const double n = static_cast<double>(data.size());
+  out.mean = kahan_total(data) / n;
+  out.min = data[0];
+  out.max = data[0];
+  KahanSum m2;
+  KahanSum m3;
+  KahanSum m4;
+  for (double v : data) {
+    out.min = std::min(out.min, v);
+    out.max = std::max(out.max, v);
+    const double d = v - out.mean;
+    const double d2 = d * d;
+    m2.add(d2);
+    m3.add(d2 * d);
+    m4.add(d2 * d2);
+  }
+  VBR_ENSURE(m2.value() > 0.0, "batch_moments requires a non-constant series");
+  out.variance = m2.value() / (n - 1.0);
+  out.skewness = std::sqrt(n) * m3.value() / std::pow(m2.value(), 1.5);
+  out.excess_kurtosis = n * m4.value() / (m2.value() * m2.value()) - 3.0;
+  return out;
+}
+
 double Histogram::bin_width() const {
   return (hi - lo) / static_cast<double>(counts.size());
 }

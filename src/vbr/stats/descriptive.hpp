@@ -11,6 +11,24 @@
 
 namespace vbr::stats {
 
+/// Batch central-moment summary: the two-pass reference against which the
+/// one-pass streaming estimators (vbr::stream::StreamingMoments) are
+/// cross-checked. Definitions match the streaming accessors exactly:
+/// unbiased (n-1) variance, g1 skewness, excess kurtosis.
+struct BatchMoments {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;         ///< unbiased, n-1
+  double skewness = 0.0;         ///< sqrt(n) m3 / m2^{3/2}
+  double excess_kurtosis = 0.0;  ///< n m4 / m2^2 - 3
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Two-pass batch moments; requires at least 4 samples and a non-constant
+/// series.
+BatchMoments batch_moments(std::span<const double> data);
+
 /// Fixed-width histogram over [lo, hi).
 struct Histogram {
   double lo = 0.0;

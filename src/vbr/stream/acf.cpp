@@ -1,0 +1,125 @@
+#include "vbr/stream/acf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::stream {
+
+StreamingAcf::StreamingAcf(std::size_t max_lag) : max_lag_(max_lag) {
+  VBR_ENSURE(max_lag_ >= 1, "StreamingAcf needs max_lag >= 1");
+  cross_.assign(max_lag_ + 1, 0.0);
+  ring_.assign(max_lag_, 0.0);
+  head_.reserve(max_lag_);
+}
+
+double StreamingAcf::sample_back(std::size_t k) const {
+  // k-th most recent sample: stream index n_ - k, k in [1, min(n_, max_lag_)].
+  return ring_[(n_ - k) % max_lag_];
+}
+
+std::vector<double> StreamingAcf::last(std::size_t k) const {
+  std::vector<double> out;
+  out.reserve(k);
+  for (std::size_t j = k; j >= 1; --j) out.push_back(sample_back(j));
+  return out;
+}
+
+void StreamingAcf::push_value(double x) {
+  VBR_DCHECK(std::isfinite(x), "non-finite sample pushed into StreamingAcf");
+  const std::size_t lags = std::min(max_lag_, n_);
+  for (std::size_t k = 1; k <= lags; ++k) cross_[k] += x * sample_back(k);
+  cross_[0] += x * x;
+  // Kahan step for the stream total; the mean correction in acf() subtracts
+  // two totals of similar magnitude, so the total is worth keeping exact.
+  const double y = x - compensation_;
+  const double t = sum_ + y;
+  compensation_ = (t - sum_) - y;
+  sum_ = t;
+  ring_[n_ % max_lag_] = x;
+  if (n_ < max_lag_) head_.push_back(x);
+  ++n_;
+}
+
+void StreamingAcf::push(std::span<const double> samples) {
+  for (const double x : samples) push_value(x);
+}
+
+void StreamingAcf::merge(const Sink& other) {
+  const auto& peer = detail::merge_peer<StreamingAcf>(other, kind());
+  VBR_ENSURE(peer.max_lag_ == max_lag_,
+             "cannot merge StreamingAcf sketches with different max_lag");
+  if (peer.n_ == 0) return;
+  if (n_ == 0) {
+    *this = peer;
+    return;
+  }
+
+  // Boundary cross products: peer sample j (global index n_ + j) pairs at
+  // lag k with this stream's sample n_ + j - k, i.e. our (k - j)-th most
+  // recent sample. Only j < k contributes, and only while k - j <= n_.
+  // Everything needed is in peer.head_ and our ring — compute before any
+  // state is overwritten.
+  for (std::size_t k = 1; k <= max_lag_; ++k) {
+    const std::size_t j_end = std::min<std::size_t>(k, peer.head_.size());
+    for (std::size_t j = (k > n_) ? k - n_ : 0; j < j_end; ++j) {
+      cross_[k] += peer.head_[j] * sample_back(k - j);
+    }
+  }
+  for (std::size_t k = 0; k <= max_lag_; ++k) cross_[k] += peer.cross_[k];
+
+  // New last-max_lag window of the concatenated stream.
+  const std::size_t from_peer = std::min(peer.n_, max_lag_);
+  const std::size_t from_this = std::min(n_, max_lag_ - from_peer);
+  std::vector<double> tail = last(from_this);
+  const std::vector<double> peer_tail = peer.last(from_peer);
+  tail.insert(tail.end(), peer_tail.begin(), peer_tail.end());
+
+  if (head_.size() < max_lag_) {
+    const std::size_t take = std::min(peer.head_.size(), max_lag_ - head_.size());
+    head_.insert(head_.end(), peer.head_.begin(), peer.head_.begin() + take);
+  }
+
+  sum_ += peer.sum_;
+  compensation_ = 0.0;
+  const std::size_t new_n = n_ + peer.n_;
+  for (std::size_t idx = 0; idx < tail.size(); ++idx) {
+    const std::size_t pos = new_n - tail.size() + idx;
+    ring_[pos % max_lag_] = tail[idx];
+  }
+  n_ = new_n;
+}
+
+std::unique_ptr<Sink> StreamingAcf::clone_empty() const {
+  return std::make_unique<StreamingAcf>(max_lag_);
+}
+
+std::vector<double> StreamingAcf::acf() const {
+  VBR_ENSURE(n_ >= 2, "autocorrelation requires at least two samples");
+  const std::size_t lags = std::min(max_lag_, n_ - 1);
+  const auto n = static_cast<double>(n_);
+  const double mean = sum_ / n;
+
+  // Partial sums over the first and last k samples, k <= lags.
+  std::vector<double> first_sums(lags + 1, 0.0);
+  for (std::size_t k = 1; k <= lags; ++k) first_sums[k] = first_sums[k - 1] + head_[k - 1];
+  std::vector<double> last_sums(lags + 1, 0.0);
+  for (std::size_t k = 1; k <= lags; ++k) last_sums[k] = last_sums[k - 1] + sample_back(k);
+
+  // sum_{i=k}^{n-1} (x_i - m)(x_{i-k} - m)
+  //   = cross_k - m * (2S - first_sums[k] - last_sums[k]) + (n - k) m^2.
+  std::vector<double> r(lags + 1, 0.0);
+  const double c0 = cross_[0] - mean * (2.0 * sum_) + n * mean * mean;
+  VBR_ENSURE(c0 > 0.0, "autocorrelation of a constant series is undefined");
+  r[0] = 1.0;
+  for (std::size_t k = 1; k <= lags; ++k) {
+    const double ck = cross_[k] -
+                      mean * (2.0 * sum_ - first_sums[k] - last_sums[k]) +
+                      (n - static_cast<double>(k)) * mean * mean;
+    r[k] = ck / c0;
+  }
+  return r;
+}
+
+}  // namespace vbr::stream

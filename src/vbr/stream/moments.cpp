@@ -1,0 +1,107 @@
+#include "vbr/stream/moments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::stream {
+
+void StreamingMoments::push_value(double x) {
+  VBR_DCHECK(std::isfinite(x), "non-finite sample pushed into StreamingMoments");
+  const auto n1 = static_cast<double>(n_);
+  ++n_;
+  const auto n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StreamingMoments::push(std::span<const double> samples) {
+  for (const double x : samples) push_value(x);
+}
+
+void StreamingMoments::merge_counts(std::size_t nb_count, double mean_b, double m2_b,
+                                    double m3_b, double m4_b) {
+  if (nb_count == 0) return;
+  if (n_ == 0) {
+    n_ = nb_count;
+    mean_ = mean_b;
+    m2_ = m2_b;
+    m3_ = m3_b;
+    m4_ = m4_b;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(nb_count);
+  const double n = na + nb;
+  const double delta = mean_b - mean_;
+  const double delta2 = delta * delta;
+
+  const double mean = mean_ + delta * nb / n;
+  const double m2 = m2_ + m2_b + delta2 * na * nb / n;
+  const double m3 = m3_ + m3_b + delta * delta2 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * m2_b - nb * m2_) / n;
+  const double m4 = m4_ + m4_b +
+                    delta2 * delta2 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+                    6.0 * delta2 * (na * na * m2_b + nb * nb * m2_) / (n * n) +
+                    4.0 * delta * (na * m3_b - nb * m3_) / n;
+
+  n_ += nb_count;
+  mean_ = mean;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+}
+
+void StreamingMoments::merge(const Sink& other) {
+  const auto& peer = detail::merge_peer<StreamingMoments>(other, kind());
+  merge_counts(peer.n_, peer.mean_, peer.m2_, peer.m3_, peer.m4_);
+  min_ = std::min(min_, peer.min_);
+  max_ = std::max(max_, peer.max_);
+}
+
+std::unique_ptr<Sink> StreamingMoments::clone_empty() const {
+  return std::make_unique<StreamingMoments>();
+}
+
+double StreamingMoments::variance() const {
+  VBR_ENSURE(n_ >= 2, "variance needs at least two samples");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingMoments::stddev() const { return std::sqrt(variance()); }
+
+double StreamingMoments::coefficient_of_variation() const {
+  VBR_ENSURE(mean_ != 0.0, "coefficient of variation of a zero-mean stream");
+  return stddev() / mean_;
+}
+
+double StreamingMoments::skewness() const {
+  VBR_ENSURE(n_ >= 3, "skewness needs at least three samples");
+  VBR_ENSURE(m2_ > 0.0, "skewness of a constant stream");
+  const auto n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double StreamingMoments::excess_kurtosis() const {
+  VBR_ENSURE(n_ >= 4, "kurtosis needs at least four samples");
+  VBR_ENSURE(m2_ > 0.0, "kurtosis of a constant stream");
+  const auto n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+double StreamingMoments::peak_to_mean() const {
+  VBR_ENSURE(n_ >= 1 && mean_ != 0.0, "peak-to-mean of an empty or zero-mean stream");
+  return max_ / mean_;
+}
+
+}  // namespace vbr::stream

@@ -1,0 +1,59 @@
+// StreamingMoments: one-pass mean/variance/skewness/kurtosis plus min/max
+// and the paper's burstiness ratios (Table 2), in O(1) memory.
+//
+// Update is Welford's algorithm extended to third and fourth central moments
+// (Pebay's formulas); merge is the pairwise combination of the same
+// quantities (Chan et al.), which is exact in exact arithmetic and
+// associative, so per-source engine sinks reduce deterministically.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <span>
+
+#include "vbr/stream/sink.hpp"
+
+namespace vbr::stream {
+
+class StreamingMoments final : public Sink {
+ public:
+  StreamingMoments() = default;
+
+  void push(std::span<const double> samples) override;
+  void merge(const Sink& other) override;
+  std::unique_ptr<Sink> clone_empty() const override;
+  std::size_t count() const override { return n_; }
+  const char* kind() const override { return "moments"; }
+
+  double mean() const { return mean_; }
+  /// Unbiased (n-1) sample variance; requires count() >= 2.
+  double variance() const;
+  double stddev() const;
+  /// sigma / mu (Table 2's coefficient of variation).
+  double coefficient_of_variation() const;
+  /// Standardized third moment g1 = sqrt(n) M3 / M2^{3/2}.
+  double skewness() const;
+  /// Excess kurtosis g2 = n M4 / M2^2 - 3.
+  double excess_kurtosis() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Burstiness: max / mean (Table 2's peak/mean ratio).
+  double peak_to_mean() const;
+  /// Running total of the samples (mean * count, tracked directly).
+  double total() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  void push_value(double x);
+  void merge_counts(std::size_t nb, double mean_b, double m2_b, double m3_b, double m4_b);
+
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  ///< sum of (x - mean)^2
+  double m3_ = 0.0;  ///< sum of (x - mean)^3
+  double m4_ = 0.0;  ///< sum of (x - mean)^4
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace vbr::stream

@@ -1,0 +1,47 @@
+#include "vbr/stream/sink.hpp"
+
+#include <string>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::stream {
+
+namespace detail {
+
+void merge_type_mismatch(const char* expected, const char* got) {
+  throw InvalidArgument(std::string("cannot merge sink of kind '") + got +
+                        "' into sink of kind '" + expected + "'");
+}
+
+}  // namespace detail
+
+SinkChain::SinkChain(std::vector<Sink*> sinks) : sinks_(std::move(sinks)) {
+  VBR_ENSURE(!sinks_.empty(), "a sink chain needs at least one sink");
+  for (const Sink* s : sinks_) VBR_ENSURE(s != nullptr, "null sink in chain");
+}
+
+void SinkChain::push(std::span<const double> samples) {
+  for (Sink* s : sinks_) s->push(samples);
+  count_ += samples.size();
+}
+
+void SinkChain::merge(const Sink& other) {
+  const auto& peer = detail::merge_peer<SinkChain>(other, kind());
+  VBR_ENSURE(peer.sinks_.size() == sinks_.size(),
+             "cannot merge sink chains of different arity");
+  for (std::size_t i = 0; i < sinks_.size(); ++i) sinks_[i]->merge(*peer.sinks_[i]);
+  count_ += peer.count_;
+}
+
+std::unique_ptr<Sink> SinkChain::clone_empty() const {
+  auto clone = std::make_unique<SinkChain>(sinks_);  // placeholder pointers
+  clone->owned_.reserve(sinks_.size());
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    clone->owned_.push_back(sinks_[i]->clone_empty());
+    clone->sinks_[i] = clone->owned_.back().get();
+  }
+  clone->count_ = 0;
+  return clone;
+}
+
+}  // namespace vbr::stream

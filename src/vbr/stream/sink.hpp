@@ -1,0 +1,101 @@
+// One-pass streaming analysis: the Sink composition layer.
+//
+// A Sink consumes a sample stream in bounded memory. Concrete sinks (the
+// streaming estimators in this directory) additionally expose typed result
+// accessors; the virtual interface exists so one trace pass can feed many
+// estimators at once (SinkChain), and so the generation engine can tap
+// per-source sample streams without knowing which statistics the caller
+// wants.
+//
+// Merge semantics: `a.merge(b)` must behave as if b's sample stream had been
+// appended to a's. Every estimator documents how exact its merge is; all of
+// them are associative in exact arithmetic, which is what makes the engine's
+// per-source merge deterministic for any thread count (sinks are merged in
+// source order on one thread — scheduling never reorders the reduction).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace vbr::stream {
+
+/// Interface for one-pass, bounded-memory consumers of a sample stream.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// Consume a block of samples (appended to the stream seen so far).
+  virtual void push(std::span<const double> samples) = 0;
+
+  /// Consume a single sample.
+  void push_one(double value) { push(std::span<const double>(&value, 1)); }
+
+  /// Absorb `other` as if its stream had been appended to this one. `other`
+  /// must be the same concrete type with a compatible configuration; throws
+  /// vbr::InvalidArgument otherwise.
+  virtual void merge(const Sink& other) = 0;
+
+  /// A fresh sink of the same concrete type and configuration, with no
+  /// samples. Used by the engine to give every source its own accumulator.
+  virtual std::unique_ptr<Sink> clone_empty() const = 0;
+
+  /// Number of samples consumed so far.
+  virtual std::size_t count() const = 0;
+
+  /// Short stable identifier ("moments", "acf", ...) used in error messages
+  /// and reports.
+  virtual const char* kind() const = 0;
+};
+
+/// Fan one sample stream into several sinks so a trace is read exactly once.
+///
+/// A chain built with the Sink& constructor does not own its children — the
+/// caller keeps the concrete estimator objects and reads results from them
+/// directly. clone_empty() returns an owning chain (used internally by the
+/// engine tap); merging an owning clone back into the original view merges
+/// child-by-child, in order.
+class SinkChain final : public Sink {
+ public:
+  explicit SinkChain(std::vector<Sink*> sinks);
+
+  void push(std::span<const double> samples) override;
+  void merge(const Sink& other) override;
+  std::unique_ptr<Sink> clone_empty() const override;
+  std::size_t count() const override { return count_; }
+  const char* kind() const override { return "chain"; }
+
+  std::size_t size() const { return sinks_.size(); }
+  Sink& at(std::size_t i) { return *sinks_.at(i); }
+  const Sink& at(std::size_t i) const { return *sinks_.at(i); }
+
+ private:
+  std::vector<Sink*> sinks_;                    // the chain, in push order
+  std::vector<std::unique_ptr<Sink>> owned_;    // non-empty only for clones
+  std::size_t count_ = 0;
+};
+
+/// Convenience: chain(moments, acf, ...) — a non-owning SinkChain over the
+/// given estimators, in argument order.
+template <typename... Sinks>
+SinkChain chain(Sinks&... sinks) {
+  return SinkChain(std::vector<Sink*>{&sinks...});
+}
+
+namespace detail {
+
+[[noreturn]] void merge_type_mismatch(const char* expected, const char* got);
+
+/// Checked downcast for merge() implementations: throws vbr::InvalidArgument
+/// with the sink kind on a type mismatch instead of std::bad_cast.
+template <typename T>
+const T& merge_peer(const Sink& other, const char* kind) {
+  const T* peer = dynamic_cast<const T*>(&other);
+  if (peer == nullptr) merge_type_mismatch(kind, other.kind());
+  return *peer;
+}
+
+}  // namespace detail
+
+}  // namespace vbr::stream

@@ -1,0 +1,115 @@
+#include "vbr/stream/variance_time.hpp"
+
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::stream {
+
+StreamingVarianceTime::StreamingVarianceTime(const StreamingVarianceTimeOptions& options)
+    : options_(options) {
+  VBR_ENSURE(options_.levels >= 2 && options_.levels <= 48,
+             "StreamingVarianceTime needs between 2 and 48 dyadic levels");
+  VBR_ENSURE(options_.min_blocks >= 2, "min_blocks must be at least 2");
+  levels_.resize(options_.levels);
+}
+
+void StreamingVarianceTime::Level::add_block_mean(double v) {
+  ++blocks;
+  const double delta = v - mean;
+  mean += delta / static_cast<double>(blocks);
+  m2 += delta * (v - mean);
+}
+
+void StreamingVarianceTime::Level::merge_completed(const Level& other) {
+  if (other.blocks == 0) return;
+  if (blocks == 0) {
+    blocks = other.blocks;
+    mean = other.mean;
+    m2 = other.m2;
+    return;
+  }
+  const auto na = static_cast<double>(blocks);
+  const auto nb = static_cast<double>(other.blocks);
+  const double delta = other.mean - mean;
+  mean += delta * nb / (na + nb);
+  m2 += other.m2 + delta * delta * na * nb / (na + nb);
+  blocks += other.blocks;
+}
+
+void StreamingVarianceTime::cascade(std::size_t level, double mean) {
+  while (level < levels_.size()) {
+    Level& l = levels_[level];
+    l.partial_sum += mean;
+    if (++l.partial_fill < 2) return;
+    mean = l.partial_sum / 2.0;
+    l.partial_sum = 0.0;
+    l.partial_fill = 0;
+    l.add_block_mean(mean);
+    ++level;
+  }
+}
+
+void StreamingVarianceTime::push_value(double x) {
+  VBR_DCHECK(std::isfinite(x), "non-finite sample pushed into StreamingVarianceTime");
+  levels_[0].add_block_mean(x);
+  cascade(1, x);
+  ++n_;
+}
+
+void StreamingVarianceTime::push(std::span<const double> samples) {
+  for (const double x : samples) push_value(x);
+}
+
+void StreamingVarianceTime::merge(const Sink& other) {
+  const auto& peer = detail::merge_peer<StreamingVarianceTime>(other, kind());
+  VBR_ENSURE(peer.levels_.size() == levels_.size() &&
+                 peer.options_.fit_min_m == options_.fit_min_m &&
+                 peer.options_.min_blocks == options_.min_blocks,
+             "cannot merge StreamingVarianceTime sinks with different configurations");
+  // Block-mean variance does not depend on block alignment, so completed
+  // blocks combine exactly; our open partial blocks are discarded (at most
+  // one per level) and the peer's remain the open ones. The same partials
+  // are discarded whatever the merge order, so merging stays associative.
+  for (std::size_t j = 0; j < levels_.size(); ++j) {
+    levels_[j].merge_completed(peer.levels_[j]);
+    levels_[j].partial_sum = peer.levels_[j].partial_sum;
+    levels_[j].partial_fill = peer.levels_[j].partial_fill;
+  }
+  n_ += peer.n_;
+}
+
+std::unique_ptr<Sink> StreamingVarianceTime::clone_empty() const {
+  return std::make_unique<StreamingVarianceTime>(options_);
+}
+
+StreamingVarianceTimeResult StreamingVarianceTime::result() const {
+  VBR_ENSURE(levels_[0].blocks >= 2, "variance-time analysis needs a longer stream");
+  const double base_variance =
+      levels_[0].m2 / static_cast<double>(levels_[0].blocks - 1);
+  VBR_ENSURE(base_variance > 0.0, "variance-time analysis of a constant stream");
+
+  StreamingVarianceTimeResult out;
+  std::vector<double> lx;
+  std::vector<double> ly;
+  std::size_t m = 1;
+  for (const Level& l : levels_) {
+    if (l.blocks >= 2) {
+      const double var = l.m2 / static_cast<double>(l.blocks - 1);
+      out.points.push_back({m, l.blocks, var / base_variance});
+      if (m >= options_.fit_min_m && l.blocks >= options_.min_blocks && var > 0.0) {
+        lx.push_back(std::log10(static_cast<double>(m)));
+        ly.push_back(std::log10(var / base_variance));
+      }
+    }
+    m *= 2;
+  }
+  VBR_ENSURE(lx.size() >= 3, "too few levels in the variance-time fit window");
+  out.fit = linear_fit(lx, ly);
+  out.beta = -out.fit.slope;
+  out.hurst = 1.0 - out.beta / 2.0;
+  VBR_CHECK_FINITE(out.hurst, "streaming variance-time Hurst estimate");
+  return out;
+}
+
+}  // namespace vbr::stream

@@ -1,0 +1,91 @@
+// StreamingVarianceTime: online aggregated-variance Hurst estimation — the
+// streaming analogue of the paper's variance-time plot (Section 3.2.3,
+// Fig. 11) over dyadic block sizes m = 2^0, 2^1, ..., 2^(levels-1).
+//
+// Each level keeps one partial-block accumulator and a Welford accumulator
+// of completed block means, organized as a cascade (a completed level-j mean
+// feeds level j+1), so memory is O(levels) = O(log n) and per-sample cost is
+// O(1) amortized.
+//
+// Merge semantics: variances of block means do not depend on where the
+// blocks start, so merging combines the completed-block statistics exactly
+// and discards the left operand's partial blocks (at most one per level per
+// boundary). Because the same partial blocks are discarded under any merge
+// order, merge is associative; versus a single pass the Hurst estimate
+// differs only through those boundary blocks, which the equivalence tests
+// bound. Splits aligned to 2^(levels-1) merge exactly.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "vbr/common/math_util.hpp"
+#include "vbr/stream/sink.hpp"
+
+namespace vbr::stream {
+
+struct StreamingVarianceTimeOptions {
+  /// Number of dyadic levels tracked: block sizes 2^0 .. 2^(levels-1).
+  std::size_t levels = 20;
+  /// Fit window: only levels with m >= fit_min_m enter the Hurst regression
+  /// (the paper fits from ~100-200 frames upward, below which SRD effects
+  /// dominate).
+  std::size_t fit_min_m = 100;
+  /// A level needs at least this many completed blocks to enter the fit
+  /// (mirrors the batch estimator's max_m = n/10 rule of thumb).
+  std::size_t min_blocks = 10;
+};
+
+struct StreamingVarianceTimePoint {
+  std::size_t m = 0;               ///< dyadic aggregation block size
+  std::size_t blocks = 0;          ///< completed blocks at this level
+  double normalized_variance = 0;  ///< Var(X^(m)) / Var(X)
+};
+
+struct StreamingVarianceTimeResult {
+  std::vector<StreamingVarianceTimePoint> points;
+  LinearFit fit;        ///< log10(normalized variance) on log10(m)
+  double beta = 1.0;    ///< -slope
+  double hurst = 0.5;   ///< 1 - beta/2
+};
+
+class StreamingVarianceTime final : public Sink {
+ public:
+  explicit StreamingVarianceTime(const StreamingVarianceTimeOptions& options = {});
+
+  void push(std::span<const double> samples) override;
+  void merge(const Sink& other) override;
+  std::unique_ptr<Sink> clone_empty() const override;
+  std::size_t count() const override { return n_; }
+  const char* kind() const override { return "variance_time"; }
+
+  const StreamingVarianceTimeOptions& options() const { return options_; }
+
+  /// Variance-time points and the Hurst fit. Requires enough data for at
+  /// least three fit-window levels (throws vbr::InvalidArgument otherwise).
+  StreamingVarianceTimeResult result() const;
+
+ private:
+  // Welford accumulator of completed block means at one level.
+  struct Level {
+    std::size_t blocks = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double partial_sum = 0.0;   ///< sum of child means in the open block
+    std::size_t partial_fill = 0;  ///< 0 or 1 child means accumulated (level > 0)
+
+    void add_block_mean(double v);
+    void merge_completed(const Level& other);
+  };
+
+  void push_value(double x);
+  void cascade(std::size_t level, double mean);
+
+  StreamingVarianceTimeOptions options_;
+  std::vector<Level> levels_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace vbr::stream

@@ -1,0 +1,88 @@
+#include "vbr/stream/welch.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/fft.hpp"
+#include "vbr/common/math_util.hpp"
+
+namespace vbr::stream {
+
+StreamingWelchPeriodogram::StreamingWelchPeriodogram(const WelchOptions& options)
+    : options_(options) {
+  VBR_ENSURE(options_.segment_size >= 8 && is_power_of_two(options_.segment_size),
+             "Welch segment size must be a power of two >= 8");
+  buffer_.assign(options_.segment_size, 0.0);
+  power_sum_.assign((options_.segment_size - 1) / 2, 0.0);
+}
+
+void StreamingWelchPeriodogram::flush_segment() {
+  const std::size_t s = options_.segment_size;
+  // Per-segment mean removal (Welch's detrend); the global-mean batch
+  // periodogram differs only in the lowest ordinate's leakage.
+  const double mean = kahan_total(buffer_) / static_cast<double>(s);
+  std::vector<double> seg(s);
+  double window_power = 0.0;
+  for (std::size_t i = 0; i < s; ++i) {
+    double w = 1.0;
+    if (options_.hann_window) {
+      w = 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                                static_cast<double>(s)));
+    }
+    seg[i] = (buffer_[i] - mean) * w;
+    window_power += w * w;
+  }
+  const auto spectrum = rfft(seg);
+  const double norm = 1.0 / (2.0 * std::numbers::pi * window_power);
+  for (std::size_t k = 0; k < power_sum_.size(); ++k) {
+    const double p = std::norm(spectrum[k + 1]) * norm;
+    VBR_DCHECK(std::isfinite(p), "non-finite Welch ordinate");
+    power_sum_[k] += p;
+  }
+  ++segments_;
+  buffer_fill_ = 0;
+}
+
+void StreamingWelchPeriodogram::push(std::span<const double> samples) {
+  for (const double x : samples) {
+    VBR_DCHECK(std::isfinite(x), "non-finite sample pushed into Welch periodogram");
+    buffer_[buffer_fill_++] = x;
+    ++n_;
+    if (buffer_fill_ == options_.segment_size) flush_segment();
+  }
+}
+
+void StreamingWelchPeriodogram::merge(const Sink& other) {
+  const auto& peer = detail::merge_peer<StreamingWelchPeriodogram>(other, kind());
+  VBR_ENSURE(peer.options_.segment_size == options_.segment_size &&
+                 peer.options_.hann_window == options_.hann_window,
+             "cannot merge Welch sinks with different configurations");
+  // Completed segments add exactly; our open partial segment (if any) is
+  // discarded at the boundary and the peer's stays open.
+  for (std::size_t k = 0; k < power_sum_.size(); ++k) power_sum_[k] += peer.power_sum_[k];
+  segments_ += peer.segments_;
+  buffer_ = peer.buffer_;
+  buffer_fill_ = peer.buffer_fill_;
+  n_ += peer.n_;
+}
+
+std::unique_ptr<Sink> StreamingWelchPeriodogram::clone_empty() const {
+  return std::make_unique<StreamingWelchPeriodogram>(options_);
+}
+
+stats::Periodogram StreamingWelchPeriodogram::result() const {
+  VBR_ENSURE(segments_ >= 1, "Welch periodogram needs at least one full segment");
+  stats::Periodogram pg;
+  pg.frequency.reserve(power_sum_.size());
+  pg.power.reserve(power_sum_.size());
+  const auto s = static_cast<double>(options_.segment_size);
+  for (std::size_t k = 0; k < power_sum_.size(); ++k) {
+    pg.frequency.push_back(2.0 * std::numbers::pi * static_cast<double>(k + 1) / s);
+    pg.power.push_back(power_sum_[k] / static_cast<double>(segments_));
+  }
+  return pg;
+}
+
+}  // namespace vbr::stream

@@ -1,0 +1,35 @@
+// Shared constants and validation for the trace file formats, used by both
+// the whole-trace readers (trace_io) and the chunked streaming reader/writer
+// (trace_stream). One definition keeps the two paths byte-compatible.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::trace::detail {
+
+/// Magic bytes opening a binary trace file.
+inline constexpr std::array<char, 8> kBinaryMagic = {'V', 'B', 'R', 'T',
+                                                     'R', 'C', '0', '1'};
+
+/// dt assumed for bare ASCII traces (the paper's 24 frames/sec).
+inline constexpr double kDefaultFrameDt = 1.0 / 24.0;
+
+/// Longest unit string a binary header may claim.
+inline constexpr std::size_t kMaxUnitLength = 4096;
+
+// Frame/slice sizes are byte counts: finite and non-negative by definition.
+// Anything else in a trace file is corruption, not data.
+inline void validate_sample(double v, const std::string& name, std::uint64_t index) {
+  if (!std::isfinite(v)) {
+    throw IoError(name + ": non-finite frame size at sample " + std::to_string(index));
+  }
+  if (v < 0.0) {
+    throw IoError(name + ": negative frame size at sample " + std::to_string(index));
+  }
+}
+
+}  // namespace vbr::trace::detail

@@ -12,23 +12,16 @@
 #include <string>
 
 #include "vbr/common/error.hpp"
+#include "vbr/trace/trace_format.hpp"
 
 namespace vbr::trace {
 namespace {
 
-constexpr std::array<char, 8> kMagic = {'V', 'B', 'R', 'T', 'R', 'C', '0', '1'};
-constexpr double kDefaultFrameDt = 1.0 / 24.0;
-
-// Frame/slice sizes are byte counts: finite and non-negative by definition.
-// Anything else in a trace file is corruption, not data.
-void validate_sample(double v, const std::string& name, std::size_t index) {
-  if (!std::isfinite(v)) {
-    throw IoError(name + ": non-finite frame size at sample " + std::to_string(index));
-  }
-  if (v < 0.0) {
-    throw IoError(name + ": negative frame size at sample " + std::to_string(index));
-  }
-}
+// Format constants and per-sample validation are shared with the chunked
+// streaming reader/writer (trace_stream) through trace_format.hpp.
+constexpr const std::array<char, 8>& kMagic = detail::kBinaryMagic;
+constexpr double kDefaultFrameDt = detail::kDefaultFrameDt;
+using detail::validate_sample;
 
 }  // namespace
 
@@ -111,7 +104,9 @@ TimeSeries read_binary(std::istream& in, const std::string& name) {
   in.read(reinterpret_cast<char*>(&dt), sizeof dt);
   std::uint32_t unit_len = 0;
   in.read(reinterpret_cast<char*>(&unit_len), sizeof unit_len);
-  if (!in || unit_len > 4096) throw IoError(name + ": corrupt unit length");
+  if (!in || unit_len > detail::kMaxUnitLength) {
+    throw IoError(name + ": corrupt unit length");
+  }
   std::string unit(unit_len, '\0');
   in.read(unit.data(), unit_len);
   std::uint64_t n = 0;

@@ -1,0 +1,186 @@
+#include "vbr/trace/trace_stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <sstream>
+
+#include "vbr/common/error.hpp"
+#include "vbr/trace/trace_format.hpp"
+
+namespace vbr::trace {
+
+ChunkedTraceReader::ChunkedTraceReader(const std::filesystem::path& path)
+    : file_(std::make_unique<std::ifstream>(path, std::ios::binary)),
+      in_(file_.get()),
+      name_(path.string()) {
+  if (!*file_) throw IoError("cannot open for reading: " + name_);
+  init();
+}
+
+ChunkedTraceReader::ChunkedTraceReader(std::istream& in, std::string name)
+    : in_(&in), name_(std::move(name)) {
+  init();
+}
+
+void ChunkedTraceReader::init() {
+  info_.dt_seconds = detail::kDefaultFrameDt;
+  info_.unit = "bytes/frame";
+
+  // Sniff the format: a binary trace opens with the 8 magic bytes.
+  std::array<char, 8> head{};
+  in_->read(head.data(), head.size());
+  const auto got = in_->gcount();
+  if (got == static_cast<std::streamsize>(head.size()) &&
+      std::memcmp(head.data(), detail::kBinaryMagic.data(), head.size()) == 0) {
+    info_.binary = true;
+    double dt = 0.0;
+    in_->read(reinterpret_cast<char*>(&dt), sizeof dt);
+    std::uint32_t unit_len = 0;
+    in_->read(reinterpret_cast<char*>(&unit_len), sizeof unit_len);
+    if (!*in_ || unit_len > detail::kMaxUnitLength) {
+      throw IoError(name_ + ": corrupt unit length");
+    }
+    std::string unit(unit_len, '\0');
+    in_->read(unit.data(), unit_len);
+    std::uint64_t n = 0;
+    in_->read(reinterpret_cast<char*>(&n), sizeof n);
+    if (!*in_ || !std::isfinite(dt) || dt <= 0.0) throw IoError(name_ + ": corrupt header");
+    info_.dt_seconds = dt;
+    info_.unit = std::move(unit);
+    info_.declared_samples = n;
+    remaining_ = n;
+    return;
+  }
+
+  // ASCII: rewind and consume the leading header/comment block so info() is
+  // complete before the first read(). Data lines stay unconsumed.
+  in_->clear();
+  in_->seekg(0);
+  if (!*in_) throw IoError(name_ + ": stream is not seekable (cannot sniff format)");
+  for (;;) {
+    const int c = in_->peek();
+    if (c == std::char_traits<char>::eof()) break;
+    if (c == '\n' || c == '\r') {
+      in_->get();
+      if (c == '\n') ++line_no_;
+      continue;
+    }
+    if (c != '#') break;
+    std::string line;
+    std::getline(*in_, line);
+    ++line_no_;
+    std::istringstream header(line.substr(1));
+    std::string key;
+    header >> key;
+    if (key == "dt_seconds") {
+      double dt = 0.0;
+      if (!(header >> dt)) {
+        throw IoError(name_ + ":" + std::to_string(line_no_) +
+                      ": unreadable dt_seconds header");
+      }
+      if (!(dt > 0.0) || !std::isfinite(dt)) {
+        throw IoError(name_ + ": non-positive dt_seconds header");
+      }
+      info_.dt_seconds = dt;
+    } else if (key == "unit") {
+      std::string unit;
+      if (header >> unit) info_.unit = unit;
+    }
+  }
+}
+
+std::size_t ChunkedTraceReader::read_binary_chunk(std::span<double> out) {
+  const auto take = static_cast<std::size_t>(
+      std::min<std::uint64_t>(remaining_, out.size()));
+  if (take == 0) return 0;
+  in_->read(reinterpret_cast<char*>(out.data()),
+            static_cast<std::streamsize>(take * sizeof(double)));
+  if (!*in_) throw IoError(name_ + ": truncated sample data");
+  for (std::size_t i = 0; i < take; ++i) {
+    detail::validate_sample(out[i], name_, samples_read_ + i);
+  }
+  remaining_ -= take;
+  return take;
+}
+
+std::size_t ChunkedTraceReader::read_ascii_chunk(std::span<double> out) {
+  std::size_t filled = 0;
+  std::string line;
+  while (filled < out.size() && std::getline(*in_, line)) {
+    ++line_no_;
+    if (line.empty()) continue;
+    if (line[0] == '#') continue;  // headers after data are treated as comments
+    std::istringstream row(line);
+    double v = 0.0;
+    if (!(row >> v)) {
+      throw IoError(name_ + ":" + std::to_string(line_no_) + ": not a number: " + line);
+    }
+    detail::validate_sample(v, name_, samples_read_ + filled);
+    out[filled++] = v;
+  }
+  return filled;
+}
+
+std::size_t ChunkedTraceReader::read(std::span<double> out) {
+  if (done_ || out.empty()) return 0;
+  const std::size_t got =
+      info_.binary ? read_binary_chunk(out) : read_ascii_chunk(out);
+  samples_read_ += got;
+  if (got == 0) done_ = true;
+  return got;
+}
+
+ChunkedTraceWriter::ChunkedTraceWriter(const std::filesystem::path& path,
+                                       std::uint64_t total_samples, double dt_seconds,
+                                       const std::string& unit)
+    : out_(path, std::ios::binary), path_(path.string()), declared_(total_samples) {
+  if (!out_) throw IoError("cannot open for writing: " + path_);
+  if (!(dt_seconds > 0.0) || !std::isfinite(dt_seconds)) {
+    throw IoError(path_ + ": refusing to write non-positive dt_seconds");
+  }
+  if (unit.size() > detail::kMaxUnitLength) {
+    throw IoError(path_ + ": unit string too long");
+  }
+  out_.write(detail::kBinaryMagic.data(), detail::kBinaryMagic.size());
+  out_.write(reinterpret_cast<const char*>(&dt_seconds), sizeof dt_seconds);
+  const auto unit_len = static_cast<std::uint32_t>(unit.size());
+  out_.write(reinterpret_cast<const char*>(&unit_len), sizeof unit_len);
+  out_.write(unit.data(), unit_len);
+  out_.write(reinterpret_cast<const char*>(&declared_), sizeof declared_);
+  if (!out_) throw IoError("write failed: " + path_);
+}
+
+ChunkedTraceWriter::~ChunkedTraceWriter() {
+  // Destruction without finish() (e.g. during exception unwinding) just
+  // closes the file; the truncated result fails read_binary()'s count check.
+}
+
+void ChunkedTraceWriter::append(std::span<const double> samples) {
+  if (finished_) throw IoError(path_ + ": append after finish");
+  if (written_ + samples.size() > declared_) {
+    throw IoError(path_ + ": more samples appended than the header declares");
+  }
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    detail::validate_sample(samples[i], path_, written_ + i);
+  }
+  out_.write(reinterpret_cast<const char*>(samples.data()),
+             static_cast<std::streamsize>(samples.size() * sizeof(double)));
+  if (!out_) throw IoError("write failed: " + path_);
+  written_ += samples.size();
+}
+
+void ChunkedTraceWriter::finish() {
+  if (finished_) return;
+  if (written_ != declared_) {
+    throw IoError(path_ + ": finish() after " + std::to_string(written_) +
+                  " of " + std::to_string(declared_) + " declared samples");
+  }
+  out_.flush();
+  if (!out_) throw IoError("write failed: " + path_);
+  out_.close();
+  finished_ = true;
+}
+
+}  // namespace vbr::trace

@@ -1,0 +1,102 @@
+// Chunked (streaming) trace I/O: read and write traces of unbounded length
+// in bounded memory.
+//
+// read_ascii()/read_binary() materialize the whole series; at 2^24+ frames
+// that alone exceeds the streaming subsystem's memory budget. The
+// ChunkedTraceReader yields the same validated sample stream block by block
+// (it sniffs the format from the leading bytes, so it opens anything the
+// batch readers can), and the ChunkedTraceWriter produces read_binary()-
+// compatible files incrementally. Both treat their input as untrusted, with
+// the same IoError contract as trace_io: truncated data, forged sample
+// counts, corrupt headers and negative/non-finite samples all throw.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace vbr::trace {
+
+/// Header metadata available before any samples are read.
+struct TraceStreamInfo {
+  double dt_seconds = 0.0;
+  std::string unit;
+  bool binary = false;
+  /// Sample count declared by a binary header (untrusted until the stream
+  /// backs it); 0 for ASCII traces, whose length is discovered at EOF.
+  std::uint64_t declared_samples = 0;
+};
+
+/// One-pass reader over an ASCII or binary trace. Memory use is O(block
+/// size) regardless of trace length.
+class ChunkedTraceReader {
+ public:
+  /// Open a trace file; the format is sniffed from the magic bytes.
+  explicit ChunkedTraceReader(const std::filesystem::path& path);
+
+  /// Parse from an open seekable stream (tests/fuzzers); `name` labels
+  /// errors. The stream must outlive the reader.
+  ChunkedTraceReader(std::istream& in, std::string name);
+
+  const TraceStreamInfo& info() const { return info_; }
+
+  /// Fill `out` with the next samples; returns how many were written. A
+  /// return of 0 means clean end of trace. Throws vbr::IoError on malformed
+  /// records, truncation, or a binary count the stream cannot back.
+  std::size_t read(std::span<double> out);
+
+  /// Samples returned so far.
+  std::uint64_t samples_read() const { return samples_read_; }
+
+ private:
+  void init();
+  std::size_t read_binary_chunk(std::span<double> out);
+  std::size_t read_ascii_chunk(std::span<double> out);
+
+  std::unique_ptr<std::ifstream> file_;  ///< owned when constructed from a path
+  std::istream* in_ = nullptr;
+  std::string name_;
+  TraceStreamInfo info_;
+  std::uint64_t remaining_ = 0;  ///< binary: samples still owed by the header
+  std::uint64_t samples_read_ = 0;
+  std::size_t line_no_ = 0;      ///< ASCII: current line, for error messages
+  bool done_ = false;
+};
+
+/// Incremental writer for the binary trace format. The header carries the
+/// total sample count, so the count must be declared up front; append() in
+/// any block sizes, then finish() (which verifies the declared count was
+/// delivered). The result is read_binary()/ChunkedTraceReader-compatible.
+class ChunkedTraceWriter {
+ public:
+  ChunkedTraceWriter(const std::filesystem::path& path, std::uint64_t total_samples,
+                     double dt_seconds, const std::string& unit = "bytes/frame");
+  ~ChunkedTraceWriter();
+
+  ChunkedTraceWriter(const ChunkedTraceWriter&) = delete;
+  ChunkedTraceWriter& operator=(const ChunkedTraceWriter&) = delete;
+
+  /// Append validated samples; throws vbr::IoError if the declared total
+  /// would be exceeded or a sample is negative/non-finite.
+  void append(std::span<const double> samples);
+
+  /// Flush and close; throws vbr::IoError if fewer samples than declared
+  /// were appended or the final flush fails. Idempotent.
+  void finish();
+
+  std::uint64_t written() const { return written_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::uint64_t declared_ = 0;
+  std::uint64_t written_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace vbr::trace
