@@ -6,38 +6,41 @@
 // bytes/sec recorded. A FNV-1a hash over the raw double bits of every
 // generated frame doubles as the determinism witness: the engine guarantees
 // bit-identical output for any thread count, so all runs must report the
-// same checksum.
+// same checksum. A final pair of campaign runs — identical except that one
+// checkpoints at the default interval — measures the checkpoint overhead
+// the crash-safe runner charges for resumability (budget: <= 5%).
 //
 // Usage:
 //   ./bench_engine_scaling [sources] [frames_per_source] [thread_list]
 // e.g. ./bench_engine_scaling 16 131072 1,2,4,8
 #include <algorithm>
+#include <chrono>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
 #include "bench_support.hpp"
+#include "vbr/common/checksum.hpp"
 #include "vbr/engine/engine.hpp"
+#include "vbr/run/campaign.hpp"
 
 namespace {
 
 std::uint64_t fnv1a_trace_hash(const vbr::engine::MultiSourceTrace& trace) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const auto& source : trace.sources) {
-    for (const double v : source) {
-      std::uint64_t bits = 0;
-      std::memcpy(&bits, &v, sizeof(bits));
-      for (int b = 0; b < 8; ++b) {
-        h ^= (bits >> (8 * b)) & 0xffULL;
-        h *= 1099511628211ULL;
-      }
-    }
-  }
-  return h;
+  vbr::Fnv1a hash;
+  for (const auto& source : trace.sources) hash.update(source);
+  return hash.digest();
+}
+
+double timed_campaign_seconds(const vbr::run::CampaignOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  (void)vbr::run::run_campaign(options);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
 // printf-style append to the JSON document under construction. The whole
@@ -119,6 +122,32 @@ int main(int argc, char** argv) {
   }
 
   appendf(json, "  ],\n");
+
+  // Checkpoint overhead: identical campaigns to scratch files, one without a
+  // checkpoint path and one checkpointing every 2 sources (more frequent
+  // than the default, so the measurement is an upper bound on the default).
+  const auto scratch = std::filesystem::temp_directory_path();
+  vbr::run::CampaignOptions campaign;
+  campaign.plan = plan;
+  campaign.plan.threads = thread_counts.back();
+  campaign.trace_path = scratch / "bench_engine_scaling_campaign.trace";
+  campaign.checkpoint_path.clear();
+  const double plain_seconds = timed_campaign_seconds(campaign);
+  campaign.checkpoint_path = scratch / "bench_engine_scaling_campaign.ckpt";
+  campaign.checkpoint_every_sources = 2;
+  const double checkpointed_seconds = timed_campaign_seconds(campaign);
+  const double overhead =
+      plain_seconds > 0.0 ? checkpointed_seconds / plain_seconds - 1.0 : 0.0;
+  std::error_code cleanup;
+  std::filesystem::remove(campaign.trace_path, cleanup);
+  std::filesystem::remove(campaign.checkpoint_path, cleanup);
+  appendf(json,
+          "  \"checkpoint_overhead\": {\"plain_seconds\": %.6f, "
+          "\"checkpointed_seconds\": %.6f, \"overhead_fraction\": %.4f, "
+          "\"checkpoint_every_sources\": %zu},\n",
+          plain_seconds, checkpointed_seconds, overhead,
+          campaign.checkpoint_every_sources);
+
   appendf(json, "  \"bit_identical_across_thread_counts\": %s\n",
           bit_identical ? "true" : "false");
   appendf(json, "}\n");

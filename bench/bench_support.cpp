@@ -3,9 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <system_error>
 
+#include "vbr/common/atomic_file.hpp"
 #include "vbr/common/error.hpp"
 
 namespace vbrbench {
@@ -53,29 +53,9 @@ const char* contracts_state() {
 }
 
 void write_json_atomic(const std::filesystem::path& path, const std::string& json) {
-  std::filesystem::path tmp = path;
-  tmp += ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw vbr::IoError("cannot open for writing: " + tmp.string());
-    out << json;
-    out.flush();
-    if (!out) {
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      throw vbr::IoError("write failed: " + tmp.string());
-    }
-  }
-  // rename within one directory is atomic on POSIX: readers see either the
-  // previous complete file or the new complete file, never a prefix.
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::error_code ignored;
-    std::filesystem::remove(tmp, ignored);
-    throw vbr::IoError("rename failed: " + tmp.string() + " -> " + path.string() +
-                       ": " + ec.message());
-  }
+  // Temp-file + rename semantics live in vbr::write_file_atomic, shared with
+  // the campaign checkpoint writer; domain lint R6 enforces the routing.
+  vbr::write_file_atomic(path, json);
 }
 
 void emit_bench_json(const std::string& name, const std::string& json) {

@@ -1,0 +1,62 @@
+// Fuzz harness: the campaign checkpoint parser.
+//
+// Two paths per input. First the raw bytes go straight into
+// parse_checkpoint(), exercising the envelope (magic, version, size, CRC).
+// Because a random mutation almost never survives the CRC, the input is
+// then re-wrapped as the *payload* of a freshly sealed envelope — valid
+// magic/version/size/CRC computed here — so the field-level validation
+// (forged counts, impossible progress, oversized strings, trailing bytes)
+// is reached on every exec, not one in four billion.
+//
+// The invariant under test: any input either parses into a CheckpointData
+// that satisfies the documented field invariants, or throws vbr::IoError.
+// Anything else — a crash, a sanitizer report, partial state — is a bug.
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "vbr/common/checksum.hpp"
+#include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
+#include "vbr/run/checkpoint.hpp"
+
+namespace {
+
+void check_invariants(const vbr::run::CheckpointData& data) {
+  if (data.next_source > data.num_sources) std::abort();
+  if (data.samples_written != data.next_source * data.frames_per_source) std::abort();
+  if (data.stream_states.size() != data.num_sources - data.next_source) std::abort();
+  if (data.failures.size() > data.num_sources) std::abort();
+  if (!data.has_sink && !data.sink_state.empty()) std::abort();
+}
+
+void try_parse(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  try {
+    check_invariants(vbr::run::parse_checkpoint(in, "fuzz"));
+  } catch (const vbr::IoError&) {
+    // Malformed checkpoint: the documented rejection path.
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string raw(reinterpret_cast<const char*>(data), size);
+
+  // Path 1: the input is the whole file, envelope included.
+  try_parse(raw);
+
+  // Path 2: the input is the payload of a correctly sealed envelope.
+  std::ostringstream sealed(std::ios::binary);
+  vbr::io::write_bytes(sealed, vbr::run::kCheckpointMagic.data(),
+                       vbr::run::kCheckpointMagic.size());
+  vbr::io::write_u32(sealed, vbr::run::kCheckpointVersion);
+  vbr::io::write_u64(sealed, raw.size());
+  vbr::io::write_u32(sealed, vbr::crc32(raw.data(), raw.size()));
+  vbr::io::write_bytes(sealed, raw.data(), raw.size());
+  try_parse(sealed.str());
+
+  return 0;
+}

@@ -9,6 +9,9 @@
 #   ./scripts/check.sh --fuzz     # fuzz harness smoke (~12k execs each)
 #   ./scripts/check.sh --stream   # stream_analyze on a 2^24-sample trace,
 #                                 # peak RSS checked against the 64 MiB bound
+#   ./scripts/check.sh --crash    # SIGKILL crash-soak: kill run_campaign at
+#                                 # random points, resume, require bit-equal
+#                                 # trace hash + sink state (~60 s bound)
 #
 # Stages may be combined (e.g. --tier1 --lint). Tier-1 is the canonical
 # gate from ROADMAP.md. The sanitizer stages force hot-loop VBR_DCHECK
@@ -18,9 +21,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-run_tier1=0 run_asan=0 run_tsan=0 run_lint=0 run_fuzz=0 run_stream=0
+run_tier1=0 run_asan=0 run_tsan=0 run_lint=0 run_fuzz=0 run_stream=0 run_crash=0
 if [[ $# -eq 0 ]]; then
-  run_tier1=1 run_asan=1 run_tsan=1 run_lint=1 run_fuzz=1 run_stream=1
+  run_tier1=1 run_asan=1 run_tsan=1 run_lint=1 run_fuzz=1 run_stream=1 run_crash=1
 fi
 for arg in "$@"; do
   case "$arg" in
@@ -30,7 +33,8 @@ for arg in "$@"; do
     --lint)   run_lint=1 ;;
     --fuzz)   run_fuzz=1 ;;
     --stream) run_stream=1 ;;
-    *) echo "unknown stage: $arg (expected --tier1/--asan/--tsan/--lint/--fuzz/--stream)" >&2
+    --crash)  run_crash=1 ;;
+    *) echo "unknown stage: $arg (expected --tier1/--asan/--tsan/--lint/--fuzz/--stream/--crash)" >&2
        exit 2 ;;
   esac
 done
@@ -71,7 +75,7 @@ if [[ $run_fuzz -eq 1 ]]; then
   # -runs=/-seed= is libFuzzer's flag spelling; the GCC standalone driver
   # accepts the same flags, so this line works with either toolchain.
   for pair in huffman_decode:huffman rle_decode:rle trace_io:trace_io \
-              stream_reader:stream_reader; do
+              stream_reader:stream_reader checkpoint:checkpoint; do
     harness="${pair%%:*}" corpus="${pair##*:}"
     ./build-fuzz/fuzz/fuzz_"$harness" fuzz/corpus/"$corpus" -runs=12000 -seed=1
   done
@@ -88,6 +92,17 @@ if [[ $run_stream -eq 1 ]]; then
   ./build/examples/stream_analyze --generate "$stream_trace" $((1 << 24))
   ./build/examples/stream_analyze "$stream_trace" --max-rss-mib 64
   rm -f "$stream_trace"
+fi
+
+if [[ $run_crash -eq 1 ]]; then
+  echo "=== crash: SIGKILL soak — resume must be bit-identical ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target run_campaign >/dev/null
+  # 20 kill points per thread count; each iteration is one aborted run plus
+  # one resumed run of 12 x 65536 frames, keeping the stage near a minute.
+  for threads in 1 4; do
+    ./scripts/crash_soak.sh ./build/examples/run_campaign 20 "$threads"
+  done
 fi
 
 echo "=== all requested checks OK ==="

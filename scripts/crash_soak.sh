@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# crash_soak.sh — SIGKILL torture for the crash-safe campaign runner.
+#
+# Runs one uninterrupted run_campaign as the reference, then repeatedly
+# launches an identical run, SIGKILLs it at a random point inside the run
+# window, resumes from the checkpoint, and requires the resumed run's trace
+# hash and serialized sink state to be byte-identical to the reference.
+# Kill points are drawn from bash's seeded RANDOM, so a failure replays with
+# CRASH_SOAK_SEED.
+#
+#   crash_soak.sh <run_campaign-binary> [kills] [threads] [sources] [frames]
+#
+# Defaults (20 kills, 12 sources x 65536 frames) keep one thread-count pass
+# under ~30s on a laptop; the check.sh --crash stage runs threads 1 and 4.
+set -u
+
+BIN=${1:?usage: crash_soak.sh <run_campaign-binary> [kills] [threads] [sources] [frames]}
+KILLS=${2:-20}
+THREADS=${3:-4}
+SOURCES=${4:-12}
+FRAMES=${5:-65536}
+RANDOM=${CRASH_SOAK_SEED:-1994}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/crash_soak.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+common=(--sources "$SOURCES" --frames "$FRAMES" --threads "$THREADS" --every 2)
+
+t0=$(date +%s%N)
+"$BIN" --trace "$WORK/ref.bin" --checkpoint "$WORK/ref.ckpt" "${common[@]}" \
+  --hash-out "$WORK/ref.hash" --sink-out "$WORK/ref.sink" >/dev/null || {
+  echo "crash_soak: reference run failed" >&2
+  exit 1
+}
+t1=$(date +%s%N)
+window_ms=$(((t1 - t0) / 1000000))
+((window_ms < 50)) && window_ms=50
+echo "crash_soak: reference $(cat "$WORK/ref.hash") (~${window_ms}ms, threads=$THREADS)"
+
+fail=0
+for i in $(seq 1 "$KILLS"); do
+  rm -f "$WORK"/run.*
+  delay_ms=$((RANDOM % window_ms))
+  "$BIN" --trace "$WORK/run.bin" --checkpoint "$WORK/run.ckpt" "${common[@]}" \
+    --hash-out "$WORK/run.hash" --sink-out "$WORK/run.sink" >/dev/null 2>&1 &
+  pid=$!
+  sleep "$(awk "BEGIN{printf \"%.3f\", $delay_ms / 1000}")"
+  if kill -9 "$pid" 2>/dev/null; then outcome=killed; else outcome=completed; fi
+  wait "$pid" 2>/dev/null
+
+  if ! "$BIN" --trace "$WORK/run.bin" --checkpoint "$WORK/run.ckpt" "${common[@]}" \
+    --resume --hash-out "$WORK/run.hash" --sink-out "$WORK/run.sink" >/dev/null; then
+    echo "crash_soak: iter $i (delay ${delay_ms}ms, $outcome): resume FAILED"
+    fail=1
+    continue
+  fi
+  if cmp -s "$WORK/ref.hash" "$WORK/run.hash" &&
+    cmp -s "$WORK/ref.sink" "$WORK/run.sink"; then
+    echo "crash_soak: iter $i (delay ${delay_ms}ms, $outcome): identical"
+  else
+    echo "crash_soak: iter $i (delay ${delay_ms}ms, $outcome): ARTIFACT MISMATCH"
+    fail=1
+  fi
+done
+
+if ((fail)); then
+  echo "crash_soak: FAILED (seed ${CRASH_SOAK_SEED:-1994})" >&2
+else
+  echo "crash_soak: $KILLS kills, all resumes bit-identical"
+fi
+exit $fail

@@ -27,6 +27,12 @@ Rules (each encodes a bug class this repo has actually hit or must never hit):
                        value-semantic and RAII-managed throughout.
   R5 pragma-once       every header under src/ starts its preprocessor life
                        with #pragma once.
+  R6 atomic-artifacts  no direct std::ofstream in bench/, examples/,
+                       src/vbr/run/ or src/vbr/common/ outside
+                       atomic_file.cpp. Checkpoints and benchmark artifacts
+                       must go through vbr::write_file_atomic (temp file +
+                       rename) so a killed process can never leave a torn
+                       file that a resume would then trust.
 
 Violations print as file:line: [rule] message, and the exit status is the
 number of violations (0 = clean).
@@ -51,6 +57,13 @@ RNG_ALLOWLIST = {"src/vbr/common/rng.cpp"}
 
 # R2: the one file allowed to call lgamma (it wraps lgamma_r).
 LGAMMA_ALLOWLIST = {"src/vbr/common/special_functions.cpp"}
+
+# R6: directories whose file writes are artifacts (checkpoints, bench JSON)
+# that resume/CI logic later trusts, and the one helper allowed to open an
+# ofstream there. The trace writer (src/vbr/trace/) is exempt: it appends to
+# its own format with explicit short-write detection and resume truncation.
+ATOMIC_ARTIFACT_DIRS = ["bench", "examples", "src/vbr/run", "src/vbr/common"]
+ATOMIC_WRITE_ALLOWLIST = {"src/vbr/common/atomic_file.cpp"}
 
 # R3: files with reviewed, synchronization-guarded static state.
 #   davies_harte.cpp — the mutex-guarded eigenvalue cache
@@ -157,6 +170,19 @@ def lint(violations):
             report(path, line_no, "R3",
                    "mutable static state (the signgam bug class); "
                    "pass state explicitly or allowlist a reviewed cache")
+
+    # --- R6: artifact writes go through vbr::write_file_atomic -------------
+    r6_pattern = re.compile(r"\bofstream\b")
+    for path in iter_sources(ATOMIC_ARTIFACT_DIRS, {".cpp", ".hpp", ".h"}):
+        rel = relpath(path)
+        if rel in ATOMIC_WRITE_ALLOWLIST:
+            continue
+        clean = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for line_no, line in enumerate(clean.splitlines(), 1):
+            if r6_pattern.search(line):
+                report(path, line_no, "R6",
+                       "direct ofstream artifact write; use vbr::write_file_atomic "
+                       "(temp file + rename) so crashes can't leave torn artifacts")
 
     # --- R5: #pragma once in every header ----------------------------------
     for path in iter_sources(LIBRARY_DIRS, {".hpp", ".h"}):

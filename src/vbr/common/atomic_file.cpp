@@ -1,0 +1,65 @@
+#include "vbr/common/atomic_file.hpp"
+
+#include <fstream>
+#include <string>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "vbr/common/error.hpp"
+
+namespace vbr {
+namespace {
+
+void remove_quietly(const std::filesystem::path& p) {
+  std::error_code ignored;
+  std::filesystem::remove(p, ignored);
+}
+
+/// Flush `path`'s data to stable storage. Returns false where unsupported.
+bool fsync_path(const std::filesystem::path& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return false;
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  return rc == 0;
+#else
+  (void)path;
+  return true;  // no portable fsync; flush-on-close is the best we have
+#endif
+}
+
+}  // namespace
+
+void write_file_atomic(const std::filesystem::path& path, std::string_view data,
+                       bool durable) {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open for writing: " + tmp.string());
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      remove_quietly(tmp);
+      throw IoError("write failed: " + tmp.string());
+    }
+  }
+  if (durable && !fsync_path(tmp)) {
+    remove_quietly(tmp);
+    throw IoError("fsync failed: " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    remove_quietly(tmp);
+    throw IoError("rename failed: " + tmp.string() + " -> " + path.string() + ": " +
+                  ec.message());
+  }
+}
+
+}  // namespace vbr

@@ -1,0 +1,25 @@
+// Atomic file replacement: the one sanctioned way to write checkpoint and
+// benchmark artifacts.
+//
+// write_file_atomic() stages the content in a sibling temp file, flushes
+// (and optionally fsyncs) it, then renames it over the destination. POSIX
+// rename within one directory is atomic, so a reader — or a resumed run —
+// sees either the previous complete file or the new complete file, never a
+// prefix. A process killed mid-write leaves at worst a stale .tmp sibling.
+//
+// Domain lint rule R6 forbids direct std::ofstream writes of such artifacts
+// anywhere else; route new artifact writers through this helper.
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+
+namespace vbr {
+
+/// Atomically replace `path` with `data`. With `durable`, the temp file is
+/// fsync'd before the rename so the content survives power loss, not just
+/// process death. Throws vbr::IoError on failure (temp file cleaned up).
+void write_file_atomic(const std::filesystem::path& path, std::string_view data,
+                       bool durable = false);
+
+}  // namespace vbr

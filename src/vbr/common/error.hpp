@@ -47,6 +47,15 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// An IoError the thrower believes is worth retrying (e.g. a momentary sink
+/// back-pressure failure). The engine's FailurePolicy retries these with
+/// bounded backoff; any other exception is permanent and quarantines the
+/// source immediately.
+class TransientError : public IoError {
+ public:
+  explicit TransientError(const std::string& what) : IoError(what) {}
+};
+
 /// Thrown when a numerical routine fails to converge or leaves its domain.
 class NumericalError : public Error {
  public:

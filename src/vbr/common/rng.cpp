@@ -39,6 +39,20 @@ Rng::result_type Rng::operator()() {
 
 Rng Rng::split() { return Rng((*this)()); }
 
+std::array<std::uint64_t, 4> Rng::state() const {
+  VBR_ENSURE(!has_cached_normal_,
+             "Rng::state() with a cached normal pending would lose half a draw");
+  return state_;
+}
+
+Rng Rng::from_state(const std::array<std::uint64_t, 4>& state) {
+  Rng rng;
+  rng.state_ = state;
+  rng.cached_normal_ = 0.0;
+  rng.has_cached_normal_ = false;
+  return rng;
+}
+
 double Rng::uniform() {
   // 53 high-quality bits -> double in [0, 1).
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;

@@ -34,6 +34,16 @@ class Rng {
   /// advances, and the child is seeded from the drawn value.
   Rng split();
 
+  /// Raw xoshiro256** state words, for checkpoint serialization. Only valid
+  /// for streams with no cached normal pair (e.g. a fresh split()); taking
+  /// the state of a stream mid-normal-pair throws vbr::InvalidArgument so a
+  /// checkpoint can never silently drop half a draw.
+  std::array<std::uint64_t, 4> state() const;
+
+  /// Reconstruct a stream from state() words (never through the seed
+  /// expansion). from_state(r.state()) produces the same draws as r.
+  static Rng from_state(const std::array<std::uint64_t, 4>& state);
+
   /// Uniform double in [0, 1).
   double uniform();
 

@@ -17,8 +17,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "vbr/common/rng.hpp"
 #include "vbr/model/vbr_source.hpp"
 
 namespace vbr::stream {
@@ -40,6 +44,31 @@ struct GenerationPlan {
   std::size_t threads = 0;
 };
 
+/// How the engine responds when a source's generation or tap fails.
+///
+/// vbr::TransientError is retried up to max_attempts with exponential
+/// backoff; every retry regenerates the source from a copy of its original
+/// Rng stream, so a retried source is bit-identical to one that succeeded
+/// first try. Any other exception — or exhausting the retry budget, or
+/// blowing the per-source deadline — is permanent: with `quarantine` the
+/// source is dropped (empty output, failure recorded in EngineStats) and the
+/// rest of the campaign completes; without it, the failure propagates as an
+/// exception after all sources have run (lowest source index wins, see
+/// parallel_for_index).
+struct FailurePolicy {
+  std::size_t max_attempts = 3;       ///< total tries per source (>= 1)
+  double backoff_seconds = 0.0;       ///< sleep before retry k: backoff * 2^(k-1)
+  double source_deadline_seconds = 0.0;  ///< wall-clock budget per source; 0 = none
+  bool quarantine = false;            ///< degrade gracefully instead of throwing
+};
+
+/// One quarantined source: which, why, and how hard the engine tried.
+struct SourceFailure {
+  std::size_t source_index = 0;
+  std::string error;
+  std::size_t attempts = 0;
+};
+
 /// Throughput accounting for one engine run.
 struct EngineStats {
   std::size_t sources = 0;
@@ -47,6 +76,11 @@ struct EngineStats {
   double bytes = 0.0;      ///< total generated traffic volume
   double wall_seconds = 0.0;
   std::size_t threads_used = 0;
+  /// Sources that exhausted the FailurePolicy and were quarantined, in
+  /// source order. Empty on a fully successful run.
+  std::vector<SourceFailure> failures;
+  /// Transient faults that were absorbed by retry (the run still succeeded).
+  std::size_t transient_retries = 0;
 
   double frames_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(frames) / wall_seconds : 0.0;
@@ -66,6 +100,34 @@ struct MultiSourceTrace {
   std::vector<double> aggregate() const;
 };
 
+/// Output of one generation batch. `traces[k]` / `sinks[k]` belong to source
+/// `first_index + k` of the surrounding plan; a quarantined source leaves an
+/// empty trace and a null sink, with the reason recorded in `failures`.
+struct SourceBatch {
+  std::vector<std::vector<double>> traces;
+  std::vector<std::unique_ptr<stream::Sink>> sinks;  ///< empty when tap == nullptr
+  std::vector<SourceFailure> failures;               ///< in source order
+  std::size_t transient_retries = 0;
+};
+
+/// Generate `streams.size()` sources, one per pre-derived Rng stream, under a
+/// FailurePolicy. This is the checkpointable core of the engine: the campaign
+/// runner calls it one batch at a time, persisting the unconsumed stream
+/// states between calls, so a resumed run hands the surviving streams back
+/// and continues bit-identically. `first_index` only labels failures; it
+/// never influences the output. Each retry restarts from a copy of the
+/// source's original stream, so retried output is bit-identical to
+/// first-try output for any thread count.
+SourceBatch generate_source_batch(const model::VbrVideoSourceModel& model,
+                                  std::span<const Rng> streams,
+                                  std::size_t first_index,
+                                  std::size_t frames_per_source,
+                                  model::ModelVariant variant,
+                                  model::GeneratorBackend backend,
+                                  std::size_t threads,
+                                  const stream::Sink* tap,
+                                  const FailurePolicy& policy);
+
 /// Execute the plan. Output depends only on the plan fields other than
 /// `threads`. Throws InvalidArgument on an empty plan.
 ///
@@ -76,7 +138,11 @@ struct MultiSourceTrace {
 /// calling thread* after the join. Because the sinks never touch generation
 /// and the merge order is fixed, the generated trace stays bit-identical
 /// for any thread count and the tap statistics are deterministic too.
+///
+/// `policy` governs failure handling (see FailurePolicy); the default
+/// retries transient faults and throws on anything permanent.
 MultiSourceTrace generate_sources(const GenerationPlan& plan,
-                                  stream::Sink* tap = nullptr);
+                                  stream::Sink* tap = nullptr,
+                                  const FailurePolicy& policy = {});
 
 }  // namespace vbr::engine

@@ -21,7 +21,14 @@ void parallel_for_index(std::size_t count, std::size_t threads,
   if (threads > count) threads = count;
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
+  // Lowest failing task index + its exception. Letting the remaining indices
+  // run (instead of draining the queue on first failure) makes the rethrown
+  // exception a pure function of the task set: whichever thread interleaving
+  // occurs, the error reported is always the lowest-index one. The old
+  // drain-on-error fast path made error reporting scheduling-dependent and
+  // silently dropped every exception after the first.
+  std::size_t error_index = count;
+  std::exception_ptr error;
   std::mutex error_mutex;
 
   const auto worker = [&]() {
@@ -32,10 +39,10 @@ void parallel_for_index(std::size_t count, std::size_t threads,
         fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        // Drain the remaining indices so every worker exits promptly.
-        next.store(count, std::memory_order_relaxed);
-        return;
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
       }
     }
   };
@@ -46,7 +53,7 @@ void parallel_for_index(std::size_t count, std::size_t threads,
   worker();  // the calling thread is worker 0
   for (auto& t : pool) t.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace vbr::engine

@@ -19,8 +19,11 @@ std::size_t resolve_thread_count(std::size_t requested);
 /// Run fn(i) for every i in [0, count) across `threads` OS threads (the
 /// calling thread counts as one of them, so `threads == 1` never spawns).
 /// fn must only write to state owned by index i. If any invocation throws,
-/// remaining indices are abandoned, all workers are joined, and the first
-/// exception is rethrown on the calling thread.
+/// every remaining index still runs (so the set of observed failures does
+/// not depend on scheduling), all workers are joined, and the exception from
+/// the *lowest-index* failing task is rethrown on the calling thread —
+/// deterministic by task index, not by completion order. Exceptions from
+/// higher-index tasks are discarded, never silently swallowed mid-run.
 void parallel_for_index(std::size_t count, std::size_t threads,
                         const std::function<void(std::size_t)>& fn);
 

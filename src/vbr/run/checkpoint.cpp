@@ -1,0 +1,202 @@
+#include "vbr/run/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "vbr/common/atomic_file.hpp"
+#include "vbr/common/checksum.hpp"
+#include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
+
+namespace vbr::run {
+
+namespace {
+
+/// Bounds for untrusted payload fields, chosen far above any real campaign
+/// but low enough that a forged count cannot drive a pathological allocation.
+constexpr std::uint64_t kMaxFailureError = 4096;
+constexpr std::uint64_t kMaxSinkState = std::uint64_t{1} << 26;
+// Generous for any real campaign (2M+ remaining sources plus a sink blob)
+// yet small enough that a forged size field cannot drive a multi-GB
+// allocation under the fuzzer's RSS limit.
+constexpr std::uint64_t kMaxPayload = std::uint64_t{1} << 27;
+
+}  // namespace
+
+std::uint64_t plan_fingerprint(const engine::GenerationPlan& plan, double dt_seconds,
+                               const std::string& unit) {
+  Fnv1a h;
+  const auto put_u64 = [&](std::uint64_t v) { h.update(&v, sizeof v); };
+  const auto put_f64 = [&](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_u64(bits);
+  };
+  put_u64(plan.num_sources);
+  put_u64(plan.frames_per_source);
+  put_u64(plan.seed);
+  put_f64(plan.params.marginal.mu_gamma);
+  put_f64(plan.params.marginal.sigma_gamma);
+  put_f64(plan.params.marginal.tail_slope);
+  put_f64(plan.params.hurst);
+  put_u64(static_cast<std::uint64_t>(plan.variant));
+  put_u64(static_cast<std::uint64_t>(plan.backend));
+  put_f64(dt_seconds);
+  h.update(unit.data(), unit.size());
+  return h.digest();
+}
+
+std::string encode_checkpoint(const CheckpointData& data) {
+  std::ostringstream payload(std::ios::binary);
+  io::write_u64(payload, data.plan_fingerprint);
+  io::write_u64(payload, data.num_sources);
+  io::write_u64(payload, data.frames_per_source);
+  io::write_u64(payload, data.seed);
+  io::write_u64(payload, data.next_source);
+  io::write_u64(payload, data.samples_written);
+  io::write_u64(payload, data.trace_hash_state);
+  io::write_f64(payload, data.bytes);
+  io::write_u64(payload, data.transient_retries);
+  io::write_u32(payload, static_cast<std::uint32_t>(data.failures.size()));
+  for (const auto& f : data.failures) {
+    io::write_u64(payload, f.source_index);
+    io::write_u64(payload, f.attempts);
+    io::write_string(payload, f.error);
+  }
+  io::write_u64(payload, data.stream_states.size());
+  for (const auto& s : data.stream_states) {
+    for (const std::uint64_t w : s) io::write_u64(payload, w);
+  }
+  io::write_u8(payload, data.has_sink ? 1 : 0);
+  if (data.has_sink) {
+    io::write_u64(payload, data.sink_state.size());
+    if (!data.sink_state.empty()) {
+      io::write_bytes(payload, data.sink_state.data(), data.sink_state.size());
+    }
+  }
+
+  const std::string body = payload.str();
+  std::ostringstream out(std::ios::binary);
+  io::write_bytes(out, kCheckpointMagic.data(), kCheckpointMagic.size());
+  io::write_u32(out, kCheckpointVersion);
+  io::write_u64(out, body.size());
+  io::write_u32(out, crc32(body.data(), body.size()));
+  io::write_bytes(out, body.data(), body.size());
+  return out.str();
+}
+
+CheckpointData parse_checkpoint(std::istream& in, const std::string& name) {
+  const char* what = name.c_str();
+
+  std::array<char, 8> magic{};
+  io::read_bytes(in, magic.data(), magic.size(), what);
+  if (std::memcmp(magic.data(), kCheckpointMagic.data(), magic.size()) != 0) {
+    throw IoError(name + ": not a checkpoint (bad magic)");
+  }
+  const std::uint32_t version = io::read_u32(in, what);
+  if (version != kCheckpointVersion) {
+    throw IoError(name + ": unsupported checkpoint version " + std::to_string(version));
+  }
+  const std::uint64_t payload_size = io::read_u64(in, what);
+  if (payload_size > kMaxPayload) {
+    throw IoError(name + ": implausible checkpoint payload size " +
+                  std::to_string(payload_size));
+  }
+  const std::uint32_t expected_crc = io::read_u32(in, what);
+  std::string body(static_cast<std::size_t>(payload_size), '\0');
+  if (!body.empty()) io::read_bytes(in, body.data(), body.size(), what);
+  // Integrity before interpretation: no payload field is parsed until the
+  // whole payload checks out, so a torn write can never yield partial state.
+  const std::uint32_t actual_crc = crc32(body.data(), body.size());
+  if (actual_crc != expected_crc) {
+    throw IoError(name + ": checkpoint CRC mismatch (file corrupt or torn)");
+  }
+
+  std::istringstream payload(body, std::ios::binary);
+  CheckpointData data;
+  data.plan_fingerprint = io::read_u64(payload, what);
+  data.num_sources = io::read_u64(payload, what);
+  data.frames_per_source = io::read_u64(payload, what);
+  data.seed = io::read_u64(payload, what);
+  data.next_source = io::read_u64(payload, what);
+  data.samples_written = io::read_u64(payload, what);
+  data.trace_hash_state = io::read_u64(payload, what);
+  data.bytes = io::read_f64(payload, what);
+  data.transient_retries = io::read_u64(payload, what);
+
+  if (data.num_sources == 0 || data.frames_per_source == 0) {
+    throw IoError(name + ": checkpoint describes an empty plan");
+  }
+  if (data.num_sources > io::kMaxSerializedElements ||
+      data.frames_per_source > (std::uint64_t{1} << 48) / data.num_sources) {
+    throw IoError(name + ": implausible checkpoint plan size");
+  }
+  if (data.next_source > data.num_sources) {
+    throw IoError(name + ": checkpoint next_source exceeds num_sources");
+  }
+  if (data.samples_written != data.next_source * data.frames_per_source) {
+    throw IoError(name + ": checkpoint sample count disagrees with source count");
+  }
+
+  const std::uint32_t failure_count = io::read_u32(payload, what);
+  if (failure_count > data.num_sources) {
+    throw IoError(name + ": checkpoint claims more failures than sources");
+  }
+  data.failures.reserve(failure_count);
+  for (std::uint32_t i = 0; i < failure_count; ++i) {
+    engine::SourceFailure f;
+    f.source_index = io::read_u64(payload, what);
+    f.attempts = io::read_u64(payload, what);
+    f.error = io::read_string(payload, kMaxFailureError, what);
+    if (f.source_index >= data.num_sources) {
+      throw IoError(name + ": checkpoint failure index out of range");
+    }
+    data.failures.push_back(std::move(f));
+  }
+
+  const std::size_t stream_count =
+      io::read_count(payload, data.num_sources, what);
+  // Validate before allocating: a forged count must never drive the resize.
+  if (stream_count != data.num_sources - data.next_source) {
+    throw IoError(name + ": checkpoint stream-state count disagrees with progress");
+  }
+  const auto pos = static_cast<std::uint64_t>(payload.tellg());
+  if (stream_count > (body.size() - pos) / (4 * sizeof(std::uint64_t))) {
+    throw IoError(name + ": checkpoint stream states exceed the payload");
+  }
+  data.stream_states.resize(stream_count);
+  for (auto& s : data.stream_states) {
+    for (auto& w : s) w = io::read_u64(payload, what);
+  }
+
+  data.has_sink = io::read_u8(payload, what) != 0;
+  if (data.has_sink) {
+    const std::size_t sink_size = io::read_count(payload, kMaxSinkState, what);
+    if (sink_size > body.size() - static_cast<std::uint64_t>(payload.tellg())) {
+      throw IoError(name + ": checkpoint sink state exceeds the payload");
+    }
+    data.sink_state.resize(sink_size);
+    if (sink_size > 0) io::read_bytes(payload, data.sink_state.data(), sink_size, what);
+  }
+
+  // The payload must be exactly consumed: trailing bytes mean the size field
+  // and the content disagree, i.e. a forged or corrupt file.
+  if (payload.peek() != std::char_traits<char>::eof()) {
+    throw IoError(name + ": checkpoint payload has trailing bytes");
+  }
+  return data;
+}
+
+CheckpointData load_checkpoint(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open checkpoint: " + path.string());
+  return parse_checkpoint(in, path.string());
+}
+
+void save_checkpoint(const std::filesystem::path& path, const CheckpointData& data,
+                     bool durable) {
+  write_file_atomic(path, encode_checkpoint(data), durable);
+}
+
+}  // namespace vbr::run

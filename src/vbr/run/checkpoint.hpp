@@ -1,0 +1,92 @@
+// The campaign checkpoint format (DESIGN.md §8).
+//
+// A checkpoint captures everything run_campaign() needs to continue a killed
+// run bit-identically: how many sources are already durably in the trace
+// file, the running FNV-1a hash over those samples, the xoshiro256** state
+// of every not-yet-generated source stream, the failure ledger, and (when a
+// statistics tap is attached) the serialized sink state. The envelope is
+//
+//   8 bytes  magic  "VBRCKPT1"
+//   u32      version (currently 1)
+//   u64      payload size in bytes
+//   u32      CRC-32 (zlib polynomial) of the payload
+//   payload  (fields serialized via vbr::io, see checkpoint.cpp)
+//
+// The CRC is verified before a single payload field is parsed, so a torn or
+// bit-rotted checkpoint is rejected as a whole — a load never yields partial
+// state. Files are written through write_file_atomic() (temp + rename), so
+// the previous checkpoint survives any crash during a save. Like every
+// vbr::io format this is single-machine: resume happens on the host that
+// crashed, no cross-endianness translation is attempted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "vbr/engine/engine.hpp"
+
+namespace vbr::run {
+
+inline constexpr std::array<char, 8> kCheckpointMagic = {'V', 'B', 'R', 'C',
+                                                         'K', 'P', 'T', '1'};
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Parsed checkpoint contents. Field invariants (enforced on load):
+/// next_source <= num_sources, samples_written == next_source *
+/// frames_per_source, stream_states.size() == num_sources - next_source.
+struct CheckpointData {
+  /// FNV-1a over the generation plan's semantic fields; a resume with a
+  /// different plan is rejected instead of silently blending two runs.
+  std::uint64_t plan_fingerprint = 0;
+  std::uint64_t num_sources = 0;
+  std::uint64_t frames_per_source = 0;
+  std::uint64_t seed = 0;
+  /// First source index not yet appended to the trace file.
+  std::uint64_t next_source = 0;
+  /// Samples durably in the trace file (the writer is truncated back to
+  /// exactly this many on resume, discarding any torn tail).
+  std::uint64_t samples_written = 0;
+  /// Running FNV-1a state over the first `samples_written` samples.
+  std::uint64_t trace_hash_state = 0;
+  /// Total generated volume so far (for EngineStats continuity).
+  double bytes = 0.0;
+  std::uint64_t transient_retries = 0;
+  /// Quarantined sources so far, in source order.
+  std::vector<engine::SourceFailure> failures;
+  /// xoshiro256** state words for sources [next_source, num_sources), in
+  /// source order.
+  std::vector<std::array<std::uint64_t, 4>> stream_states;
+  /// Serialized tap sink state (Sink::save bytes); meaningful only when
+  /// has_sink is true.
+  bool has_sink = false;
+  std::string sink_state;
+};
+
+/// Fingerprint of the plan fields that determine campaign output (threads is
+/// deliberately excluded — resuming with a different worker count is legal
+/// and bit-identical). dt/unit ride along because they live in the trace
+/// header the resume validates.
+std::uint64_t plan_fingerprint(const engine::GenerationPlan& plan, double dt_seconds,
+                               const std::string& unit);
+
+/// Serialize to the full envelope (magic + version + size + CRC + payload).
+std::string encode_checkpoint(const CheckpointData& data);
+
+/// Parse an envelope from a stream. Throws vbr::IoError on a bad magic,
+/// unsupported version, CRC mismatch, truncation, forged counts, or any
+/// violated field invariant; `name` labels errors. Never returns partial
+/// state. This is the surface fuzz_checkpoint drives.
+CheckpointData parse_checkpoint(std::istream& in, const std::string& name);
+
+/// Load and validate a checkpoint file.
+CheckpointData load_checkpoint(const std::filesystem::path& path);
+
+/// Atomically persist a checkpoint (temp + rename; fsync when durable).
+void save_checkpoint(const std::filesystem::path& path, const CheckpointData& data,
+                     bool durable = false);
+
+}  // namespace vbr::run

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
 
 namespace vbr::stream {
 
@@ -93,6 +94,41 @@ void StreamingAcf::merge(const Sink& other) {
 
 std::unique_ptr<Sink> StreamingAcf::clone_empty() const {
   return std::make_unique<StreamingAcf>(max_lag_);
+}
+
+void StreamingAcf::save(std::ostream& out) const {
+  io::write_string(out, kind());
+  io::write_u64(out, max_lag_);
+  io::write_u64(out, n_);
+  io::write_f64(out, sum_);
+  io::write_f64(out, compensation_);
+  io::write_f64_vector(out, cross_);
+  io::write_f64_vector(out, head_);
+  io::write_f64_vector(out, ring_);
+}
+
+void StreamingAcf::restore(std::istream& in) {
+  io::read_tag(in, kind(), kind());
+  const std::uint64_t max_lag = io::read_u64(in, kind());
+  if (max_lag != max_lag_) {
+    throw IoError("acf: serialized max_lag does not match this sink");
+  }
+  const std::uint64_t n = io::read_u64(in, kind());
+  const double sum = io::read_f64(in, kind());
+  const double compensation = io::read_f64(in, kind());
+  std::vector<double> cross = io::read_f64_vector(in, max_lag_ + 1, kind());
+  std::vector<double> head = io::read_f64_vector(in, max_lag_, kind());
+  std::vector<double> ring = io::read_f64_vector(in, max_lag_, kind());
+  if (cross.size() != max_lag_ + 1 || ring.size() != max_lag_ ||
+      head.size() != std::min<std::uint64_t>(n, max_lag_)) {
+    throw IoError("acf: serialized buffer sizes are inconsistent with the sample count");
+  }
+  n_ = static_cast<std::size_t>(n);
+  sum_ = sum;
+  compensation_ = compensation;
+  cross_ = std::move(cross);
+  head_ = std::move(head);
+  ring_ = std::move(ring);
 }
 
 std::vector<double> StreamingAcf::acf() const {

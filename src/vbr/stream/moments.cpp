@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
 
 namespace vbr::stream {
 
@@ -71,6 +72,35 @@ void StreamingMoments::merge(const Sink& other) {
 
 std::unique_ptr<Sink> StreamingMoments::clone_empty() const {
   return std::make_unique<StreamingMoments>();
+}
+
+void StreamingMoments::save(std::ostream& out) const {
+  io::write_string(out, kind());
+  io::write_u64(out, n_);
+  io::write_f64(out, mean_);
+  io::write_f64(out, m2_);
+  io::write_f64(out, m3_);
+  io::write_f64(out, m4_);
+  io::write_f64(out, min_);
+  io::write_f64(out, max_);
+}
+
+void StreamingMoments::restore(std::istream& in) {
+  io::read_tag(in, kind(), kind());
+  const std::uint64_t n = io::read_u64(in, kind());
+  const double mean = io::read_f64(in, kind());
+  const double m2 = io::read_f64(in, kind());
+  const double m3 = io::read_f64(in, kind());
+  const double m4 = io::read_f64(in, kind());
+  const double mn = io::read_f64(in, kind());
+  const double mx = io::read_f64(in, kind());
+  n_ = static_cast<std::size_t>(n);
+  mean_ = mean;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  min_ = mn;
+  max_ = mx;
 }
 
 double StreamingMoments::variance() const {

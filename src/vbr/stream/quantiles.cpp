@@ -5,6 +5,7 @@
 
 #include "vbr/common/error.hpp"
 #include "vbr/common/math_util.hpp"
+#include "vbr/common/serialize.hpp"
 
 namespace vbr::stream {
 
@@ -75,6 +76,40 @@ void StreamingQuantiles::merge(const Sink& other) {
 
 std::unique_ptr<Sink> StreamingQuantiles::clone_empty() const {
   return std::make_unique<StreamingQuantiles>(options_);
+}
+
+void StreamingQuantiles::save(std::ostream& out) const {
+  io::write_string(out, kind());
+  io::write_f64(out, options_.relative_error);
+  io::write_f64(out, options_.min_value);
+  io::write_f64(out, options_.max_value);
+  io::write_u64(out, count_);
+  io::write_f64(out, min_);
+  io::write_f64(out, max_);
+  io::write_u64_vector(out, counts_);
+}
+
+void StreamingQuantiles::restore(std::istream& in) {
+  io::read_tag(in, kind(), kind());
+  const double rel = io::read_f64(in, kind());
+  const double lo = io::read_f64(in, kind());
+  const double hi = io::read_f64(in, kind());
+  if (rel != options_.relative_error || lo != options_.min_value ||
+      hi != options_.max_value) {
+    throw IoError("quantiles: serialized sketch configuration does not match this sink");
+  }
+  const std::uint64_t count = io::read_u64(in, kind());
+  const double mn = io::read_f64(in, kind());
+  const double mx = io::read_f64(in, kind());
+  std::vector<std::uint64_t> counts =
+      io::read_u64_vector(in, counts_.size(), kind());
+  if (counts.size() != counts_.size()) {
+    throw IoError("quantiles: serialized bucket count does not match this sketch");
+  }
+  count_ = static_cast<std::size_t>(count);
+  min_ = mn;
+  max_ = mx;
+  counts_ = std::move(counts);
 }
 
 double StreamingQuantiles::quantile(double q) const {

@@ -45,6 +45,8 @@ class StreamingQuantiles final : public Sink {
   void push(std::span<const double> samples) override;
   void merge(const Sink& other) override;
   std::unique_ptr<Sink> clone_empty() const override;
+  void save(std::ostream& out) const override;
+  void restore(std::istream& in) override;
   std::size_t count() const override { return count_; }
   const char* kind() const override { return "quantiles"; }
 

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
 
 namespace vbr::stream {
 
@@ -31,6 +32,25 @@ void SinkChain::merge(const Sink& other) {
              "cannot merge sink chains of different arity");
   for (std::size_t i = 0; i < sinks_.size(); ++i) sinks_[i]->merge(*peer.sinks_[i]);
   count_ += peer.count_;
+}
+
+void SinkChain::save(std::ostream& out) const {
+  io::write_string(out, kind());
+  io::write_u32(out, static_cast<std::uint32_t>(sinks_.size()));
+  io::write_u64(out, count_);
+  for (const Sink* s : sinks_) s->save(out);
+}
+
+void SinkChain::restore(std::istream& in) {
+  io::read_tag(in, kind(), kind());
+  const std::uint32_t arity = io::read_u32(in, kind());
+  if (arity != sinks_.size()) {
+    throw IoError("chain: serialized arity " + std::to_string(arity) +
+                  " does not match this chain of " + std::to_string(sinks_.size()));
+  }
+  const std::uint64_t count = io::read_u64(in, kind());
+  for (Sink* s : sinks_) s->restore(in);
+  count_ = static_cast<std::size_t>(count);
 }
 
 std::unique_ptr<Sink> SinkChain::clone_empty() const {

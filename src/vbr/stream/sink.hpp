@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <vector>
@@ -41,6 +42,20 @@ class Sink {
   /// samples. Used by the engine to give every source its own accumulator.
   virtual std::unique_ptr<Sink> clone_empty() const = 0;
 
+  /// Serialize the complete accumulator state (kind tag + configuration +
+  /// every state word, doubles as raw bit patterns). restore() on a sink of
+  /// the same kind and configuration reproduces the state bit-for-bit:
+  /// continuing the stream on the restored sink yields exactly the results
+  /// the original would have produced (0 ulp — the checkpoint/resume
+  /// determinism guarantee rests on this). Throws vbr::IoError on failure.
+  virtual void save(std::ostream& out) const = 0;
+
+  /// Inverse of save(). The sink must already be constructed with the same
+  /// configuration the state was saved under; a kind or configuration
+  /// mismatch, truncation, or a forged length throws vbr::IoError and leaves
+  /// this sink unchanged. Previously accumulated samples are replaced.
+  virtual void restore(std::istream& in) = 0;
+
   /// Number of samples consumed so far.
   virtual std::size_t count() const = 0;
 
@@ -63,6 +78,11 @@ class SinkChain final : public Sink {
   void push(std::span<const double> samples) override;
   void merge(const Sink& other) override;
   std::unique_ptr<Sink> clone_empty() const override;
+  /// Children serialize in chain order. restore() requires matching arity;
+  /// if a child's restore throws, earlier children keep their restored state
+  /// — discard the whole chain on failure (the campaign runner does).
+  void save(std::ostream& out) const override;
+  void restore(std::istream& in) override;
   std::size_t count() const override { return count_; }
   const char* kind() const override { return "chain"; }
 

@@ -1,8 +1,10 @@
 #include "vbr/stream/variance_time.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
 
 namespace vbr::stream {
 
@@ -81,6 +83,47 @@ void StreamingVarianceTime::merge(const Sink& other) {
 
 std::unique_ptr<Sink> StreamingVarianceTime::clone_empty() const {
   return std::make_unique<StreamingVarianceTime>(options_);
+}
+
+void StreamingVarianceTime::save(std::ostream& out) const {
+  io::write_string(out, kind());
+  io::write_u64(out, options_.levels);
+  io::write_u64(out, options_.fit_min_m);
+  io::write_u64(out, options_.min_blocks);
+  io::write_u64(out, n_);
+  for (const Level& l : levels_) {
+    io::write_u64(out, l.blocks);
+    io::write_f64(out, l.mean);
+    io::write_f64(out, l.m2);
+    io::write_f64(out, l.partial_sum);
+    io::write_u64(out, l.partial_fill);
+  }
+}
+
+void StreamingVarianceTime::restore(std::istream& in) {
+  io::read_tag(in, kind(), kind());
+  const std::uint64_t levels = io::read_u64(in, kind());
+  const std::uint64_t fit_min_m = io::read_u64(in, kind());
+  const std::uint64_t min_blocks = io::read_u64(in, kind());
+  if (levels != options_.levels || fit_min_m != options_.fit_min_m ||
+      min_blocks != options_.min_blocks) {
+    throw IoError("variance_time: serialized configuration does not match this sink");
+  }
+  const std::uint64_t n = io::read_u64(in, kind());
+  std::vector<Level> restored(levels_.size());
+  for (Level& l : restored) {
+    l.blocks = static_cast<std::size_t>(io::read_u64(in, kind()));
+    l.mean = io::read_f64(in, kind());
+    l.m2 = io::read_f64(in, kind());
+    l.partial_sum = io::read_f64(in, kind());
+    const std::uint64_t fill = io::read_u64(in, kind());
+    if (fill > 1) {
+      throw IoError("variance_time: serialized partial fill out of range");
+    }
+    l.partial_fill = static_cast<std::size_t>(fill);
+  }
+  n_ = static_cast<std::size_t>(n);
+  levels_ = std::move(restored);
 }
 
 StreamingVarianceTimeResult StreamingVarianceTime::result() const {

@@ -7,6 +7,7 @@
 #include "vbr/common/error.hpp"
 #include "vbr/common/fft.hpp"
 #include "vbr/common/math_util.hpp"
+#include "vbr/common/serialize.hpp"
 
 namespace vbr::stream {
 
@@ -70,6 +71,42 @@ void StreamingWelchPeriodogram::merge(const Sink& other) {
 
 std::unique_ptr<Sink> StreamingWelchPeriodogram::clone_empty() const {
   return std::make_unique<StreamingWelchPeriodogram>(options_);
+}
+
+void StreamingWelchPeriodogram::save(std::ostream& out) const {
+  io::write_string(out, kind());
+  io::write_u64(out, options_.segment_size);
+  io::write_u8(out, options_.hann_window ? 1 : 0);
+  io::write_u64(out, n_);
+  io::write_u64(out, segments_);
+  io::write_u64(out, buffer_fill_);
+  io::write_f64_vector(out, buffer_);
+  io::write_f64_vector(out, power_sum_);
+}
+
+void StreamingWelchPeriodogram::restore(std::istream& in) {
+  io::read_tag(in, kind(), kind());
+  const std::uint64_t segment_size = io::read_u64(in, kind());
+  const std::uint8_t hann = io::read_u8(in, kind());
+  if (segment_size != options_.segment_size || (hann != 0) != options_.hann_window) {
+    throw IoError("welch: serialized configuration does not match this sink");
+  }
+  const std::uint64_t n = io::read_u64(in, kind());
+  const std::uint64_t segments = io::read_u64(in, kind());
+  const std::uint64_t fill = io::read_u64(in, kind());
+  if (fill >= options_.segment_size) {
+    throw IoError("welch: serialized partial-segment fill out of range");
+  }
+  std::vector<double> buffer = io::read_f64_vector(in, options_.segment_size, kind());
+  std::vector<double> power = io::read_f64_vector(in, power_sum_.size(), kind());
+  if (buffer.size() != options_.segment_size || power.size() != power_sum_.size()) {
+    throw IoError("welch: serialized buffer sizes do not match this configuration");
+  }
+  n_ = static_cast<std::size_t>(n);
+  segments_ = static_cast<std::size_t>(segments);
+  buffer_fill_ = static_cast<std::size_t>(fill);
+  buffer_ = std::move(buffer);
+  power_sum_ = std::move(power);
 }
 
 stats::Periodogram StreamingWelchPeriodogram::result() const {

@@ -5,6 +5,12 @@
 #include <istream>
 #include <limits>
 #include <sstream>
+#include <system_error>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "vbr/common/error.hpp"
 #include "vbr/trace/trace_format.hpp"
@@ -50,6 +56,8 @@ void ChunkedTraceReader::init() {
     info_.dt_seconds = dt;
     info_.unit = std::move(unit);
     info_.declared_samples = n;
+    info_.header_bytes = head.size() + sizeof dt + sizeof unit_len +
+                         static_cast<std::uint64_t>(unit_len) + sizeof n;
     remaining_ = n;
     return;
   }
@@ -132,29 +140,121 @@ std::size_t ChunkedTraceReader::read(std::span<double> out) {
   return got;
 }
 
-ChunkedTraceWriter::ChunkedTraceWriter(const std::filesystem::path& path,
-                                       std::uint64_t total_samples, double dt_seconds,
-                                       const std::string& unit)
-    : out_(path, std::ios::binary), path_(path.string()), declared_(total_samples) {
-  if (!out_) throw IoError("cannot open for writing: " + path_);
+void ChunkedTraceWriter::write_header(double dt_seconds, const std::string& unit) {
   if (!(dt_seconds > 0.0) || !std::isfinite(dt_seconds)) {
     throw IoError(path_ + ": refusing to write non-positive dt_seconds");
   }
   if (unit.size() > detail::kMaxUnitLength) {
     throw IoError(path_ + ": unit string too long");
   }
-  out_.write(detail::kBinaryMagic.data(), detail::kBinaryMagic.size());
-  out_.write(reinterpret_cast<const char*>(&dt_seconds), sizeof dt_seconds);
+  out_->write(detail::kBinaryMagic.data(), detail::kBinaryMagic.size());
+  out_->write(reinterpret_cast<const char*>(&dt_seconds), sizeof dt_seconds);
   const auto unit_len = static_cast<std::uint32_t>(unit.size());
-  out_.write(reinterpret_cast<const char*>(&unit_len), sizeof unit_len);
-  out_.write(unit.data(), unit_len);
-  out_.write(reinterpret_cast<const char*>(&declared_), sizeof declared_);
-  if (!out_) throw IoError("write failed: " + path_);
+  out_->write(reinterpret_cast<const char*>(&unit_len), sizeof unit_len);
+  out_->write(unit.data(), unit_len);
+  out_->write(reinterpret_cast<const char*>(&declared_), sizeof declared_);
+  if (!*out_) throw IoError("write failed: " + path_);
+  header_bytes_ = detail::kBinaryMagic.size() + sizeof dt_seconds + sizeof unit_len +
+                  unit.size() + sizeof declared_;
+}
+
+ChunkedTraceWriter::ChunkedTraceWriter(const std::filesystem::path& path,
+                                       std::uint64_t total_samples, double dt_seconds,
+                                       const std::string& unit,
+                                       const TraceWriterOptions& options)
+    : file_(std::make_unique<std::fstream>(
+          path, std::ios::binary | std::ios::out | std::ios::trunc)),
+      out_(file_.get()),
+      path_(path.string()),
+      options_(options),
+      declared_(total_samples) {
+  if (!*file_) throw IoError("cannot open for writing: " + path_);
+  write_header(dt_seconds, unit);
+  next_sync_ = options_.sync_every_samples;
+}
+
+ChunkedTraceWriter::ChunkedTraceWriter(std::ostream& out, std::string name,
+                                       std::uint64_t total_samples, double dt_seconds,
+                                       const std::string& unit)
+    : out_(&out), path_(std::move(name)), declared_(total_samples) {
+  write_header(dt_seconds, unit);
+}
+
+ChunkedTraceWriter::ChunkedTraceWriter(ResumeTag, const std::filesystem::path& path,
+                                       std::uint64_t total_samples,
+                                       std::uint64_t samples_written,
+                                       const TraceWriterOptions& options)
+    : path_(path.string()), options_(options), declared_(total_samples) {
+  // Validate the surviving header with the reader (untrusted-input rules
+  // apply: a crash can leave anything on disk) before touching the file.
+  TraceStreamInfo info;
+  {
+    ChunkedTraceReader reader(path);
+    info = reader.info();
+  }
+  if (!info.binary) throw IoError(path_ + ": cannot resume an ASCII trace");
+  if (info.declared_samples != total_samples) {
+    throw IoError(path_ + ": header declares " +
+                  std::to_string(info.declared_samples) +
+                  " samples but the checkpoint expects " +
+                  std::to_string(total_samples));
+  }
+  if (samples_written > total_samples) {
+    throw IoError(path_ + ": checkpoint claims more samples than declared");
+  }
+  const std::uint64_t keep = info.header_bytes + 8 * samples_written;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw IoError(path_ + ": cannot stat for resume: " + ec.message());
+  if (size < keep) {
+    throw IoError(path_ + ": file holds " + std::to_string(size) +
+                  " bytes, fewer than the " + std::to_string(keep) +
+                  " the checkpoint recorded as durable");
+  }
+  // Discard the torn tail a mid-append crash may have left, then continue
+  // appending from the last checkpointed sample.
+  if (size > keep) {
+    std::filesystem::resize_file(path, keep, ec);
+    if (ec) throw IoError(path_ + ": cannot truncate torn tail: " + ec.message());
+  }
+  file_ = std::make_unique<std::fstream>(
+      path, std::ios::binary | std::ios::in | std::ios::out | std::ios::ate);
+  if (!*file_) throw IoError("cannot reopen for resume: " + path_);
+  out_ = file_.get();
+  written_ = samples_written;
+  header_bytes_ = info.header_bytes;
+  next_sync_ = written_ + options_.sync_every_samples;
+}
+
+ChunkedTraceWriter ChunkedTraceWriter::resume(const std::filesystem::path& path,
+                                              std::uint64_t total_samples,
+                                              std::uint64_t samples_written,
+                                              const TraceWriterOptions& options) {
+  return ChunkedTraceWriter(ResumeTag{}, path, total_samples, samples_written, options);
 }
 
 ChunkedTraceWriter::~ChunkedTraceWriter() {
   // Destruction without finish() (e.g. during exception unwinding) just
   // closes the file; the truncated result fails read_binary()'s count check.
+}
+
+void ChunkedTraceWriter::sync_to_disk() {
+#ifdef __unix__
+  const int fd = ::open(path_.c_str(), O_WRONLY);
+  if (fd < 0) throw IoError(path_ + ": cannot open for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw IoError(path_ + ": fsync failed");
+#endif
+}
+
+void ChunkedTraceWriter::maybe_sync() {
+  if (!options_.durable || file_ == nullptr) return;
+  if (written_ < next_sync_) return;
+  out_->flush();
+  if (!*out_) throw IoError("flush failed: " + path_);
+  sync_to_disk();
+  while (next_sync_ <= written_) next_sync_ += options_.sync_every_samples;
 }
 
 void ChunkedTraceWriter::append(std::span<const double> samples) {
@@ -165,10 +265,18 @@ void ChunkedTraceWriter::append(std::span<const double> samples) {
   for (std::size_t i = 0; i < samples.size(); ++i) {
     detail::validate_sample(samples[i], path_, written_ + i);
   }
-  out_.write(reinterpret_cast<const char*>(samples.data()),
-             static_cast<std::streamsize>(samples.size() * sizeof(double)));
-  if (!out_) throw IoError("write failed: " + path_);
+  out_->write(reinterpret_cast<const char*>(samples.data()),
+              static_cast<std::streamsize>(samples.size() * sizeof(double)));
+  if (!*out_) throw IoError("write failed: " + path_);
   written_ += samples.size();
+  maybe_sync();
+}
+
+void ChunkedTraceWriter::flush() {
+  if (finished_) return;
+  out_->flush();
+  if (!*out_) throw IoError("flush failed: " + path_);
+  if (options_.durable && file_ != nullptr) sync_to_disk();
 }
 
 void ChunkedTraceWriter::finish() {
@@ -177,9 +285,19 @@ void ChunkedTraceWriter::finish() {
     throw IoError(path_ + ": finish() after " + std::to_string(written_) +
                   " of " + std::to_string(declared_) + " declared samples");
   }
-  out_.flush();
-  if (!out_) throw IoError("write failed: " + path_);
-  out_.close();
+  out_->flush();
+  if (!*out_) throw IoError("write failed: " + path_);
+  // A stream can report success while the sink absorbed fewer bytes than
+  // asked (full disk, faulty filter buffer). The put position is the ground
+  // truth for how much the stream actually holds.
+  const auto pos = out_->tellp();
+  const auto expected = static_cast<std::streamoff>(header_bytes_ + 8 * declared_);
+  if (pos >= 0 && pos != expected) {
+    throw IoError(path_ + ": short write: stream holds " + std::to_string(pos) +
+                  " bytes, expected " + std::to_string(expected));
+  }
+  if (options_.durable && file_ != nullptr) sync_to_disk();
+  if (file_ != nullptr) file_->close();
   finished_ = true;
 }
 

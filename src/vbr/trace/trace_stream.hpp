@@ -30,6 +30,10 @@ struct TraceStreamInfo {
   /// Sample count declared by a binary header (untrusted until the stream
   /// backs it); 0 for ASCII traces, whose length is discovered at EOF.
   std::uint64_t declared_samples = 0;
+  /// Size of the binary header in bytes (0 for ASCII). Sample k lives at
+  /// byte offset header_bytes + 8k, which is what checkpoint resume uses to
+  /// truncate a torn tail back to the last durable sample.
+  std::uint64_t header_bytes = 0;
 };
 
 /// One-pass reader over an ASCII or binary trace. Memory use is O(block
@@ -68,16 +72,49 @@ class ChunkedTraceReader {
   bool done_ = false;
 };
 
+/// Durability knobs for ChunkedTraceWriter.
+struct TraceWriterOptions {
+  /// When true, the writer fsyncs the file every `sync_every_samples`
+  /// appended samples and again at finish(), so a crash loses at most one
+  /// sync window instead of everything the OS still had buffered. Off by
+  /// default: the paper-scale single-run tools don't need power-loss
+  /// guarantees, and fsync costs real throughput.
+  bool durable = false;
+  std::uint64_t sync_every_samples = 65536;
+};
+
 /// Incremental writer for the binary trace format. The header carries the
 /// total sample count, so the count must be declared up front; append() in
 /// any block sizes, then finish() (which verifies the declared count was
-/// delivered). The result is read_binary()/ChunkedTraceReader-compatible.
+/// delivered — including that the underlying stream really absorbed every
+/// byte, so short writes from a full disk surface as IoError, not silent
+/// truncation). The result is read_binary()/ChunkedTraceReader-compatible.
 class ChunkedTraceWriter {
  public:
   ChunkedTraceWriter(const std::filesystem::path& path, std::uint64_t total_samples,
+                     double dt_seconds, const std::string& unit = "bytes/frame",
+                     const TraceWriterOptions& options = {});
+
+  /// Write into a caller-owned stream (tests and fault injection); `name`
+  /// labels errors and the stream must outlive the writer. Durability
+  /// options are ignored — there is no file to fsync.
+  ChunkedTraceWriter(std::ostream& out, std::string name, std::uint64_t total_samples,
                      double dt_seconds, const std::string& unit = "bytes/frame");
+
+  /// Reopen a partially written trace and continue after sample
+  /// `samples_written`. Validates the existing header (declared count,
+  /// readable metadata) and truncates the file back to exactly
+  /// header + 8 * samples_written bytes, discarding any torn tail a crash
+  /// left behind. Throws vbr::IoError if the file is shorter than that, or
+  /// the header disagrees with `total_samples`.
+  static ChunkedTraceWriter resume(const std::filesystem::path& path,
+                                   std::uint64_t total_samples,
+                                   std::uint64_t samples_written,
+                                   const TraceWriterOptions& options = {});
+
   ~ChunkedTraceWriter();
 
+  ChunkedTraceWriter(ChunkedTraceWriter&&) = default;
   ChunkedTraceWriter(const ChunkedTraceWriter&) = delete;
   ChunkedTraceWriter& operator=(const ChunkedTraceWriter&) = delete;
 
@@ -85,17 +122,36 @@ class ChunkedTraceWriter {
   /// would be exceeded or a sample is negative/non-finite.
   void append(std::span<const double> samples);
 
+  /// Push everything buffered so far to the OS (and to the platter when
+  /// durable). The campaign runner calls this before persisting a checkpoint
+  /// so the checkpoint never claims samples a crash could still lose.
+  void flush();
+
   /// Flush and close; throws vbr::IoError if fewer samples than declared
-  /// were appended or the final flush fails. Idempotent.
+  /// were appended, the final flush fails, or the stream position shows the
+  /// file is shorter than the declared payload (short write). Idempotent.
   void finish();
 
   std::uint64_t written() const { return written_; }
+  std::uint64_t header_bytes() const { return header_bytes_; }
 
  private:
-  std::ofstream out_;
+  struct ResumeTag {};
+  ChunkedTraceWriter(ResumeTag, const std::filesystem::path& path,
+                     std::uint64_t total_samples, std::uint64_t samples_written,
+                     const TraceWriterOptions& options);
+  void write_header(double dt_seconds, const std::string& unit);
+  void sync_to_disk();
+  void maybe_sync();
+
+  std::unique_ptr<std::fstream> file_;  ///< owned when constructed from a path
+  std::ostream* out_ = nullptr;
   std::string path_;
+  TraceWriterOptions options_;
   std::uint64_t declared_ = 0;
   std::uint64_t written_ = 0;
+  std::uint64_t header_bytes_ = 0;
+  std::uint64_t next_sync_ = 0;
   bool finished_ = false;
 };
 

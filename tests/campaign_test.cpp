@@ -1,0 +1,399 @@
+// Tests for the crash-safe campaign runner and the fault-injection matrix:
+// checkpoint/resume determinism (kill at a batch boundary, resume, compare
+// hashes and sink states bit-for-bit), graceful per-source degradation,
+// retry of transient faults, per-source deadlines, and the trace writer's
+// behaviour under injected disk faults (ENOSPC, short writes, torn blocks).
+#include "vbr/run/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/run/checkpoint.hpp"
+#include "vbr/run/fault_injection.hpp"
+#include "vbr/stream/acf.hpp"
+#include "vbr/stream/moments.hpp"
+#include "vbr/stream/sink.hpp"
+#include "vbr/trace/trace_stream.hpp"
+
+namespace vbr::run {
+namespace {
+
+/// Fresh file names under the test temp dir, removed on destruction.
+class TempCampaignFiles {
+ public:
+  explicit TempCampaignFiles(const std::string& tag)
+      : trace_(std::filesystem::temp_directory_path() / ("vbr_" + tag + ".trace")),
+        checkpoint_(std::filesystem::temp_directory_path() / ("vbr_" + tag + ".ckpt")) {
+    std::filesystem::remove(trace_);
+    std::filesystem::remove(checkpoint_);
+  }
+  ~TempCampaignFiles() {
+    std::filesystem::remove(trace_);
+    std::filesystem::remove(checkpoint_);
+  }
+  const std::filesystem::path& trace() const { return trace_; }
+  const std::filesystem::path& checkpoint() const { return checkpoint_; }
+
+ private:
+  std::filesystem::path trace_;
+  std::filesystem::path checkpoint_;
+};
+
+CampaignOptions small_campaign(const TempCampaignFiles& files) {
+  CampaignOptions options;
+  options.plan.num_sources = 6;
+  options.plan.frames_per_source = 2048;
+  options.plan.seed = 1994;
+  options.plan.params.hurst = 0.8;
+  options.plan.params.marginal.mu_gamma = 27791.0;
+  options.plan.params.marginal.sigma_gamma = 6254.0;
+  options.plan.params.marginal.tail_slope = 12.0;
+  options.plan.threads = 1;
+  options.trace_path = files.trace();
+  options.checkpoint_path = files.checkpoint();
+  options.checkpoint_every_sources = 2;
+  return options;
+}
+
+std::string sink_bytes(const stream::Sink& sink) {
+  std::ostringstream out(std::ios::binary);
+  sink.save(out);
+  return out.str();
+}
+
+struct TapPair {
+  stream::StreamingMoments moments;
+  stream::StreamingAcf acf{32};
+  std::unique_ptr<stream::SinkChain> tap;
+  TapPair() : tap(std::make_unique<stream::SinkChain>(
+                  std::vector<stream::Sink*>{&moments, &acf})) {}
+};
+
+TEST(CampaignTest, HashIndependentOfBatchingAndThreads) {
+  TempCampaignFiles ref_files("camp_ref");
+  auto ref = small_campaign(ref_files);
+  ref.checkpoint_every_sources = 0;  // one batch, checkpoint only at the end
+  TapPair ref_tap;
+  const auto ref_result = run_campaign(ref, ref_tap.tap.get());
+
+  for (const std::size_t every : {1u, 2u, 5u}) {
+    for (const std::size_t threads : {1u, 4u}) {
+      TempCampaignFiles files("camp_var");
+      auto options = small_campaign(files);
+      options.checkpoint_every_sources = every;
+      options.plan.threads = threads;
+      TapPair tap;
+      const auto result = run_campaign(options, tap.tap.get());
+      EXPECT_EQ(result.trace_hash, ref_result.trace_hash)
+          << "every=" << every << " threads=" << threads;
+      EXPECT_EQ(sink_bytes(*tap.tap), sink_bytes(*ref_tap.tap));
+    }
+  }
+}
+
+TEST(CampaignTest, AbortedRunResumesBitIdentically) {
+  TempCampaignFiles ref_files("camp_resume_ref");
+  TapPair ref_tap;
+  const auto ref_result =
+      run_campaign(small_campaign(ref_files), ref_tap.tap.get());
+
+  for (const std::size_t threads : {1u, 4u}) {
+    // Abort the run by failing the 3rd checkpoint save (transient, injected
+    // after two batches are durable): an in-process stand-in for SIGKILL at
+    // a batch boundary; the SIGKILL-at-arbitrary-instant case is covered by
+    // scripts/crash_soak.sh.
+    TempCampaignFiles files("camp_resume");
+    auto options = small_campaign(files);
+    options.plan.threads = threads;
+    FaultPlan plan;
+    plan.faults.push_back({"checkpoint", 2, FaultKind::kTransient, 1});
+    FaultInjector faults(std::move(plan));
+    options.faults = &faults;
+    {
+      TapPair tap;
+      EXPECT_THROW(run_campaign(options, tap.tap.get()), vbr::TransientError);
+    }
+    EXPECT_EQ(faults.fired("checkpoint"), 1u);
+    // The previous checkpoint survived the aborted save (atomic replace).
+    const CheckpointData ckpt = load_checkpoint(files.checkpoint());
+    EXPECT_EQ(ckpt.next_source, 4u);
+
+    options.faults = nullptr;
+    options.resume = true;
+    TapPair resumed_tap;
+    const auto resumed = run_campaign(options, resumed_tap.tap.get());
+    EXPECT_TRUE(resumed.resumed);
+    EXPECT_EQ(resumed.resumed_at_source, 4u);
+    EXPECT_EQ(resumed.trace_hash, ref_result.trace_hash) << "threads=" << threads;
+    EXPECT_EQ(sink_bytes(*resumed_tap.tap), sink_bytes(*ref_tap.tap));
+  }
+}
+
+TEST(CampaignTest, TornTraceTailIsTruncatedOnResume) {
+  TempCampaignFiles ref_files("camp_torn_ref");
+  TapPair ref_tap;
+  const auto ref_result =
+      run_campaign(small_campaign(ref_files), ref_tap.tap.get());
+
+  TempCampaignFiles files("camp_torn");
+  auto options = small_campaign(files);
+  FaultPlan plan;
+  plan.faults.push_back({"checkpoint", 1, FaultKind::kTransient, 1});
+  FaultInjector faults(std::move(plan));
+  options.faults = &faults;
+  {
+    TapPair tap;
+    EXPECT_THROW(run_campaign(options, tap.tap.get()), vbr::TransientError);
+  }
+  // Simulate the torn final block a crash leaves: garbage past the last
+  // durable sample.
+  {
+    std::ofstream torn(files.trace(), std::ios::binary | std::ios::app);
+    torn.write("GARBAGE-TAIL-BYTES", 18);
+  }
+
+  options.faults = nullptr;
+  options.resume = true;
+  TapPair resumed_tap;
+  const auto resumed = run_campaign(options, resumed_tap.tap.get());
+  EXPECT_EQ(resumed.trace_hash, ref_result.trace_hash);
+  EXPECT_EQ(sink_bytes(*resumed_tap.tap), sink_bytes(*ref_tap.tap));
+
+  // And the finished trace must be exactly readable: count backed in full.
+  trace::ChunkedTraceReader reader(files.trace());
+  std::vector<double> block(4096);
+  std::uint64_t total = 0;
+  while (const auto got = reader.read(block)) total += got;
+  EXPECT_EQ(total, options.plan.num_sources * options.plan.frames_per_source);
+}
+
+TEST(CampaignTest, ResumeWithDifferentPlanIsRejected) {
+  TempCampaignFiles files("camp_mismatch");
+  auto options = small_campaign(files);
+  FaultPlan plan;
+  plan.faults.push_back({"checkpoint", 1, FaultKind::kTransient, 1});
+  FaultInjector faults(std::move(plan));
+  options.faults = &faults;
+  EXPECT_THROW(run_campaign(options), vbr::TransientError);
+
+  options.faults = nullptr;
+  options.resume = true;
+  options.plan.seed = 2024;  // different campaign
+  EXPECT_THROW(run_campaign(options), vbr::IoError);
+}
+
+TEST(CampaignTest, ResumeWithTapNeedsSinkStateInCheckpoint) {
+  TempCampaignFiles files("camp_tapless");
+  auto options = small_campaign(files);
+  FaultPlan plan;
+  plan.faults.push_back({"checkpoint", 1, FaultKind::kTransient, 1});
+  FaultInjector faults(std::move(plan));
+  options.faults = &faults;
+  EXPECT_THROW(run_campaign(options), vbr::TransientError);  // tapless run
+
+  options.faults = nullptr;
+  options.resume = true;
+  TapPair tap;
+  EXPECT_THROW(run_campaign(options, tap.tap.get()), vbr::IoError);
+}
+
+TEST(CampaignTest, TransientTapFaultIsAbsorbedByRetry) {
+  TempCampaignFiles ref_files("camp_retry_ref");
+  const auto ref_result = run_campaign(small_campaign(ref_files));
+
+  TempCampaignFiles files("camp_retry");
+  auto options = small_campaign(files);
+  options.failure.max_attempts = 3;
+
+  FaultPlan plan;
+  plan.faults.push_back({"tap", 0, FaultKind::kTransient, 1});
+  FaultInjector faults(std::move(plan));
+  stream::StreamingMoments moments;
+  FaultySink tap(moments.clone_empty(), &faults, "tap");
+
+  const auto result = run_campaign(options, &tap);
+  EXPECT_EQ(result.trace_hash, ref_result.trace_hash);
+  EXPECT_EQ(result.stats.transient_retries, 1u);
+  EXPECT_TRUE(result.stats.failures.empty());
+  EXPECT_EQ(tap.count(),
+            options.plan.num_sources * options.plan.frames_per_source);
+}
+
+TEST(CampaignTest, PermanentTapFaultQuarantinesOnlyThatSource) {
+  TempCampaignFiles files("camp_quarantine");
+  auto options = small_campaign(files);
+  options.failure.quarantine = true;
+  options.plan.threads = 1;  // source 0 performs tap push op 0
+
+  FaultPlan plan;
+  plan.faults.push_back({"tap", 0, FaultKind::kPermanent, 1});
+  FaultInjector faults(std::move(plan));
+  stream::StreamingMoments moments;
+  FaultySink tap(moments.clone_empty(), &faults, "tap");
+
+  const auto result = run_campaign(options, &tap);
+  ASSERT_EQ(result.stats.failures.size(), 1u);
+  EXPECT_EQ(result.stats.failures[0].source_index, 0u);
+  EXPECT_EQ(result.stats.failures[0].attempts, 1u);
+  EXPECT_NE(result.stats.failures[0].error.find("injected permanent"),
+            std::string::npos);
+  EXPECT_EQ(result.stats.frames,
+            (options.plan.num_sources - 1) * options.plan.frames_per_source);
+
+  // The quarantined source's trace slot is all zeros; the others are not.
+  trace::ChunkedTraceReader reader(files.trace());
+  std::vector<double> slot(options.plan.frames_per_source);
+  ASSERT_EQ(reader.read(slot), slot.size());
+  for (const double x : slot) ASSERT_EQ(x, 0.0);
+  ASSERT_EQ(reader.read(slot), slot.size());
+  double sum = 0.0;
+  for (const double x : slot) sum += x;
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(CampaignTest, SourceDeadlineBoundsTheRetryLoop) {
+  TempCampaignFiles files("camp_deadline");
+  auto options = small_campaign(files);
+  options.plan.num_sources = 1;
+  options.plan.threads = 1;
+  options.failure.max_attempts = 1000;
+  options.failure.backoff_seconds = 0.02;
+  options.failure.source_deadline_seconds = 0.05;
+  options.failure.quarantine = true;
+
+  FaultPlan plan;
+  plan.faults.push_back({"tap", 0, FaultKind::kTransient, 1000000});
+  FaultInjector faults(std::move(plan));
+  stream::StreamingMoments moments;
+  FaultySink tap(moments.clone_empty(), &faults, "tap");
+
+  const auto result = run_campaign(options, &tap);
+  ASSERT_EQ(result.stats.failures.size(), 1u);
+  EXPECT_NE(result.stats.failures[0].error.find("deadline"), std::string::npos);
+  // The deadline, not the attempt budget, stopped the loop.
+  EXPECT_LT(result.stats.failures[0].attempts, 1000u);
+  EXPECT_GE(result.stats.failures[0].attempts, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace writer under injected disk faults (the writer half of the matrix).
+// The binary header is written as 5 stream operations; appends start at op 5.
+// ---------------------------------------------------------------------------
+
+TEST(TraceWriterFaultTest, EnospcSurfacesAsIoErrorOnAppend) {
+  FaultPlan plan;
+  plan.faults.push_back({"disk", 5, FaultKind::kNoSpace, 1});
+  FaultInjector faults(std::move(plan));
+  std::ostringstream backing(std::ios::binary);
+  FaultyStreambuf buf(backing.rdbuf(), &faults, "disk");
+  std::ostream out(&buf);
+  trace::ChunkedTraceWriter writer(out, "faulty", 8, 1.0 / 24.0);
+  const std::vector<double> samples(8, 100.0);
+  EXPECT_THROW(writer.append(samples), vbr::IoError);
+}
+
+TEST(TraceWriterFaultTest, ShortWriteSurfacesAsIoErrorOnAppend) {
+  FaultPlan plan;
+  plan.faults.push_back({"disk", 5, FaultKind::kShortWrite, 1});
+  FaultInjector faults(std::move(plan));
+  std::ostringstream backing(std::ios::binary);
+  FaultyStreambuf buf(backing.rdbuf(), &faults, "disk");
+  std::ostream out(&buf);
+  trace::ChunkedTraceWriter writer(out, "faulty", 8, 1.0 / 24.0);
+  const std::vector<double> samples(8, 100.0);
+  EXPECT_THROW(writer.append(samples), vbr::IoError);
+}
+
+TEST(TraceWriterFaultTest, TornFinalBlockIsCaughtByFinish) {
+  // The torn write lies: the stream reports success while half the block is
+  // gone. append() cannot see it — only finish()'s position check can.
+  FaultPlan plan;
+  plan.faults.push_back({"disk", 5, FaultKind::kTornWrite, 1});
+  FaultInjector faults(std::move(plan));
+  std::ostringstream backing(std::ios::binary);
+  FaultyStreambuf buf(backing.rdbuf(), &faults, "disk");
+  std::ostream out(&buf);
+  trace::ChunkedTraceWriter writer(out, "faulty", 8, 1.0 / 24.0);
+  const std::vector<double> samples(8, 100.0);
+  writer.append(samples);  // reports success
+  EXPECT_THROW(writer.finish(), vbr::IoError);
+}
+
+TEST(TraceWriterFaultTest, FaultFreePathStaysByteIdentical) {
+  // The injection seam itself must be transparent when no fault fires.
+  FaultInjector faults(FaultPlan{});
+  std::ostringstream faulty_backing(std::ios::binary);
+  FaultyStreambuf buf(faulty_backing.rdbuf(), &faults, "disk");
+  std::ostream faulty_out(&buf);
+  std::ostringstream clean_backing(std::ios::binary);
+
+  const std::vector<double> samples{1.0, 2.5, 3.0, 4.25};
+  trace::ChunkedTraceWriter faulty_writer(faulty_out, "faulty", 4, 1.0 / 24.0);
+  faulty_writer.append(samples);
+  faulty_writer.finish();
+  trace::ChunkedTraceWriter clean_writer(clean_backing, "clean", 4, 1.0 / 24.0);
+  clean_writer.append(samples);
+  clean_writer.finish();
+  EXPECT_EQ(faulty_backing.str(), clean_backing.str());
+}
+
+TEST(TraceWriterResumeTest, RejectsFilesShorterThanTheCheckpointClaims) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "vbr_resume_short.trace";
+  {
+    trace::ChunkedTraceWriter writer(path, 16, 1.0 / 24.0);
+    writer.append(std::vector<double>(4, 1.0));
+    writer.flush();
+  }  // destroyed unfinished: 4 of 16 samples on disk
+  EXPECT_THROW(trace::ChunkedTraceWriter::resume(path, 16, 8), vbr::IoError);
+  EXPECT_THROW(trace::ChunkedTraceWriter::resume(path, 12, 4), vbr::IoError);
+  auto writer = trace::ChunkedTraceWriter::resume(path, 16, 4);
+  writer.append(std::vector<double>(12, 2.0));
+  writer.finish();
+  trace::ChunkedTraceReader reader(path);
+  std::vector<double> all(16);
+  ASSERT_EQ(reader.read(all), 16u);
+  EXPECT_EQ(all[3], 1.0);
+  EXPECT_EQ(all[4], 2.0);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceWriterDurabilityTest, DurableWriterProducesIdenticalBytes) {
+  const auto plain_path =
+      std::filesystem::temp_directory_path() / "vbr_durable_a.trace";
+  const auto durable_path =
+      std::filesystem::temp_directory_path() / "vbr_durable_b.trace";
+  trace::TraceWriterOptions durable_options;
+  durable_options.durable = true;
+  durable_options.sync_every_samples = 8;
+  const std::vector<double> samples(32, 7.0);
+  {
+    trace::ChunkedTraceWriter plain(plain_path, 32, 1.0 / 24.0);
+    plain.append(samples);
+    plain.finish();
+    trace::ChunkedTraceWriter durable(durable_path, 32, 1.0 / 24.0, "bytes/frame",
+                                      durable_options);
+    durable.append(samples);
+    durable.finish();
+  }
+  std::ifstream a(plain_path, std::ios::binary);
+  std::ifstream b(durable_path, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::filesystem::remove(plain_path);
+  std::filesystem::remove(durable_path);
+}
+
+}  // namespace
+}  // namespace vbr::run

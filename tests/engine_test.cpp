@@ -5,13 +5,20 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "vbr/common/error.hpp"
 #include "vbr/common/math_util.hpp"
 #include "vbr/common/rng.hpp"
+#include "vbr/engine/thread_pool.hpp"
+#include "vbr/stream/sink.hpp"
 
 namespace vbr::engine {
 namespace {
@@ -145,6 +152,150 @@ TEST(EngineTest, RejectsEmptyPlan) {
   plan = small_plan();
   plan.frames_per_source = 0;
   EXPECT_THROW(generate_sources(plan), vbr::InvalidArgument);
+}
+
+TEST(EngineTest, AggregateSkipsQuarantinedSources) {
+  MultiSourceTrace out;
+  out.sources = {{1.0, 2.0}, {}, {10.0, 20.0}};  // middle source quarantined
+  const auto total = out.aggregate();
+  ASSERT_EQ(total.size(), 2u);
+  EXPECT_DOUBLE_EQ(total[0], 11.0);
+  EXPECT_DOUBLE_EQ(total[1], 22.0);
+}
+
+TEST(ThreadPoolTest, RethrowsLowestIndexExceptionRegardlessOfScheduling) {
+  // Regression: the old pool drained the queue on first failure, so which
+  // exception escaped depended on thread timing. Now every index runs and
+  // the lowest-index failure wins — for any thread count, every repeat.
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    for (int repeat = 0; repeat < 20; ++repeat) {
+      std::atomic<std::size_t> ran{0};
+      try {
+        parallel_for_index(64, threads, [&](std::size_t i) {
+          ran.fetch_add(1);
+          if (i == 7 || i == 3 || i == 50) {
+            throw std::runtime_error("task " + std::to_string(i));
+          }
+        });
+        FAIL() << "expected an exception";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "task 3");
+      }
+      // No draining: the failing tasks must not prevent the rest from running.
+      EXPECT_EQ(ran.load(), 64u);
+    }
+  }
+}
+
+TEST(EngineFailureTest, TransientFaultsAreRetriedBitIdentically) {
+  // A sink family sharing one trip-wire: the first push anywhere throws
+  // TransientError, everything after succeeds. Exactly one source needs one
+  // retry, and the retried output must match a fault-free run exactly
+  // (every attempt restarts from a copy of the source's original stream).
+  class FlakySink final : public stream::Sink {
+   public:
+    FlakySink()
+        : tripped_(std::make_shared<std::atomic<bool>>(false)),
+          pushed_(std::make_shared<std::atomic<std::size_t>>(0)) {}
+
+    void push(std::span<const double> samples) override {
+      if (!tripped_->exchange(true)) throw vbr::TransientError("flaky push");
+      pushed_->fetch_add(samples.size());
+    }
+    void merge(const Sink&) override {}  // the push counter is shared
+    std::unique_ptr<Sink> clone_empty() const override {
+      return std::unique_ptr<Sink>(new FlakySink(*this));
+    }
+    void save(std::ostream&) const override {}
+    void restore(std::istream&) override {}
+    std::size_t count() const override { return pushed_->load(); }
+    const char* kind() const override { return "flaky"; }
+
+   private:
+    std::shared_ptr<std::atomic<bool>> tripped_;
+    std::shared_ptr<std::atomic<std::size_t>> pushed_;
+  };
+
+  auto plan = small_plan();
+  plan.threads = 2;
+  const auto clean = generate_sources(plan);
+
+  FlakySink tap;
+  FailurePolicy policy;
+  policy.max_attempts = 3;
+  const auto retried = generate_sources(plan, &tap, policy);
+  EXPECT_EQ(clean.sources, retried.sources);
+  EXPECT_EQ(retried.stats.transient_retries, 1u);
+  EXPECT_TRUE(retried.stats.failures.empty());
+  EXPECT_EQ(tap.count(), plan.num_sources * plan.frames_per_source);
+}
+
+TEST(EngineFailureTest, ExhaustedRetriesQuarantineWhenPolicyAllows) {
+  // A sink that always throws TransientError: with quarantine on, every
+  // source fails after max_attempts and is recorded, in source order.
+  class DeadSink final : public stream::Sink {
+   public:
+    void push(std::span<const double>) override {
+      throw vbr::TransientError("disk full");
+    }
+    void merge(const Sink&) override {}
+    std::unique_ptr<Sink> clone_empty() const override {
+      return std::make_unique<DeadSink>();
+    }
+    void save(std::ostream&) const override {}
+    void restore(std::istream&) override {}
+    std::size_t count() const override { return 0; }
+    const char* kind() const override { return "dead"; }
+  };
+
+  auto plan = small_plan();
+  plan.num_sources = 3;
+  plan.threads = 2;
+  DeadSink tap;
+  FailurePolicy policy;
+  policy.max_attempts = 2;
+  policy.quarantine = true;
+  const auto out = generate_sources(plan, &tap, policy);
+  ASSERT_EQ(out.stats.failures.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.stats.failures[i].source_index, i);
+    EXPECT_EQ(out.stats.failures[i].attempts, 2u);
+    EXPECT_TRUE(out.sources[i].empty());
+  }
+  EXPECT_EQ(out.stats.frames, 0u);
+
+  // Without quarantine the same run must throw (TransientError is an
+  // IoError, and the lowest-index source's exception is the one thrown).
+  policy.quarantine = false;
+  EXPECT_THROW(generate_sources(plan, &tap, policy), vbr::TransientError);
+}
+
+TEST(EngineFailureTest, PermanentFaultsSkipTheRetryLoop) {
+  class BrokenSink final : public stream::Sink {
+   public:
+    void push(std::span<const double>) override {
+      throw std::logic_error("estimator bug");
+    }
+    void merge(const Sink&) override {}
+    std::unique_ptr<Sink> clone_empty() const override {
+      return std::make_unique<BrokenSink>();
+    }
+    void save(std::ostream&) const override {}
+    void restore(std::istream&) override {}
+    std::size_t count() const override { return 0; }
+    const char* kind() const override { return "broken"; }
+  };
+
+  auto plan = small_plan();
+  plan.num_sources = 2;
+  BrokenSink tap;
+  FailurePolicy policy;
+  policy.max_attempts = 5;
+  policy.quarantine = true;
+  const auto out = generate_sources(plan, &tap, policy);
+  ASSERT_EQ(out.stats.failures.size(), 2u);
+  EXPECT_EQ(out.stats.failures[0].attempts, 1u);  // no retry for permanent faults
+  EXPECT_EQ(out.stats.transient_retries, 0u);
 }
 
 }  // namespace
