@@ -6,17 +6,50 @@
 //
 // Usage: ./capacity_planning [sources] [delay_ms] [target_loss]
 //   defaults: 5 sources, 2 ms, 1e-4
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 
+#include "vbr/common/error.hpp"
 #include "vbr/model/starwars_surrogate.hpp"
 #include "vbr/net/qc_analysis.hpp"
 
-int main(int argc, char** argv) {
-  const std::size_t sources = (argc > 1) ? std::stoul(argv[1]) : 5;
-  const double delay_ms = (argc > 2) ? std::stod(argv[2]) : 2.0;
-  const double target_loss = (argc > 3) ? std::stod(argv[3]) : 1e-4;
+namespace {
+
+/// Strict numeric argv parsing: trailing junk, overflow and empty strings
+/// all exit 2 with a usage-style message instead of aborting mid-throw.
+std::size_t parse_size(const char* text, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "capacity_planning: bad %s: %s\n", what, text);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+double parse_double(const char* text, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !std::isfinite(v)) {
+    std::fprintf(stderr, "capacity_planning: bad %s: %s\n", what, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+int run(int argc, char** argv) {
+  const std::size_t sources = (argc > 1) ? parse_size(argv[1], "source count") : 5;
+  const double delay_ms = (argc > 2) ? parse_double(argv[2], "delay_ms") : 2.0;
+  const double target_loss = (argc > 3) ? parse_double(argv[3], "target_loss") : 1e-4;
+  VBR_ENSURE(sources >= 1 && sources <= 4096, "sources must be in [1, 4096]");
+  VBR_ENSURE(delay_ms > 0.0, "delay_ms must be positive");
+  VBR_ENSURE(target_loss > 0.0 && target_loss < 1.0, "target_loss must be in (0, 1)");
 
   std::printf("Capacity planning for %zu multiplexed VBR video source(s)\n", sources);
   std::printf("  buffer delay budget: %.2f ms, target loss rate: %.1e\n\n", delay_ms,
@@ -67,4 +100,15 @@ int main(int argc, char** argv) {
   std::printf("\nNote the knee: below it capacity explodes, above it extra buffer buys\n");
   std::printf("little -- the natural operating point the paper identifies.\n");
   return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "capacity_planning: %s\n", e.what());
+    return 1;
+  }
 }

@@ -6,21 +6,41 @@
 // Usage: ./codec_pipeline [frames] [width] [height] [out.trace]
 //   defaults: 480 frames of 128x128 (use 504x480 for the paper's geometry;
 //   it is ~15x slower per frame).
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 #include <vector>
 
 #include "vbr/codec/intraframe_coder.hpp"
 #include "vbr/codec/synthetic_movie.hpp"
+#include "vbr/common/error.hpp"
 #include "vbr/stats/autocorrelation.hpp"
 #include "vbr/trace/time_series.hpp"
 #include "vbr/trace/trace_io.hpp"
 
-int main(int argc, char** argv) {
-  const std::size_t frames = (argc > 1) ? std::stoul(argv[1]) : 480;
-  const std::size_t width = (argc > 2) ? std::stoul(argv[2]) : 128;
-  const std::size_t height = (argc > 3) ? std::stoul(argv[3]) : 128;
+namespace {
+
+std::size_t parse_size(const char* text, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "codec_pipeline: bad %s: %s\n", what, text);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+int run(int argc, char** argv) {
+  const std::size_t frames = (argc > 1) ? parse_size(argv[1], "frame count") : 480;
+  const std::size_t width = (argc > 2) ? parse_size(argv[2], "width") : 128;
+  const std::size_t height = (argc > 3) ? parse_size(argv[3], "height") : 128;
+  VBR_ENSURE(frames >= 1 && frames <= (std::size_t{1} << 20),
+             "frame count must be in [1, 2^20]");
+  VBR_ENSURE(width >= 8 && width <= 8192, "width must be in [8, 8192]");
+  VBR_ENSURE(height >= 8 && height <= 8192, "height must be in [8, 8192]");
 
   std::printf("Rendering a %zu-frame synthetic movie at %zux%zu...\n", frames, width,
               height);
@@ -78,4 +98,15 @@ int main(int argc, char** argv) {
     std::printf("\nTrace written to %s\n", argv[4]);
   }
   return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "codec_pipeline: %s\n", e.what());
+    return 1;
+  }
 }

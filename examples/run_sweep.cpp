@@ -1,0 +1,248 @@
+// run_sweep: process-isolated §5 evaluation sweep with watchdogs, resource
+// ceilings, retry/quarantine, and a resumable manifest.
+//
+// Drives vbr::sweep::run_sweep() from the command line: every cell of the
+// queue × Hurst × utilization × buffer × sources grid runs in a forked
+// worker under a watchdog deadline and setrlimit ceilings. Crashed, hung,
+// and OOM-killed workers are retried from the cell's deterministic seed;
+// cells that fail every attempt are quarantined with a structured failure
+// record and the sweep keeps going. Progress persists in the manifest after
+// every settled cell, so SIGKILLing this process and rerunning the same
+// command with --resume salvages all settled cells and finishes with a
+// results hash bit-identical to an uninterrupted run. The crash-soak
+// harness (scripts/crash_soak.sh sweep) does exactly that in a loop.
+//
+// Usage:
+//   ./run_sweep --manifest FILE [options]
+//       --queues LIST        comma list of fluid,cell,fbm   (default fluid)
+//       --hursts LIST        comma list of H values         (default 0.8)
+//       --utilizations LIST  comma list in (0,1]            (default 0.9)
+//       --buffers-ms LIST    comma list of delay budgets    (default 10)
+//       --sources LIST       comma list of source counts    (default 1)
+//       --frames N           frames per source              (default 4096)
+//       --seed S             master seed                    (default 1994)
+//       --deadline-sec X     per-attempt watchdog, 0 = off  (default 60)
+//       --mem-mib N          RLIMIT_AS ceiling, 0 = off     (default 0)
+//       --cpu-sec N          RLIMIT_CPU ceiling, 0 = off    (default 0)
+//       --attempts N         tries per cell                 (default 3)
+//       --backoff-ms N       base retry backoff             (default 0)
+//       --resume             continue from the manifest if present
+//       --durable            fsync manifest saves
+//       --hash-out FILE      write the results hash (hex) atomically
+//       --quiet              suppress per-cell progress lines
+//   Fault injection (soak/test seam; disabled by default):
+//       --fault-rate P       P(first attempt faults) per cell
+//       --fault-seed S       fault stream seed              (default 7)
+//       --fault-kinds LIST   comma subset of crash,hang,oom (default all)
+//       --poison LIST        comma list of cell indexes that always fail
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "vbr/common/atomic_file.hpp"
+#include "vbr/common/error.hpp"
+#include "vbr/sweep/supervisor.hpp"
+
+namespace {
+
+std::uint64_t parse_u64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "run_sweep: bad value for %s: %s\n", flag, text);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_f64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "run_sweep: bad value for %s: %s\n", flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = (comma == std::string::npos) ? text.size() : comma;
+    parts.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+std::vector<double> parse_f64_list(const char* text, const char* flag) {
+  std::vector<double> values;
+  for (const std::string& part : split_csv(text)) {
+    values.push_back(parse_f64(part.c_str(), flag));
+  }
+  return values;
+}
+
+std::vector<std::uint64_t> parse_u64_list(const char* text, const char* flag) {
+  std::vector<std::uint64_t> values;
+  for (const std::string& part : split_csv(text)) {
+    values.push_back(parse_u64(part.c_str(), flag));
+  }
+  return values;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: run_sweep --manifest FILE [--queues LIST] [--hursts LIST]\n"
+               "                 [--utilizations LIST] [--buffers-ms LIST]\n"
+               "                 [--sources LIST] [--frames N] [--seed S]\n"
+               "                 [--deadline-sec X] [--mem-mib N] [--cpu-sec N]\n"
+               "                 [--attempts N] [--backoff-ms N] [--resume]\n"
+               "                 [--durable] [--hash-out FILE] [--quiet]\n"
+               "                 [--fault-rate P] [--fault-seed S]\n"
+               "                 [--fault-kinds LIST] [--poison LIST]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vbr::sweep::SweepOptions options;
+  options.faults.seed = 7;
+  std::string hash_out;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "run_sweep: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--manifest") {
+      options.manifest_path = next();
+    } else if (arg == "--queues") {
+      options.grid.queues.clear();
+      for (const std::string& name : split_csv(next())) {
+        try {
+          options.grid.queues.push_back(vbr::sweep::parse_queue_kind(name));
+        } catch (const vbr::Error& e) {
+          std::fprintf(stderr, "run_sweep: %s\n", e.what());
+          return 2;
+        }
+      }
+    } else if (arg == "--hursts") {
+      options.grid.hursts = parse_f64_list(next(), "--hursts");
+    } else if (arg == "--utilizations") {
+      options.grid.utilizations = parse_f64_list(next(), "--utilizations");
+    } else if (arg == "--buffers-ms") {
+      options.grid.buffer_ms = parse_f64_list(next(), "--buffers-ms");
+    } else if (arg == "--sources") {
+      options.grid.sources.clear();
+      for (const std::uint64_t n : parse_u64_list(next(), "--sources")) {
+        options.grid.sources.push_back(static_cast<std::size_t>(n));
+      }
+    } else if (arg == "--frames") {
+      options.grid.frames_per_source =
+          static_cast<std::size_t>(parse_u64(next(), "--frames"));
+    } else if (arg == "--seed") {
+      options.grid.seed = parse_u64(next(), "--seed");
+    } else if (arg == "--deadline-sec") {
+      options.limits.worker.deadline_seconds = parse_f64(next(), "--deadline-sec");
+    } else if (arg == "--mem-mib") {
+      options.limits.worker.memory_bytes = parse_u64(next(), "--mem-mib") << 20;
+    } else if (arg == "--cpu-sec") {
+      options.limits.worker.cpu_seconds = parse_u64(next(), "--cpu-sec");
+    } else if (arg == "--attempts") {
+      options.limits.max_attempts =
+          static_cast<std::size_t>(parse_u64(next(), "--attempts"));
+    } else if (arg == "--backoff-ms") {
+      options.limits.backoff_seconds =
+          static_cast<double>(parse_u64(next(), "--backoff-ms")) / 1000.0;
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--durable") {
+      options.durable = true;
+    } else if (arg == "--hash-out") {
+      hash_out = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--fault-rate") {
+      options.faults.rate = parse_f64(next(), "--fault-rate");
+    } else if (arg == "--fault-seed") {
+      options.faults.seed = parse_u64(next(), "--fault-seed");
+    } else if (arg == "--fault-kinds") {
+      options.faults.crash = options.faults.hang = options.faults.oom = false;
+      for (const std::string& kind : split_csv(next())) {
+        if (kind == "crash") {
+          options.faults.crash = true;
+        } else if (kind == "hang") {
+          options.faults.hang = true;
+        } else if (kind == "oom") {
+          options.faults.oom = true;
+        } else {
+          std::fprintf(stderr, "run_sweep: unknown fault kind: %s\n", kind.c_str());
+          return 2;
+        }
+      }
+    } else if (arg == "--poison") {
+      options.faults.poison = parse_u64_list(next(), "--poison");
+    } else {
+      return usage();
+    }
+  }
+  if (options.manifest_path.empty()) return usage();
+
+  if (!quiet) {
+    options.on_cell_settled = [](const vbr::sweep::CellRecord& record) {
+      if (record.status == vbr::sweep::CellStatus::kDone) {
+        std::fprintf(stderr, "cell %6" PRIu64 "  done        loss=%.3e\n",
+                     record.cell_index, record.result.loss_rate);
+      } else {
+        std::fprintf(stderr, "cell %6" PRIu64 "  quarantined %s: %s\n",
+                     record.cell_index,
+                     vbr::sweep::failure_kind_name(record.failure.kind),
+                     record.failure.message.c_str());
+      }
+    };
+  }
+
+  try {
+    const vbr::sweep::SweepReport report = vbr::sweep::run_sweep(options);
+
+    std::printf("cells        %zu\n", report.total_cells);
+    std::printf("completed    %zu\n", report.completed);
+    std::printf("quarantined  %zu\n", report.quarantined);
+    std::printf("resumed      %zu\n", report.resumed_cells);
+    std::printf("retries      %zu\n", report.retried_attempts);
+    std::printf("results_hash %016" PRIx64 "\n", report.results_hash);
+    for (const vbr::sweep::CellRecord& record : report.records) {
+      if (record.status != vbr::sweep::CellStatus::kQuarantined) continue;
+      std::printf("quarantine   cell %" PRIu64 " %s attempts=%" PRIu64
+                  " signal=%d exit=%d rss_kib=%" PRIu64 ": %s\n",
+                  record.cell_index, vbr::sweep::failure_kind_name(record.failure.kind),
+                  record.failure.attempts, record.failure.term_signal,
+                  record.failure.exit_code, record.failure.max_rss_kib,
+                  record.failure.message.c_str());
+    }
+
+    if (!hash_out.empty()) {
+      char line[32];
+      std::snprintf(line, sizeof line, "%016" PRIx64 "\n", report.results_hash);
+      vbr::write_file_atomic(hash_out, line);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run_sweep: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -11,10 +11,14 @@
 //
 // Usage: ./srd_pitfall [buffer_seconds] [target_loss]
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 
+#include "vbr/common/error.hpp"
 #include "vbr/model/markov_source.hpp"
 #include "vbr/model/starwars_surrogate.hpp"
 #include "vbr/model/vbr_source.hpp"
@@ -37,11 +41,22 @@ double replay_loss(std::span<const double> frames, double capacity_bps, double d
   return workload.loss(capacity_bps, delay, vbr::net::QosMeasure::kOverallLoss);
 }
 
-}  // namespace
+double parse_double(const char* text, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !std::isfinite(v)) {
+    std::fprintf(stderr, "srd_pitfall: bad %s: %s\n", what, text);
+    std::exit(2);
+  }
+  return v;
+}
 
-int main(int argc, char** argv) {
-  const double delay = (argc > 1) ? std::stod(argv[1]) : 1.0;       // big buffer
-  const double target = (argc > 2) ? std::stod(argv[2]) : 1e-3;
+int run(int argc, char** argv) {
+  const double delay = (argc > 1) ? parse_double(argv[1], "buffer_seconds") : 1.0;
+  const double target = (argc > 2) ? parse_double(argv[2], "target_loss") : 1e-3;
+  VBR_ENSURE(delay > 0.0, "buffer_seconds must be positive");
+  VBR_ENSURE(target > 0.0 && target < 1.0, "target_loss must be in (0, 1)");
 
   std::printf("Provisioning experiment: buffer delay %.2f s, target loss %.0e\n\n", delay,
               target);
@@ -87,4 +102,15 @@ int main(int argc, char** argv) {
       "tail noise.\n",
       loss_markov / target, loss_markov / std::max(loss_lrd, target));
   return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "srd_pitfall: %s\n", e.what());
+    return 1;
+  }
 }

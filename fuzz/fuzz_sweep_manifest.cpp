@@ -1,0 +1,72 @@
+// Fuzz harness: the sweep manifest parser.
+//
+// Two paths per input, mirroring fuzz_checkpoint. First the raw bytes go
+// straight into parse_manifest(), exercising the shared envelope (magic,
+// version, size, CRC). Because a random mutation almost never survives the
+// CRC, the input is then re-wrapped as the *payload* of a freshly sealed
+// envelope — valid magic/version/size/CRC computed here — so the
+// field-level validation (forged cell counts, out-of-range indexes,
+// non-monotone record order, bogus status/kind tags, oversized strings,
+// trailing bytes) is reached on every exec, not one in four billion.
+//
+// The invariant under test: any input either parses into a SweepManifest
+// that satisfies the documented record invariants, or throws vbr::IoError.
+// Anything else — a crash, a sanitizer report, partial state — is a bug.
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "vbr/common/checksum.hpp"
+#include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
+#include "vbr/sweep/manifest.hpp"
+
+namespace {
+
+void check_invariants(const vbr::sweep::SweepManifest& manifest) {
+  if (manifest.total_cells == 0) std::abort();
+  if (manifest.records.size() > manifest.total_cells) std::abort();
+  std::uint64_t previous = 0;
+  bool first = true;
+  for (const vbr::sweep::CellRecord& record : manifest.records) {
+    if (record.cell_index >= manifest.total_cells) std::abort();
+    if (!first && record.cell_index <= previous) std::abort();
+    previous = record.cell_index;
+    first = false;
+    if (record.status != vbr::sweep::CellStatus::kDone &&
+        record.status != vbr::sweep::CellStatus::kQuarantined) {
+      std::abort();
+    }
+  }
+}
+
+void try_parse(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  try {
+    check_invariants(vbr::sweep::parse_manifest(in, "fuzz"));
+  } catch (const vbr::IoError&) {
+    // Malformed manifest: the documented rejection path.
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string raw(reinterpret_cast<const char*>(data), size);
+
+  // Path 1: the input is the whole file, envelope included.
+  try_parse(raw);
+
+  // Path 2: the input is the payload of a correctly sealed envelope.
+  std::ostringstream sealed(std::ios::binary);
+  vbr::io::write_bytes(sealed, vbr::sweep::kManifestMagic.data(),
+                       vbr::sweep::kManifestMagic.size());
+  vbr::io::write_u32(sealed, vbr::sweep::kManifestVersion);
+  vbr::io::write_u64(sealed, raw.size());
+  vbr::io::write_u32(sealed, vbr::crc32(raw.data(), raw.size()));
+  vbr::io::write_bytes(sealed, raw.data(), raw.size());
+  try_parse(sealed.str());
+
+  return 0;
+}

@@ -75,7 +75,8 @@ if [[ $run_fuzz -eq 1 ]]; then
   # -runs=/-seed= is libFuzzer's flag spelling; the GCC standalone driver
   # accepts the same flags, so this line works with either toolchain.
   for pair in huffman_decode:huffman rle_decode:rle trace_io:trace_io \
-              stream_reader:stream_reader checkpoint:checkpoint; do
+              stream_reader:stream_reader checkpoint:checkpoint \
+              sweep_manifest:sweep_manifest; do
     harness="${pair%%:*}" corpus="${pair##*:}"
     ./build-fuzz/fuzz/fuzz_"$harness" fuzz/corpus/"$corpus" -runs=12000 -seed=1
   done
@@ -103,6 +104,9 @@ if [[ $run_crash -eq 1 ]]; then
   for threads in 1 4; do
     ./scripts/crash_soak.sh ./build/examples/run_campaign 20 "$threads"
   done
+  echo "=== crash: sweep soak — worker faults, SIGSTOP, supervisor kills ==="
+  cmake --build build -j --target run_sweep >/dev/null
+  ./scripts/crash_soak.sh --sweep ./build/examples/run_sweep 5
 fi
 
 echo "=== all requested checks OK ==="

@@ -12,7 +12,154 @@
 #
 # Defaults (20 kills, 12 sources x 65536 frames) keep one thread-count pass
 # under ~30s on a laptop; the check.sh --crash stage runs threads 1 and 4.
+#
+# Sweep mode tortures the process-isolated sweep supervisor instead:
+#
+#   crash_soak.sh --sweep <run_sweep-binary> [supervisor_kills]
+#
+# It (1) runs a fault-free reference sweep, (2) replays it with every cell's
+# first worker attempt crashing/hanging/OOMing and requires the retried
+# results hash to match the reference bit-for-bit, (3) SIGSTOPs a live
+# worker from outside and requires the watchdog to fire and the retry to
+# heal it, (4) SIGKILLs the *supervisor* mid-sweep `supervisor_kills` times
+# and requires every --resume to reproduce the reference hash, and (5) runs
+# poison cells that fail deterministically and requires them quarantined in
+# the manifest without crashing the supervisor or blocking healthy cells.
 set -u
+
+if [[ "${1:-}" == "--sweep" ]]; then
+  shift
+  BIN=${1:?usage: crash_soak.sh --sweep <run_sweep-binary> [supervisor_kills]}
+  KILLS=${2:-5}
+  RANDOM=${CRASH_SOAK_SEED:-1994}
+
+  WORK=$(mktemp -d "${TMPDIR:-/tmp}/sweep_soak.XXXXXX")
+  trap 'rm -rf "$WORK"' EXIT
+
+  # 18 cells: 3 queues x 3 Hurst x 2 utilizations. The grid (and so the
+  # manifest fingerprint and results hash) is identical in every phase;
+  # only fault/limit flags differ, and those must not change one bit.
+  GRID=(--queues fluid,cell,fbm --hursts 0.7,0.8,0.9 --utilizations 0.8,0.95
+        --buffers-ms 10 --sources 2 --frames 2048 --seed 1994)
+  CELLS=18
+  FAULTS=(--fault-rate 1 --fault-seed 42 --mem-mib 512 --deadline-sec 2)
+
+  fail=0
+  note() { echo "sweep_soak: $*"; }
+
+  # Phase 1: fault-free reference.
+  t0=$(date +%s%N)
+  "$BIN" --manifest "$WORK/ref.manifest" "${GRID[@]}" --deadline-sec 30 \
+    --hash-out "$WORK/ref.hash" --quiet >/dev/null || {
+    note "reference sweep failed" >&2
+    exit 1
+  }
+  t1=$(date +%s%N)
+  window_ms=$(((t1 - t0) / 1000000))
+  ((window_ms < 50)) && window_ms=50
+  note "reference $(cat "$WORK/ref.hash") ($CELLS cells, ~${window_ms}ms)"
+
+  # Phase 2: every cell's first attempt faults (crash/hang/OOM mix); the
+  # retried sweep must be bit-identical and absorb >= CELLS worker faults.
+  out=$("$BIN" --manifest "$WORK/faulted.manifest" "${GRID[@]}" "${FAULTS[@]}" \
+    --hash-out "$WORK/faulted.hash" --quiet) || { note "fault run FAILED"; fail=1; }
+  retries=$(awk '/^retries/{print $2}' <<<"$out")
+  if ((retries < 10)); then
+    note "fault run absorbed only ${retries:-0} worker faults (need >= 10)"
+    fail=1
+  fi
+  if cmp -s "$WORK/ref.hash" "$WORK/faulted.hash"; then
+    note "worker faults: $retries absorbed, hash identical"
+  else
+    note "worker faults: HASH MISMATCH after retries"
+    fail=1
+  fi
+
+  # Phase 3: hang a worker from the outside. SIGSTOP the first live worker
+  # we can catch; the supervisor's watchdog must SIGKILL it and the retry
+  # must heal the cell.
+  "$BIN" --manifest "$WORK/stopped.manifest" "${GRID[@]}" --deadline-sec 2 \
+    --hash-out "$WORK/stopped.hash" --quiet >/dev/null 2>&1 &
+  sup=$!
+  stopped=""
+  while kill -0 "$sup" 2>/dev/null; do
+    worker=$(pgrep -P "$sup" | head -1)
+    if [[ -n "$worker" ]] && kill -STOP "$worker" 2>/dev/null; then
+      stopped=$worker
+      break
+    fi
+  done
+  wait "$sup"
+  sup_rc=$?
+  if [[ -z "$stopped" ]]; then
+    note "never caught a worker to SIGSTOP (sweep too fast?)"
+    fail=1
+  elif ((sup_rc != 0)); then
+    note "supervisor died after external SIGSTOP (rc=$sup_rc)"
+    fail=1
+  elif cmp -s "$WORK/ref.hash" "$WORK/stopped.hash"; then
+    note "external SIGSTOP of worker $stopped: watchdog fired, hash identical"
+  else
+    note "external SIGSTOP: HASH MISMATCH"
+    fail=1
+  fi
+
+  # Phase 4: SIGKILL the supervisor mid-sweep, resume, compare.
+  for i in $(seq 1 "$KILLS"); do
+    rm -f "$WORK"/run.*
+    delay_ms=$((RANDOM % window_ms))
+    "$BIN" --manifest "$WORK/run.manifest" "${GRID[@]}" "${FAULTS[@]}" \
+      --fault-kinds crash,oom --hash-out "$WORK/run.hash" --quiet >/dev/null 2>&1 &
+    pid=$!
+    sleep "$(awk "BEGIN{printf \"%.3f\", $delay_ms / 1000}")"
+    if kill -9 "$pid" 2>/dev/null; then outcome=killed; else outcome=completed; fi
+    wait "$pid" 2>/dev/null
+
+    if ! "$BIN" --manifest "$WORK/run.manifest" "${GRID[@]}" "${FAULTS[@]}" \
+      --fault-kinds crash,oom --resume --hash-out "$WORK/run.hash" \
+      --quiet >/dev/null; then
+      note "iter $i (delay ${delay_ms}ms, $outcome): resume FAILED"
+      fail=1
+      continue
+    fi
+    if cmp -s "$WORK/ref.hash" "$WORK/run.hash"; then
+      note "iter $i (delay ${delay_ms}ms, $outcome): identical"
+    else
+      note "iter $i (delay ${delay_ms}ms, $outcome): HASH MISMATCH"
+      fail=1
+    fi
+  done
+
+  # Phase 5: poison cells fail deterministically every attempt; they must be
+  # quarantined in the manifest while every healthy cell completes, and a
+  # resume must salvage the whole record set without re-running anything.
+  out=$("$BIN" --manifest "$WORK/poison.manifest" "${GRID[@]}" --deadline-sec 30 \
+    --poison 2,7 --quiet) || { note "poison sweep FAILED (rc=$?)"; fail=1; }
+  quarantined=$(awk '/^quarantined/{print $2}' <<<"$out")
+  completed=$(awk '/^completed/{print $2}' <<<"$out")
+  if [[ "$quarantined" == 2 && "$completed" == $((CELLS - 2)) ]]; then
+    note "poison: 2 quarantined, $completed healthy cells unblocked"
+  else
+    note "poison: expected 2 quarantined / $((CELLS - 2)) done, got ${quarantined:-?} / ${completed:-?}"
+    fail=1
+  fi
+  out=$("$BIN" --manifest "$WORK/poison.manifest" "${GRID[@]}" --deadline-sec 30 \
+    --poison 2,7 --resume --quiet) || { note "poison resume FAILED"; fail=1; }
+  resumed=$(awk '/^resumed/{print $2}' <<<"$out")
+  if [[ "$resumed" == "$CELLS" ]]; then
+    note "poison resume: all $CELLS records salvaged (quarantine included)"
+  else
+    note "poison resume: salvaged ${resumed:-?} of $CELLS records"
+    fail=1
+  fi
+
+  if ((fail)); then
+    note "FAILED (seed ${CRASH_SOAK_SEED:-1994})" >&2
+  else
+    note "$retries worker faults + 1 external SIGSTOP + $KILLS supervisor kills: all bit-identical"
+  fi
+  exit $fail
+fi
 
 BIN=${1:?usage: crash_soak.sh <run_campaign-binary> [kills] [threads] [sources] [frames]}
 KILLS=${2:-20}

@@ -13,7 +13,7 @@ CellQueueResult run_cell_queue(std::span<const double> interval_bytes, double dt
                                CellSpacing spacing, Rng& rng) {
   VBR_ENSURE(dt_seconds > 0.0, "interval must have positive duration");
   VBR_ENSURE(capacity_bytes_per_sec > 0.0, "capacity must be positive");
-  VBR_ENSURE(buffer_bytes >= kCellPayloadBytes, "buffer must hold at least one cell");
+  VBR_ENSURE(buffer_bytes >= 0.0, "buffer must be non-negative");
   VBR_CHECK_FINITE(capacity_bytes_per_sec, "cell-queue capacity");
   VBR_CHECK_FINITE(buffer_bytes, "cell-queue buffer");
   check_finite_series(interval_bytes, "run_cell_queue arrivals");

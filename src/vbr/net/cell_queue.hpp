@@ -31,7 +31,8 @@ struct CellQueueResult {
 };
 
 /// Run per-interval byte counts through a cell-level FIFO. `rng` is used
-/// only for random spacing.
+/// only for random spacing. A buffer smaller than one cell payload is legal
+/// and degenerate: every arriving cell is lost.
 CellQueueResult run_cell_queue(std::span<const double> interval_bytes, double dt_seconds,
                                double capacity_bytes_per_sec, double buffer_bytes,
                                CellSpacing spacing, Rng& rng);

@@ -8,6 +8,7 @@
 #include "vbr/common/checksum.hpp"
 #include "vbr/common/error.hpp"
 #include "vbr/common/serialize.hpp"
+#include "vbr/run/envelope.hpp"
 
 namespace vbr::run {
 
@@ -17,10 +18,15 @@ namespace {
 /// but low enough that a forged count cannot drive a pathological allocation.
 constexpr std::uint64_t kMaxFailureError = 4096;
 constexpr std::uint64_t kMaxSinkState = std::uint64_t{1} << 26;
-// Generous for any real campaign (2M+ remaining sources plus a sink blob)
-// yet small enough that a forged size field cannot drive a multi-GB
-// allocation under the fuzzer's RSS limit.
-constexpr std::uint64_t kMaxPayload = std::uint64_t{1} << 27;
+
+/// Envelope identity. The payload bound is generous for any real campaign
+/// (2M+ remaining sources plus a sink blob) yet small enough that a forged
+/// size field cannot drive a multi-GB allocation under the fuzzer's RSS
+/// limit.
+EnvelopeSpec checkpoint_envelope() {
+  return {kCheckpointMagic, kCheckpointVersion, std::uint64_t{1} << 27,
+          "checkpoint"};
+}
 
 }  // namespace
 
@@ -76,42 +82,12 @@ std::string encode_checkpoint(const CheckpointData& data) {
     }
   }
 
-  const std::string body = payload.str();
-  std::ostringstream out(std::ios::binary);
-  io::write_bytes(out, kCheckpointMagic.data(), kCheckpointMagic.size());
-  io::write_u32(out, kCheckpointVersion);
-  io::write_u64(out, body.size());
-  io::write_u32(out, crc32(body.data(), body.size()));
-  io::write_bytes(out, body.data(), body.size());
-  return out.str();
+  return seal_envelope(checkpoint_envelope(), payload.str());
 }
 
 CheckpointData parse_checkpoint(std::istream& in, const std::string& name) {
   const char* what = name.c_str();
-
-  std::array<char, 8> magic{};
-  io::read_bytes(in, magic.data(), magic.size(), what);
-  if (std::memcmp(magic.data(), kCheckpointMagic.data(), magic.size()) != 0) {
-    throw IoError(name + ": not a checkpoint (bad magic)");
-  }
-  const std::uint32_t version = io::read_u32(in, what);
-  if (version != kCheckpointVersion) {
-    throw IoError(name + ": unsupported checkpoint version " + std::to_string(version));
-  }
-  const std::uint64_t payload_size = io::read_u64(in, what);
-  if (payload_size > kMaxPayload) {
-    throw IoError(name + ": implausible checkpoint payload size " +
-                  std::to_string(payload_size));
-  }
-  const std::uint32_t expected_crc = io::read_u32(in, what);
-  std::string body(static_cast<std::size_t>(payload_size), '\0');
-  if (!body.empty()) io::read_bytes(in, body.data(), body.size(), what);
-  // Integrity before interpretation: no payload field is parsed until the
-  // whole payload checks out, so a torn write can never yield partial state.
-  const std::uint32_t actual_crc = crc32(body.data(), body.size());
-  if (actual_crc != expected_crc) {
-    throw IoError(name + ": checkpoint CRC mismatch (file corrupt or torn)");
-  }
+  const std::string body = open_envelope(in, checkpoint_envelope(), name);
 
   std::istringstream payload(body, std::ios::binary);
   CheckpointData data;

@@ -1,0 +1,59 @@
+#include "vbr/run/envelope.hpp"
+
+#include <cstring>
+#include <istream>
+#include <sstream>
+
+#include "vbr/common/checksum.hpp"
+#include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
+
+namespace vbr::run {
+
+std::string seal_envelope(const EnvelopeSpec& spec, std::string_view payload) {
+  std::ostringstream out(std::ios::binary);
+  io::write_bytes(out, spec.magic.data(), spec.magic.size());
+  io::write_u32(out, spec.version);
+  io::write_u64(out, payload.size());
+  io::write_u32(out, crc32(payload.data(), payload.size()));
+  if (!payload.empty()) io::write_bytes(out, payload.data(), payload.size());
+  return out.str();
+}
+
+std::string open_envelope(std::istream& in, const EnvelopeSpec& spec,
+                          const std::string& name) {
+  const char* what = name.c_str();
+  const std::string kind = spec.kind;
+
+  std::array<char, 8> magic{};
+  io::read_bytes(in, magic.data(), magic.size(), what);
+  if (std::memcmp(magic.data(), spec.magic.data(), magic.size()) != 0) {
+    throw IoError(name + ": not a " + kind + " (bad magic)");
+  }
+  const std::uint32_t version = io::read_u32(in, what);
+  if (version != spec.version) {
+    throw IoError(name + ": unsupported " + kind + " version " +
+                  std::to_string(version));
+  }
+  const std::uint64_t payload_size = io::read_u64(in, what);
+  if (payload_size > spec.max_payload) {
+    throw IoError(name + ": implausible " + kind + " payload size " +
+                  std::to_string(payload_size));
+  }
+  const std::uint32_t expected_crc = io::read_u32(in, what);
+  std::string payload(static_cast<std::size_t>(payload_size), '\0');
+  if (!payload.empty()) io::read_bytes(in, payload.data(), payload.size(), what);
+  // Integrity before interpretation: no payload field is parsed until the
+  // whole payload checks out, so a torn write can never yield partial state.
+  if (crc32(payload.data(), payload.size()) != expected_crc) {
+    throw IoError(name + ": " + kind + " CRC mismatch (file corrupt or torn)");
+  }
+  // The envelope must be the whole stream: bytes after the sealed payload
+  // mean the size field and the file disagree (forged header or dirty append).
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw IoError(name + ": trailing bytes after " + kind + " payload");
+  }
+  return payload;
+}
+
+}  // namespace vbr::run

@@ -1,0 +1,47 @@
+// The CRC-guarded artifact envelope shared by every resumable on-disk format.
+//
+// The campaign checkpoint (VBRCKPT1) and the sweep manifest (VBRSWEP1) wrap
+// their payloads identically:
+//
+//   8 bytes  magic
+//   u32      version
+//   u64      payload size in bytes
+//   u32      CRC-32 (zlib polynomial) of the payload
+//   payload
+//
+// open_envelope() verifies magic, version, a payload-size sanity bound and
+// the CRC before returning a single payload byte, so a torn or bit-rotted
+// artifact is rejected as a whole — a load never observes partial state.
+// Writers pair seal_envelope() with vbr::write_file_atomic so a crash during
+// a save leaves the previous complete artifact in place.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace vbr::run {
+
+/// Identity of one envelope-framed format: its magic, the version the
+/// current code writes, a hard payload-size bound (so a forged size field
+/// can never drive a pathological allocation), and a human label for errors
+/// ("checkpoint", "sweep manifest").
+struct EnvelopeSpec {
+  std::array<char, 8> magic{};
+  std::uint32_t version = 1;
+  std::uint64_t max_payload = 0;
+  const char* kind = "artifact";
+};
+
+/// Wrap `payload` in the full envelope (magic + version + size + CRC).
+std::string seal_envelope(const EnvelopeSpec& spec, std::string_view payload);
+
+/// Read and verify an envelope, returning the payload bytes. Throws
+/// vbr::IoError on bad magic, unsupported version, implausible size,
+/// truncation, or CRC mismatch; `name` labels errors (usually the path).
+std::string open_envelope(std::istream& in, const EnvelopeSpec& spec,
+                          const std::string& name);
+
+}  // namespace vbr::run

@@ -1,0 +1,140 @@
+#include "vbr/sweep/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "vbr/common/atomic_file.hpp"
+#include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
+#include "vbr/run/envelope.hpp"
+
+namespace vbr::sweep {
+
+namespace {
+
+/// Bounds for untrusted fields: far above any real sweep, low enough that a
+/// forged count cannot drive a pathological allocation.
+constexpr std::uint64_t kMaxCells = std::uint64_t{1} << 24;
+constexpr std::uint64_t kMaxMessage = 4096;
+constexpr std::uint64_t kMaxStderrTail = 8192;
+
+run::EnvelopeSpec manifest_envelope() {
+  return {kManifestMagic, kManifestVersion, std::uint64_t{1} << 27,
+          "sweep manifest"};
+}
+
+}  // namespace
+
+const char* failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kCrash: return "crash";
+    case FailureKind::kHang: return "hang";
+    case FailureKind::kOom: return "oom";
+    case FailureKind::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string encode_manifest(const SweepManifest& manifest) {
+  std::ostringstream payload(std::ios::binary);
+  io::write_u64(payload, manifest.fingerprint);
+  io::write_u64(payload, manifest.total_cells);
+  io::write_u64(payload, manifest.records.size());
+  for (const CellRecord& record : manifest.records) {
+    io::write_u64(payload, record.cell_index);
+    io::write_u8(payload, static_cast<std::uint8_t>(record.status));
+    if (record.status == CellStatus::kDone) {
+      write_cell_result(payload, record.result);
+    } else {
+      const CellFailure& f = record.failure;
+      io::write_u32(payload, static_cast<std::uint32_t>(f.kind));
+      io::write_u32(payload, static_cast<std::uint32_t>(f.exit_code));
+      io::write_u32(payload, static_cast<std::uint32_t>(f.term_signal));
+      io::write_u64(payload, f.attempts);
+      io::write_u64(payload, f.max_rss_kib);
+      io::write_f64(payload, f.wall_seconds);
+      io::write_string(payload, f.message);
+      io::write_string(payload, f.stderr_tail);
+    }
+  }
+  return run::seal_envelope(manifest_envelope(), payload.str());
+}
+
+SweepManifest parse_manifest(std::istream& in, const std::string& name) {
+  const char* what = name.c_str();
+  const std::string body = run::open_envelope(in, manifest_envelope(), name);
+
+  std::istringstream payload(body, std::ios::binary);
+  SweepManifest manifest;
+  manifest.fingerprint = io::read_u64(payload, what);
+  manifest.total_cells = io::read_u64(payload, what);
+  if (manifest.total_cells == 0 || manifest.total_cells > kMaxCells) {
+    throw IoError(name + ": implausible sweep cell count " +
+                  std::to_string(manifest.total_cells));
+  }
+  const std::size_t record_count =
+      io::read_count(payload, manifest.total_cells, what);
+  // A settled record is at least index + status + failure header bytes;
+  // bound the count against the remaining payload before reserving.
+  const auto pos = static_cast<std::uint64_t>(payload.tellg());
+  if (record_count > (body.size() - pos) / (sizeof(std::uint64_t) + 1)) {
+    throw IoError(name + ": sweep manifest records exceed the payload");
+  }
+  manifest.records.reserve(record_count);
+  std::uint64_t previous_index = 0;
+  for (std::size_t i = 0; i < record_count; ++i) {
+    CellRecord record;
+    record.cell_index = io::read_u64(payload, what);
+    if (record.cell_index >= manifest.total_cells) {
+      throw IoError(name + ": sweep manifest cell index out of range");
+    }
+    if (i > 0 && record.cell_index <= previous_index) {
+      throw IoError(name + ": sweep manifest cell indexes not strictly increasing");
+    }
+    previous_index = record.cell_index;
+    const std::uint8_t status = io::read_u8(payload, what);
+    if (status == static_cast<std::uint8_t>(CellStatus::kDone)) {
+      record.status = CellStatus::kDone;
+      record.result = read_cell_result(payload, what);
+    } else if (status == static_cast<std::uint8_t>(CellStatus::kQuarantined)) {
+      record.status = CellStatus::kQuarantined;
+      CellFailure& f = record.failure;
+      const std::uint32_t kind = io::read_u32(payload, what);
+      if (kind < static_cast<std::uint32_t>(FailureKind::kCrash) ||
+          kind > static_cast<std::uint32_t>(FailureKind::kError)) {
+        throw IoError(name + ": sweep manifest failure kind out of range");
+      }
+      f.kind = static_cast<FailureKind>(kind);
+      f.exit_code = static_cast<std::int32_t>(io::read_u32(payload, what));
+      f.term_signal = static_cast<std::int32_t>(io::read_u32(payload, what));
+      f.attempts = io::read_u64(payload, what);
+      f.max_rss_kib = io::read_u64(payload, what);
+      f.wall_seconds = io::read_f64(payload, what);
+      f.message = io::read_string(payload, kMaxMessage, what);
+      f.stderr_tail = io::read_string(payload, kMaxStderrTail, what);
+    } else {
+      throw IoError(name + ": sweep manifest cell status out of range");
+    }
+    manifest.records.push_back(std::move(record));
+  }
+
+  // The payload must be exactly consumed: trailing bytes mean the size field
+  // and the content disagree, i.e. a forged or corrupt file.
+  if (payload.peek() != std::char_traits<char>::eof()) {
+    throw IoError(name + ": sweep manifest payload has trailing bytes");
+  }
+  return manifest;
+}
+
+SweepManifest load_manifest(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open sweep manifest: " + path.string());
+  return parse_manifest(in, path.string());
+}
+
+void save_manifest(const std::filesystem::path& path, const SweepManifest& manifest,
+                   bool durable) {
+  write_file_atomic(path, encode_manifest(manifest), durable);
+}
+
+}  // namespace vbr::sweep

@@ -1,0 +1,100 @@
+// The sweep manifest: resumable, CRC-guarded record of every settled cell.
+//
+// The supervisor rewrites the manifest atomically (vbr::write_file_atomic,
+// temp + rename) after each cell settles, so SIGKILLing the supervisor at
+// any instant leaves either the previous complete manifest or the new one —
+// never a torn file. A rerun with --resume loads it, verifies the sweep
+// fingerprint, skips every settled cell, and finishes the rest; because
+// each cell is a pure function of its spec (see cell_eval.hpp), the merged
+// results are bit-identical to an uninterrupted sweep's.
+//
+// The envelope is the shared VBR artifact frame (src/vbr/run/envelope.hpp):
+//
+//   8 bytes  magic  "VBRSWEP1"
+//   u32      version (currently 1)
+//   u64      payload size / u32 CRC-32 of the payload
+//   payload  (fields below, serialized via vbr::io)
+//
+// The CRC is verified before any field parse; forged counts, out-of-range
+// or duplicate cell indexes, oversized strings and trailing bytes all
+// reject the file as a whole with vbr::IoError. This is the surface
+// fuzz_sweep_manifest drives.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "vbr/sweep/cell_eval.hpp"
+
+namespace vbr::sweep {
+
+inline constexpr std::array<char, 8> kManifestMagic = {'V', 'B', 'R', 'S',
+                                                       'W', 'E', 'P', '1'};
+inline constexpr std::uint32_t kManifestVersion = 1;
+
+/// Terminal state of a settled cell.
+enum class CellStatus : std::uint8_t {
+  kDone = 1,         ///< evaluated; `result` is valid
+  kQuarantined = 2,  ///< exhausted the retry budget; `failure` is valid
+};
+
+/// Why a worker attempt (or the whole cell) failed.
+enum class FailureKind : std::uint32_t {
+  kCrash = 1,  ///< nonzero exit or fatal signal
+  kHang = 2,   ///< watchdog deadline or CPU ceiling (SIGXCPU)
+  kOom = 3,    ///< memory ceiling (bad_alloc under RLIMIT_AS, or kernel kill)
+  kError = 4,  ///< worker reported a structured vbr::Error (deterministic poison)
+};
+
+const char* failure_kind_name(FailureKind kind);
+
+/// Post-mortem of a quarantined cell: what the last attempt looked like.
+/// Diagnostics (rusage, wall time, stderr) are inherently nondeterministic
+/// and are excluded from the sweep's determinism witness.
+struct CellFailure {
+  FailureKind kind = FailureKind::kCrash;
+  std::int32_t exit_code = 0;    ///< valid when the worker exited
+  std::int32_t term_signal = 0;  ///< valid when the worker was signaled
+  std::uint64_t attempts = 0;    ///< total attempts spent on the cell
+  std::uint64_t max_rss_kib = 0; ///< last attempt's peak RSS (rusage)
+  double wall_seconds = 0.0;     ///< last attempt's wall time
+  std::string message;           ///< worker-reported error, when structured
+  std::string stderr_tail;       ///< last bytes of the worker's stderr
+};
+
+/// One settled cell.
+struct CellRecord {
+  std::uint64_t cell_index = 0;
+  CellStatus status = CellStatus::kDone;
+  CellResult result;   ///< valid when status == kDone
+  CellFailure failure; ///< valid when status == kQuarantined
+};
+
+/// Parsed manifest contents. Invariants (enforced on load): every record
+/// index < total_cells, indexes strictly increasing (no duplicates),
+/// records.size() <= total_cells.
+struct SweepManifest {
+  std::uint64_t fingerprint = 0;  ///< sweep_fingerprint of the grid
+  std::uint64_t total_cells = 0;
+  std::vector<CellRecord> records;  ///< settled cells, ascending cell_index
+};
+
+/// Serialize to the full envelope.
+std::string encode_manifest(const SweepManifest& manifest);
+
+/// Parse an envelope from a stream; throws vbr::IoError on any corruption
+/// or violated invariant, never returns partial state.
+SweepManifest parse_manifest(std::istream& in, const std::string& name);
+
+/// Load and validate a manifest file.
+SweepManifest load_manifest(const std::filesystem::path& path);
+
+/// Atomically persist a manifest (temp + rename; fsync when durable).
+void save_manifest(const std::filesystem::path& path, const SweepManifest& manifest,
+                   bool durable = false);
+
+}  // namespace vbr::sweep

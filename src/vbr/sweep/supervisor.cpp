@@ -1,0 +1,407 @@
+#include "vbr/sweep/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <thread>
+
+#include "vbr/common/checksum.hpp"
+#include "vbr/common/error.hpp"
+
+namespace vbr::sweep {
+
+namespace {
+
+constexpr std::size_t kStderrTailBytes = 4096;
+
+/// One finished worker attempt, as the supervisor saw it.
+struct AttemptOutcome {
+  enum class Kind {
+    kDone,     ///< valid result frame, clean exit
+    kPoison,   ///< structured vbr::Error frame (deterministic; quarantine)
+    kOom,      ///< structured OOM frame, or SIGKILL at the memory ceiling
+    kHang,     ///< watchdog deadline or SIGXCPU
+    kCrash,    ///< any other signal / nonzero exit / torn frame
+  };
+  Kind kind = Kind::kCrash;
+  CellResult result;
+  std::string message;
+  std::int32_t exit_code = 0;
+  std::int32_t term_signal = 0;
+  std::uint64_t max_rss_kib = 0;
+  double wall_seconds = 0.0;
+  std::string stderr_tail;
+};
+
+FailureKind failure_kind_of(AttemptOutcome::Kind kind) {
+  switch (kind) {
+    case AttemptOutcome::Kind::kPoison: return FailureKind::kError;
+    case AttemptOutcome::Kind::kOom: return FailureKind::kOom;
+    case AttemptOutcome::Kind::kHang: return FailureKind::kHang;
+    default: return FailureKind::kCrash;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Drain whatever is ready on `fd` into `buffer` (bounded). Returns false
+/// once the peer closed (EOF).
+bool drain_fd(int fd, std::string& buffer, std::size_t max_bytes) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      const std::size_t keep = std::min(static_cast<std::size_t>(n),
+                                        max_bytes > buffer.size()
+                                            ? max_bytes - buffer.size()
+                                            : std::size_t{0});
+      buffer.append(chunk, keep);
+      continue;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EINTR) continue;
+    return true;  // EAGAIN: nothing more for now
+  }
+}
+
+/// Keep only the last `max_bytes` of a rolling stderr capture.
+void append_tail(std::string& tail, const char* data, std::size_t size,
+                 std::size_t max_bytes) {
+  tail.append(data, size);
+  if (tail.size() > max_bytes) tail.erase(0, tail.size() - max_bytes);
+}
+
+bool drain_stderr(int fd, std::string& tail) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      append_tail(tail, chunk, static_cast<std::size_t>(n), kStderrTailBytes);
+      continue;
+    }
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    return true;
+  }
+}
+
+/// Fork one worker for `spec`, supervise it to completion, classify.
+AttemptOutcome run_attempt(const CellSpec& spec, const WorkerLimits& limits,
+                           InjectedFault fault) {
+  int result_pipe[2] = {-1, -1};
+  int stderr_pipe[2] = {-1, -1};
+  if (::pipe(result_pipe) != 0) throw IoError("sweep: cannot create result pipe");
+  if (::pipe(stderr_pipe) != 0) {
+    ::close(result_pipe[0]);
+    ::close(result_pipe[1]);
+    throw IoError("sweep: cannot create stderr pipe");
+  }
+
+  // The child inherits stdio buffers; flush so it cannot replay them.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (int fd : {result_pipe[0], result_pipe[1], stderr_pipe[0], stderr_pipe[1]}) {
+      ::close(fd);
+    }
+    throw IoError("sweep: fork failed: " + std::string(std::strerror(errno)));
+  }
+  if (pid == 0) {
+    ::close(result_pipe[0]);
+    ::close(stderr_pipe[0]);
+    (void)::dup2(stderr_pipe[1], STDERR_FILENO);
+    ::close(stderr_pipe[1]);
+    run_worker(result_pipe[1], spec, limits, fault);  // never returns
+  }
+  ::close(result_pipe[1]);
+  ::close(stderr_pipe[1]);
+  set_nonblocking(result_pipe[0]);
+  set_nonblocking(stderr_pipe[0]);
+
+  AttemptOutcome outcome;
+  std::string frame;
+  bool result_open = true;
+  bool stderr_open = true;
+  bool timed_out = false;
+  const auto start = std::chrono::steady_clock::now();
+
+  while (result_open || stderr_open) {
+    int timeout_ms = -1;
+    if (limits.deadline_seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      const double remaining = limits.deadline_seconds - elapsed;
+      if (remaining <= 0.0) {
+        timed_out = true;
+        break;
+      }
+      timeout_ms = static_cast<int>(std::ceil(remaining * 1000.0));
+    }
+
+    pollfd fds[2];
+    nfds_t nfds = 0;
+    if (result_open) fds[nfds++] = {result_pipe[0], POLLIN, 0};
+    if (stderr_open) fds[nfds++] = {stderr_pipe[0], POLLIN, 0};
+    const int rc = ::poll(fds, nfds, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      timed_out = true;  // cannot supervise: treat as a hang and reap
+      break;
+    }
+    if (rc == 0) {
+      timed_out = true;
+      break;
+    }
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (fds[i].fd == result_pipe[0]) {
+        result_open = drain_fd(result_pipe[0], frame, kMaxWorkerFrame + 64);
+      } else {
+        stderr_open = drain_stderr(stderr_pipe[0], outcome.stderr_tail);
+      }
+    }
+  }
+
+  if (timed_out) (void)::kill(pid, SIGKILL);
+
+  int status = 0;
+  rusage usage{};
+  while (::wait4(pid, &status, 0, &usage) < 0 && errno == EINTR) {
+  }
+  // Pick up anything written between the last poll and exit.
+  if (result_open) drain_fd(result_pipe[0], frame, kMaxWorkerFrame + 64);
+  if (stderr_open) drain_stderr(stderr_pipe[0], outcome.stderr_tail);
+  ::close(result_pipe[0]);
+  ::close(stderr_pipe[0]);
+
+  outcome.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  outcome.max_rss_kib = static_cast<std::uint64_t>(
+      usage.ru_maxrss > 0 ? usage.ru_maxrss : 0);  // Linux: KiB
+
+  const bool exited = WIFEXITED(status);
+  const bool signaled = WIFSIGNALED(status);
+  outcome.exit_code = exited ? WEXITSTATUS(status) : 0;
+  outcome.term_signal = signaled ? WTERMSIG(status) : 0;
+
+  // A structured frame beats exit-status archaeology when both are present.
+  if (!timed_out && !frame.empty()) {
+    try {
+      WorkerMessage message = parse_worker_message(frame);
+      if (message.is_result && exited && outcome.exit_code == 0) {
+        outcome.kind = AttemptOutcome::Kind::kDone;
+        outcome.result = message.result;
+        return outcome;
+      }
+      if (!message.is_result) {
+        outcome.kind = message.kind == FailureKind::kOom
+                           ? AttemptOutcome::Kind::kOom
+                           : AttemptOutcome::Kind::kPoison;
+        outcome.message = std::move(message.message);
+        return outcome;
+      }
+    } catch (const IoError&) {
+      // Torn frame: the worker died mid-write; fall through to the status.
+    }
+  }
+
+  if (timed_out) {
+    outcome.kind = AttemptOutcome::Kind::kHang;
+    outcome.term_signal = SIGKILL;
+    outcome.message = "watchdog deadline exceeded";
+    return outcome;
+  }
+  if (signaled && outcome.term_signal == SIGXCPU) {
+    outcome.kind = AttemptOutcome::Kind::kHang;
+    outcome.message = "CPU ceiling exceeded (SIGXCPU)";
+    return outcome;
+  }
+  if (signaled && outcome.term_signal == SIGKILL) {
+    // The kernel OOM killer (or our RLIMIT_AS via a fatal path) SIGKILLs;
+    // attribute it to memory when the worker died anywhere near the ceiling.
+    outcome.kind = AttemptOutcome::Kind::kOom;
+    outcome.message = "killed (peak RSS " + std::to_string(outcome.max_rss_kib) + " KiB)";
+    return outcome;
+  }
+  outcome.kind = AttemptOutcome::Kind::kCrash;
+  if (signaled) {
+    outcome.message = "fatal signal " + std::to_string(outcome.term_signal);
+  } else {
+    outcome.message = "exit code " + std::to_string(outcome.exit_code);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+InjectedFault fault_for_attempt(const SweepFaultPlan& faults, std::uint64_t cell_index,
+                                std::size_t attempt) {
+  if (std::find(faults.poison.begin(), faults.poison.end(), cell_index) !=
+      faults.poison.end()) {
+    return InjectedFault::kPoison;
+  }
+  if (attempt != 1 || faults.rate <= 0.0) return InjectedFault::kNone;
+
+  Fnv1a h;
+  h.update(&faults.seed, sizeof faults.seed);
+  h.update(&cell_index, sizeof cell_index);
+  const std::uint64_t digest = h.digest();
+  const double u = static_cast<double>(digest >> 11) * 0x1.0p-53;
+  if (u >= faults.rate) return InjectedFault::kNone;
+
+  InjectedFault kinds[3];
+  std::size_t enabled = 0;
+  if (faults.crash) kinds[enabled++] = InjectedFault::kCrash;
+  if (faults.hang) kinds[enabled++] = InjectedFault::kHang;
+  if (faults.oom) kinds[enabled++] = InjectedFault::kOom;
+  if (enabled == 0) return InjectedFault::kNone;
+  return kinds[(digest & 0x7ff) % enabled];
+}
+
+std::uint64_t results_hash(std::span<const CellRecord> records) {
+  Fnv1a h;
+  for (const CellRecord& record : records) {
+    h.update(&record.cell_index, sizeof record.cell_index);
+    const std::uint8_t status = static_cast<std::uint8_t>(record.status);
+    h.update(&status, sizeof status);
+    if (record.status == CellStatus::kDone) {
+      const CellResult& r = record.result;
+      h.update(std::span<const double>(
+          {r.mean_rate_bps, r.capacity_bps, r.buffer_bytes, r.loss_rate,
+           r.mean_queue_bytes, r.max_queue_bytes, r.overflow_probability,
+           r.required_capacity_bps}));
+    }
+  }
+  return h.digest();
+}
+
+SweepReport run_sweep(const SweepOptions& options) {
+  options.grid.validate();
+  VBR_ENSURE(options.limits.max_attempts >= 1, "sweep needs at least one attempt");
+  VBR_ENSURE(options.limits.backoff_seconds >= 0.0, "negative retry backoff");
+  if (options.faults.rate > 0.0) {
+    VBR_ENSURE(options.faults.rate <= 1.0, "fault rate must be a probability");
+    VBR_ENSURE(!options.faults.oom || options.limits.worker.memory_bytes > 0,
+               "OOM injection requires a memory ceiling");
+    VBR_ENSURE(!options.faults.hang || options.limits.worker.deadline_seconds > 0.0,
+               "hang injection requires a watchdog deadline");
+  }
+
+  const std::size_t cells = cell_count(options.grid);
+  const std::vector<std::uint64_t> seeds = derive_cell_seeds(options.grid);
+  const std::uint64_t fingerprint = sweep_fingerprint(options.grid);
+  const bool persist = !options.manifest_path.empty();
+
+  std::map<std::uint64_t, CellRecord> settled;
+  SweepReport report;
+  report.total_cells = cells;
+
+  if (options.resume && persist && std::filesystem::exists(options.manifest_path)) {
+    SweepManifest manifest = load_manifest(options.manifest_path);
+    if (manifest.fingerprint != fingerprint || manifest.total_cells != cells) {
+      throw IoError(options.manifest_path.string() +
+                    ": manifest belongs to a different sweep grid");
+    }
+    for (CellRecord& record : manifest.records) {
+      settled.emplace(record.cell_index, std::move(record));
+    }
+    report.resumed_cells = settled.size();
+  }
+
+  const auto save_progress = [&] {
+    if (!persist) return;
+    SweepManifest manifest;
+    manifest.fingerprint = fingerprint;
+    manifest.total_cells = cells;
+    manifest.records.reserve(settled.size());
+    for (const auto& [index, record] : settled) manifest.records.push_back(record);
+    save_manifest(options.manifest_path, manifest, options.durable);
+  };
+  // A fresh sweep writes its (empty) manifest up front so a fingerprint
+  // mismatch on a later resume is caught even if no cell ever settled.
+  if (persist && settled.empty()) save_progress();
+
+  for (std::size_t index = 0; index < cells; ++index) {
+    if (const auto it = settled.find(index); it != settled.end()) {
+      if (options.on_cell_settled) options.on_cell_settled(it->second);
+      continue;
+    }
+
+    CellSpec spec = cell_at(options.grid, index);
+    spec.seed = seeds[index];
+
+    CellRecord record;
+    record.cell_index = index;
+    AttemptOutcome outcome;
+    std::size_t attempts = 0;
+    for (std::size_t attempt = 1; attempt <= options.limits.max_attempts; ++attempt) {
+      attempts = attempt;
+      if (attempt > 1) {
+        report.retried_attempts += 1;
+        if (options.limits.backoff_seconds > 0.0) {
+          const double sleep_s = options.limits.backoff_seconds *
+                                 std::pow(2.0, static_cast<double>(attempt - 2));
+          std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+        }
+      }
+      const InjectedFault fault =
+          fault_for_attempt(options.faults, index, attempt);
+      outcome = run_attempt(spec, options.limits.worker, fault);
+      if (outcome.kind == AttemptOutcome::Kind::kDone) break;
+      // A structured vbr::Error is deterministic: the same spec will throw
+      // the same way every retry, so quarantine immediately.
+      if (outcome.kind == AttemptOutcome::Kind::kPoison) break;
+    }
+
+    if (outcome.kind == AttemptOutcome::Kind::kDone) {
+      record.status = CellStatus::kDone;
+      record.result = outcome.result;
+    } else {
+      record.status = CellStatus::kQuarantined;
+      record.failure.kind = failure_kind_of(outcome.kind);
+      record.failure.exit_code = outcome.exit_code;
+      record.failure.term_signal = outcome.term_signal;
+      record.failure.attempts = attempts;
+      record.failure.max_rss_kib = outcome.max_rss_kib;
+      record.failure.wall_seconds = outcome.wall_seconds;
+      record.failure.message = std::move(outcome.message);
+      record.failure.stderr_tail = std::move(outcome.stderr_tail);
+    }
+
+    const auto [it, inserted] = settled.emplace(index, std::move(record));
+    (void)inserted;
+    save_progress();
+    if (options.on_cell_settled) options.on_cell_settled(it->second);
+  }
+
+  report.records.reserve(settled.size());
+  for (auto& [index, record] : settled) {
+    if (record.status == CellStatus::kDone) {
+      report.completed += 1;
+    } else {
+      report.quarantined += 1;
+    }
+    report.records.push_back(std::move(record));
+  }
+  report.results_hash = results_hash(report.records);
+  return report;
+}
+
+}  // namespace vbr::sweep

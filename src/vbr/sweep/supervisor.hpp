@@ -1,0 +1,109 @@
+// The supervised, process-isolated sweep: every evaluation cell runs in a
+// forked worker so one bad cell — a hang at utilization -> 1, an OOM on a
+// huge buffer, a numeric blow-up at H -> 1 — costs one quarantine record
+// instead of the whole campaign.
+//
+// Per cell, the supervisor forks a worker, watches its result pipe with a
+// poll()-based watchdog, and classifies the outcome:
+//
+//   result frame + exit 0          -> done
+//   structured vbr::Error frame    -> deterministic poison: quarantine now
+//   structured OOM frame           -> retry (the report is transient-shaped)
+//   watchdog deadline / SIGXCPU    -> hang: SIGKILL, retry
+//   SIGKILL near the memory ceiling-> OOM: retry
+//   any other signal/nonzero exit  -> crash: retry
+//
+// Retries restart from the cell's deterministic split seed, so a retried
+// cell is bit-identical to one that succeeded first try; a cell that
+// exhausts max_attempts is quarantined with a structured CellFailure
+// (kind, exit/signal, rusage peak RSS, captured stderr tail) and the sweep
+// moves on. Progress persists in the manifest after every settled cell via
+// the shared CRC envelope + atomic temp-and-rename write, so SIGKILLing
+// the *supervisor* and rerunning with resume salvages every settled cell
+// and reproduces the uninterrupted sweep's merged results bit-for-bit
+// (scripts/crash_soak.sh sweep mode enforces exactly that).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "vbr/sweep/manifest.hpp"
+#include "vbr/sweep/sweep_plan.hpp"
+#include "vbr/sweep/worker.hpp"
+
+namespace vbr::sweep {
+
+/// Retry budget wrapped around the per-attempt WorkerLimits.
+struct SweepLimits {
+  WorkerLimits worker;          ///< deadline / memory / CPU per attempt
+  std::size_t max_attempts = 3; ///< total tries per cell (>= 1)
+  double backoff_seconds = 0.0; ///< sleep before retry k: backoff * 2^(k-1)
+};
+
+/// Seeded deterministic fault injection (the soak harness seam). A cell's
+/// *first* attempt faults with probability `rate`, the kind drawn from the
+/// enabled set — so every injected fault is healed by one retry and the
+/// merged results stay bit-identical to a fault-free sweep. Poison cells
+/// fault on *every* attempt with a deterministic vbr::NumericalError and
+/// must end quarantined.
+struct SweepFaultPlan {
+  double rate = 0.0;
+  std::uint64_t seed = 0;
+  bool crash = true;
+  bool hang = true;
+  bool oom = true;
+  std::vector<std::uint64_t> poison;
+
+  bool enabled() const { return rate > 0.0 || !poison.empty(); }
+};
+
+struct SweepOptions {
+  SweepGrid grid;
+  /// Manifest path; empty disables persistence (and resume).
+  std::filesystem::path manifest_path;
+  /// Continue from manifest_path if it exists; a fresh sweep otherwise.
+  bool resume = false;
+  /// fsync manifest saves (power-loss safety; SIGKILL safety needs none).
+  bool durable = false;
+  SweepLimits limits;
+  SweepFaultPlan faults;
+  /// Optional per-cell progress hook, called after each cell settles (also
+  /// for cells salvaged from the manifest on resume), in cell order.
+  std::function<void(const CellRecord&)> on_cell_settled;
+};
+
+struct SweepReport {
+  std::size_t total_cells = 0;
+  std::size_t completed = 0;
+  std::size_t quarantined = 0;
+  /// Cells salvaged from the manifest instead of re-run.
+  std::size_t resumed_cells = 0;
+  /// Attempts beyond each cell's first (watchdog fires, crashes absorbed).
+  std::size_t retried_attempts = 0;
+  /// Every cell, ascending cell_index.
+  std::vector<CellRecord> records;
+  /// Determinism witness over the deterministic record bytes (see
+  /// results_hash); the soak harness compares this across kill/resume.
+  std::uint64_t results_hash = 0;
+};
+
+/// FNV-1a over (cell_index, status, CellResult-if-done) in cell order.
+/// Quarantine diagnostics (signals, rusage, stderr) are nondeterministic by
+/// nature and deliberately excluded.
+std::uint64_t results_hash(std::span<const CellRecord> records);
+
+/// Run (or resume) a sweep. Throws vbr::IoError on manifest I/O failures
+/// and fingerprint mismatches, vbr::InvalidArgument on a bad grid or an
+/// unsafe fault plan (OOM injection without a memory ceiling, hang
+/// injection without a watchdog deadline). Worker failures never propagate:
+/// they end as retries or quarantine records.
+SweepReport run_sweep(const SweepOptions& options);
+
+/// The deterministic per-attempt fault decision (exposed for tests).
+InjectedFault fault_for_attempt(const SweepFaultPlan& faults, std::uint64_t cell_index,
+                                std::size_t attempt);
+
+}  // namespace vbr::sweep

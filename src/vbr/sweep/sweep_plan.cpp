@@ -1,0 +1,109 @@
+#include "vbr/sweep/sweep_plan.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "vbr/common/checksum.hpp"
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+
+namespace vbr::sweep {
+
+const char* queue_kind_name(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kFluid: return "fluid";
+    case QueueKind::kCell: return "cell";
+    case QueueKind::kFbm: return "fbm";
+  }
+  return "unknown";
+}
+
+QueueKind parse_queue_kind(const std::string& name) {
+  if (name == "fluid") return QueueKind::kFluid;
+  if (name == "cell") return QueueKind::kCell;
+  if (name == "fbm") return QueueKind::kFbm;
+  throw InvalidArgument("unknown queue kind '" + name + "' (expected fluid|cell|fbm)");
+}
+
+void SweepGrid::validate() const {
+  VBR_ENSURE(!queues.empty(), "sweep grid needs at least one queue kind");
+  VBR_ENSURE(!hursts.empty(), "sweep grid needs at least one Hurst value");
+  VBR_ENSURE(!utilizations.empty(), "sweep grid needs at least one utilization");
+  VBR_ENSURE(!buffer_ms.empty(), "sweep grid needs at least one buffer delay");
+  VBR_ENSURE(!sources.empty(), "sweep grid needs at least one source count");
+  VBR_ENSURE(frames_per_source >= 2, "sweep cells need at least two frames per source");
+  for (const double h : hursts) {
+    VBR_CHECK_FINITE(h, "sweep Hurst value");
+    VBR_ENSURE(h > 0.5 && h < 1.0, "sweep Hurst values must lie in (0.5, 1)");
+  }
+  for (const double u : utilizations) {
+    VBR_CHECK_FINITE(u, "sweep utilization");
+    VBR_ENSURE(u > 0.0, "sweep utilizations must be positive");
+  }
+  for (const double b : buffer_ms) {
+    VBR_CHECK_FINITE(b, "sweep buffer delay");
+    VBR_ENSURE(b >= 0.0, "sweep buffer delays must be non-negative");
+  }
+  for (const std::size_t n : sources) {
+    VBR_ENSURE(n >= 1, "sweep source counts must be at least one");
+  }
+}
+
+std::size_t cell_count(const SweepGrid& grid) {
+  return grid.queues.size() * grid.hursts.size() * grid.utilizations.size() *
+         grid.buffer_ms.size() * grid.sources.size();
+}
+
+CellSpec cell_at(const SweepGrid& grid, std::size_t index) {
+  grid.validate();
+  VBR_ENSURE(index < cell_count(grid), "sweep cell index out of range");
+  CellSpec spec;
+  spec.cell_index = index;
+  // Row-major: sources fastest, queues slowest.
+  std::size_t rest = index;
+  spec.num_sources = grid.sources[rest % grid.sources.size()];
+  rest /= grid.sources.size();
+  spec.buffer_delay_ms = grid.buffer_ms[rest % grid.buffer_ms.size()];
+  rest /= grid.buffer_ms.size();
+  spec.utilization = grid.utilizations[rest % grid.utilizations.size()];
+  rest /= grid.utilizations.size();
+  spec.hurst = grid.hursts[rest % grid.hursts.size()];
+  rest /= grid.hursts.size();
+  spec.queue = grid.queues[rest];
+  spec.frames_per_source = grid.frames_per_source;
+  return spec;
+}
+
+std::vector<std::uint64_t> derive_cell_seeds(const SweepGrid& grid) {
+  const std::size_t cells = cell_count(grid);
+  Rng master(grid.seed);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(cells);
+  for (std::size_t i = 0; i < cells; ++i) seeds.push_back(master.split()());
+  return seeds;
+}
+
+std::uint64_t sweep_fingerprint(const SweepGrid& grid) {
+  Fnv1a h;
+  const auto put_u64 = [&](std::uint64_t v) { h.update(&v, sizeof v); };
+  const auto put_f64 = [&](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_u64(bits);
+  };
+  put_u64(grid.queues.size());
+  for (const QueueKind q : grid.queues) put_u64(static_cast<std::uint64_t>(q));
+  put_u64(grid.hursts.size());
+  for (const double v : grid.hursts) put_f64(v);
+  put_u64(grid.utilizations.size());
+  for (const double v : grid.utilizations) put_f64(v);
+  put_u64(grid.buffer_ms.size());
+  for (const double v : grid.buffer_ms) put_f64(v);
+  put_u64(grid.sources.size());
+  for (const std::size_t v : grid.sources) put_u64(v);
+  put_u64(grid.frames_per_source);
+  put_u64(grid.seed);
+  return h.digest();
+}
+
+}  // namespace vbr::sweep

@@ -1,0 +1,193 @@
+#include "vbr/sweep/worker.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <new>
+#include <sstream>
+#include <vector>
+
+#include "vbr/common/checksum.hpp"
+#include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
+
+// ASan reserves terabytes of shadow address space, so an honest RLIMIT_AS
+// ceiling would kill every attempt — clean retries included. Sanitizer
+// builds skip the ceiling and simulate the allocation failure instead; the
+// OOM *protocol* (structured frame, retry classification) is still real.
+#if defined(__SANITIZE_ADDRESS__)
+#define VBR_SWEEP_UNDER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define VBR_SWEEP_UNDER_ASAN 1
+#endif
+#endif
+#ifndef VBR_SWEEP_UNDER_ASAN
+#define VBR_SWEEP_UNDER_ASAN 0
+#endif
+
+namespace vbr::sweep {
+
+namespace {
+
+constexpr std::uint64_t kMaxFailureMessage = 4096;
+
+/// Frame = magic + u64 size + u32 crc + payload.
+std::string frame_payload(std::string_view payload) {
+  std::ostringstream out(std::ios::binary);
+  io::write_bytes(out, kWorkerMagic.data(), kWorkerMagic.size());
+  io::write_u64(out, payload.size());
+  io::write_u32(out, crc32(payload.data(), payload.size()));
+  if (!payload.empty()) io::write_bytes(out, payload.data(), payload.size());
+  return out.str();
+}
+
+/// write(2) the whole buffer; on an unrecoverable pipe error the child has
+/// no way to report anything, so it exits with a distinctive code the
+/// parent classifies as a crash.
+void write_all_or_die(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::_exit(121);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void apply_rlimit(int resource, std::uint64_t value) {
+  rlimit limit{};
+  limit.rlim_cur = static_cast<rlim_t>(value);
+  limit.rlim_max = static_cast<rlim_t>(value);
+  // Best effort: a refused limit degrades to the parent's watchdog.
+  (void)::setrlimit(resource, &limit);
+}
+
+void apply_limits(const WorkerLimits& limits) {
+  apply_rlimit(RLIMIT_CORE, 0);  // a crashing worker must not litter cores
+  if (limits.memory_bytes > 0 && !VBR_SWEEP_UNDER_ASAN) {
+    apply_rlimit(RLIMIT_AS, limits.memory_bytes);
+  }
+  if (limits.cpu_seconds > 0) apply_rlimit(RLIMIT_CPU, limits.cpu_seconds);
+}
+
+/// Genuine allocation pressure: grab 16 MiB chunks until the address-space
+/// ceiling refuses one. Bounded so a misconfigured run without a ceiling
+/// gives up instead of eating the host.
+[[noreturn]] void swallow_memory() {
+#if VBR_SWEEP_UNDER_ASAN
+  throw std::bad_alloc();  // no enforceable ceiling under ASan; simulate
+#else
+  constexpr std::size_t kChunk = std::size_t{16} << 20;
+  constexpr std::size_t kMaxChunks = 4096;  // 64 GiB: far past any ceiling
+  std::vector<std::vector<char>> hoard;
+  for (std::size_t i = 0; i < kMaxChunks; ++i) {
+    hoard.emplace_back(kChunk, static_cast<char>(i));
+  }
+  throw std::bad_alloc();  // no ceiling stopped us; simulate the failure
+#endif
+}
+
+}  // namespace
+
+std::string encode_worker_result(const CellResult& result) {
+  std::ostringstream payload(std::ios::binary);
+  io::write_u8(payload, 0);
+  write_cell_result(payload, result);
+  return frame_payload(payload.str());
+}
+
+std::string encode_worker_failure(FailureKind kind, std::string_view message) {
+  std::ostringstream payload(std::ios::binary);
+  io::write_u8(payload, 1);
+  io::write_u32(payload, static_cast<std::uint32_t>(kind));
+  std::string bounded(message.substr(0, kMaxFailureMessage));
+  io::write_string(payload, bounded);
+  return frame_payload(payload.str());
+}
+
+WorkerMessage parse_worker_message(std::string_view bytes) {
+  const char* what = "worker frame";
+  std::istringstream in(std::string(bytes), std::ios::binary);
+
+  std::array<char, 8> magic{};
+  io::read_bytes(in, magic.data(), magic.size(), what);
+  if (std::memcmp(magic.data(), kWorkerMagic.data(), magic.size()) != 0) {
+    throw IoError("worker frame: bad magic");
+  }
+  const std::uint64_t size = io::read_u64(in, what);
+  if (size > kMaxWorkerFrame) {
+    throw IoError("worker frame: implausible payload size " + std::to_string(size));
+  }
+  const std::uint32_t expected_crc = io::read_u32(in, what);
+  std::string payload(static_cast<std::size_t>(size), '\0');
+  if (!payload.empty()) io::read_bytes(in, payload.data(), payload.size(), what);
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw IoError("worker frame: trailing bytes");
+  }
+  if (crc32(payload.data(), payload.size()) != expected_crc) {
+    throw IoError("worker frame: CRC mismatch");
+  }
+
+  std::istringstream body(payload, std::ios::binary);
+  WorkerMessage message;
+  const std::uint8_t tag = io::read_u8(body, what);
+  if (tag == 0) {
+    message.is_result = true;
+    message.result = read_cell_result(body, what);
+  } else if (tag == 1) {
+    message.is_result = false;
+    const std::uint32_t kind = io::read_u32(body, what);
+    if (kind < static_cast<std::uint32_t>(FailureKind::kCrash) ||
+        kind > static_cast<std::uint32_t>(FailureKind::kError)) {
+      throw IoError("worker frame: failure kind out of range");
+    }
+    message.kind = static_cast<FailureKind>(kind);
+    message.message = io::read_string(body, kMaxFailureMessage, what);
+  } else {
+    throw IoError("worker frame: unknown tag " + std::to_string(tag));
+  }
+  if (body.peek() != std::char_traits<char>::eof()) {
+    throw IoError("worker frame: payload has trailing bytes");
+  }
+  return message;
+}
+
+void run_worker(int result_fd, const CellSpec& spec, const WorkerLimits& limits,
+                InjectedFault fault) {
+  apply_limits(limits);
+
+  if (fault == InjectedFault::kCrash) std::abort();
+  if (fault == InjectedFault::kHang) {
+    for (;;) ::pause();  // the parent's watchdog must SIGKILL us
+  }
+
+  try {
+    if (fault == InjectedFault::kPoison) {
+      throw NumericalError("injected poison cell (deterministic failure)");
+    }
+    if (fault == InjectedFault::kOom) swallow_memory();
+    const CellResult result = evaluate_cell(spec);
+    write_all_or_die(result_fd, encode_worker_result(result));
+  } catch (const std::bad_alloc&) {
+    // The hoard (or the cell's own working set) hit the memory ceiling; the
+    // unwound stack freed it, so this small frame still fits.
+    write_all_or_die(result_fd,
+                     encode_worker_failure(FailureKind::kOom,
+                                           "allocation failed under the memory ceiling"));
+  } catch (const Error& e) {
+    write_all_or_die(result_fd, encode_worker_failure(FailureKind::kError, e.what()));
+  } catch (const std::exception& e) {
+    write_all_or_die(result_fd, encode_worker_failure(FailureKind::kError, e.what()));
+  }
+  // _exit, not exit: the child shares the parent's stdio buffers and static
+  // state; flushing or destroying them here would corrupt the supervisor.
+  ::_exit(0);
+}
+
+}  // namespace vbr::sweep

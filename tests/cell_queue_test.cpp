@@ -104,8 +104,13 @@ TEST(CellQueueTest, Preconditions) {
                vbr::InvalidArgument);
   EXPECT_THROW(run_cell_queue(arrivals, 1.0, 0.0, 480.0, CellSpacing::kUniform, rng),
                vbr::InvalidArgument);
-  EXPECT_THROW(run_cell_queue(arrivals, 1.0, 100.0, 10.0, CellSpacing::kUniform, rng),
+  EXPECT_THROW(run_cell_queue(arrivals, 1.0, 100.0, -1.0, CellSpacing::kUniform, rng),
                vbr::InvalidArgument);
+  // A sub-cell buffer is legal but degenerate: every arriving cell is lost.
+  const CellQueueResult starved =
+      run_cell_queue(arrivals, 1.0, 100.0, 10.0, CellSpacing::kUniform, rng);
+  EXPECT_EQ(starved.lost_cells, starved.arrived_cells);
+  EXPECT_GT(starved.arrived_cells, 0u);
 }
 
 }  // namespace

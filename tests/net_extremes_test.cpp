@@ -1,0 +1,171 @@
+// Property tests for the net layer at the edges of its domain: utilization
+// driven to (and past) 1, zero and sub-cell buffers, Hurst parameters
+// pressed against both ends of (0.5, 1). The contract under test: every
+// evaluation either returns finite, in-range numbers or throws a typed
+// vbr::Error — it never hangs, never returns NaN/Inf, never loses mass.
+// These are exactly the extremes the sweep supervisor exists to survive;
+// the cheaper the failure here, the less often a worker has to die for it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/net/cell.hpp"
+#include "vbr/net/cell_queue.hpp"
+#include "vbr/net/fbm_queue.hpp"
+#include "vbr/net/fluid_queue.hpp"
+
+namespace vbr::net {
+namespace {
+
+constexpr double kDt = 1.0 / 24.0;
+
+/// A bursty but deterministic arrival series (bytes per interval).
+std::vector<double> bursty_series(std::size_t n, double mean_bytes) {
+  Rng rng(1994);
+  std::vector<double> series(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Right-skewed: mostly small intervals, occasional 8x bursts.
+    const double u = rng.uniform(0.0, 1.0);
+    series[i] = mean_bytes * (u < 0.9 ? 0.6 : 8.0) * rng.uniform(0.5, 1.5);
+  }
+  return series;
+}
+
+double series_mean_rate(const std::vector<double>& series) {
+  double total = 0.0;
+  for (double v : series) total += v;
+  return total / (static_cast<double>(series.size()) * kDt);
+}
+
+void expect_sane_fluid(const FluidQueueResult& result) {
+  EXPECT_TRUE(std::isfinite(result.loss_rate()));
+  EXPECT_GE(result.loss_rate(), 0.0);
+  EXPECT_LE(result.loss_rate(), 1.0);
+  EXPECT_TRUE(std::isfinite(result.mean_queue_bytes));
+  EXPECT_TRUE(std::isfinite(result.max_queue_bytes));
+  EXPECT_GE(result.max_queue_bytes, 0.0);
+  // Conservation: nothing lost that never arrived.
+  EXPECT_LE(result.lost_bytes, result.arrived_bytes);
+}
+
+TEST(NetExtremes, FluidQueueSurvivesUtilizationSweepToOverload) {
+  const std::vector<double> series = bursty_series(2048, 20000.0);
+  const double mean_rate = series_mean_rate(series);
+  // Utilization 0.5 up through exactly 1.0 and into overload at 2.0.
+  for (double utilization : {0.5, 0.9, 0.99, 0.999, 1.0, 1.25, 2.0}) {
+    const double capacity = mean_rate / utilization;
+    for (double buffer : {0.0, 1.0, 1e4, 1e9}) {
+      const FluidQueueResult result =
+          run_fluid_queue(series, kDt, capacity, buffer);
+      expect_sane_fluid(result);
+      EXPECT_LE(result.max_queue_bytes, buffer);
+      if (utilization > 1.0 && buffer <= 1.0) {
+        // Sustained overload with no buffer must lose traffic.
+        EXPECT_GT(result.loss_rate(), 0.0);
+      }
+    }
+  }
+}
+
+TEST(NetExtremes, FluidQueueZeroBufferLosesExactlyTheExcess) {
+  // Constant-rate arrivals at twice capacity, zero buffer: exactly half of
+  // every interval's fluid must be lost, and the queue stays empty.
+  const std::vector<double> series(64, 2000.0);
+  const double capacity = 1000.0 / kDt;  // half the arrival rate
+  const FluidQueueResult result = run_fluid_queue(series, kDt, capacity, 0.0);
+  EXPECT_NEAR(result.loss_rate(), 0.5, 1e-12);
+  EXPECT_EQ(result.max_queue_bytes, 0.0);
+}
+
+TEST(NetExtremes, FluidQueueRejectsPoisonedParametersLoudly) {
+  const std::vector<double> series(8, 1000.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(run_fluid_queue(series, kDt, 0.0, 100.0), InvalidArgument);
+  EXPECT_THROW(run_fluid_queue(series, kDt, -5.0, 100.0), InvalidArgument);
+  EXPECT_THROW(run_fluid_queue(series, kDt, 1000.0, -1.0), InvalidArgument);
+  EXPECT_THROW(run_fluid_queue(series, kDt, nan, 100.0), NumericalError);
+  EXPECT_THROW(run_fluid_queue(series, kDt, 1000.0, inf), NumericalError);
+}
+
+TEST(NetExtremes, CellQueueZeroBufferLosesEveryCell) {
+  const std::vector<double> series(32, 4800.0);  // 100 cells per interval
+  Rng rng(7);
+  for (double buffer : {0.0, 1.0, kCellPayloadBytes - 0.5}) {
+    const CellQueueResult result = run_cell_queue(series, kDt, 1e6, buffer,
+                                                  CellSpacing::kUniform, rng);
+    EXPECT_GT(result.arrived_cells, 0u);
+    EXPECT_EQ(result.lost_cells, result.arrived_cells) << "buffer " << buffer;
+    EXPECT_EQ(result.loss_rate(), 1.0);
+  }
+}
+
+TEST(NetExtremes, CellQueueSurvivesOverloadWithBothSpacings) {
+  const std::vector<double> series = bursty_series(256, 48000.0);
+  const double mean_rate = series_mean_rate(series);
+  for (CellSpacing spacing : {CellSpacing::kUniform, CellSpacing::kRandom}) {
+    for (double utilization : {0.9, 1.0, 2.0}) {
+      Rng rng(11);
+      const CellQueueResult result = run_cell_queue(
+          series, kDt, mean_rate / utilization, 64 * kCellPayloadBytes, spacing, rng);
+      EXPECT_LE(result.lost_cells, result.arrived_cells);
+      EXPECT_TRUE(std::isfinite(result.loss_rate()));
+    }
+  }
+}
+
+TEST(NetExtremes, CellQueueRejectsNegativeBuffer) {
+  const std::vector<double> series(4, 4800.0);
+  Rng rng(3);
+  EXPECT_THROW(
+      run_cell_queue(series, kDt, 1e6, -1.0, CellSpacing::kUniform, rng),
+      InvalidArgument);
+}
+
+TEST(NetExtremes, FbmSurvivesHurstPressedAgainstBothEnds) {
+  const std::vector<double> series = bursty_series(1024, 20000.0);
+  const double mean = series_mean_rate(series) * kDt;  // bytes per interval
+  for (double hurst : {0.5 + 1e-9, 0.500001, 0.75, 0.999999, 1.0 - 1e-9}) {
+    const FbmTrafficParams traffic = fit_fbm_traffic(series, hurst);
+    EXPECT_TRUE(std::isfinite(fbm_kappa(hurst)));
+    for (double buffer : {0.0, 1.0, 1e4, 1e12}) {
+      const double p = fbm_overflow_probability(traffic, mean / 0.9, buffer);
+      EXPECT_TRUE(std::isfinite(p)) << "H=" << hurst << " b=" << buffer;
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+    for (double buffer : {1.0, 1e4, 1e12}) {
+      const double c = fbm_required_capacity(traffic, buffer, 1e-6);
+      EXPECT_TRUE(std::isfinite(c));
+      EXPECT_GT(c, traffic.mean_bytes);
+    }
+  }
+}
+
+TEST(NetExtremes, FbmSaturatedLinkOverflowsWithCertainty) {
+  const std::vector<double> series = bursty_series(512, 20000.0);
+  const FbmTrafficParams traffic = fit_fbm_traffic(series, 0.8);
+  // capacity <= mean (utilization >= 1): the stationary queue diverges.
+  EXPECT_EQ(fbm_overflow_probability(traffic, traffic.mean_bytes, 1e6), 1.0);
+  EXPECT_EQ(fbm_overflow_probability(traffic, traffic.mean_bytes * 0.5, 1e6), 1.0);
+  // Zero buffer: the asymptotic bound degenerates to certainty, not NaN.
+  EXPECT_EQ(fbm_overflow_probability(traffic, traffic.mean_bytes / 0.9, 0.0), 1.0);
+}
+
+TEST(NetExtremes, FbmRejectsDomainViolationsLoudly) {
+  const std::vector<double> series = bursty_series(64, 20000.0);
+  EXPECT_THROW(fit_fbm_traffic(series, 0.0), InvalidArgument);
+  EXPECT_THROW(fit_fbm_traffic(series, 1.0), InvalidArgument);
+  const FbmTrafficParams traffic = fit_fbm_traffic(series, 0.8);
+  EXPECT_THROW(fbm_required_capacity(traffic, 0.0, 1e-6), InvalidArgument);
+  EXPECT_THROW(fbm_required_capacity(traffic, 1e4, 0.0), InvalidArgument);
+  EXPECT_THROW(fbm_required_capacity(traffic, 1e4, 1.0), InvalidArgument);
+  EXPECT_THROW(fbm_overflow_probability(traffic, 1e9, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vbr::net

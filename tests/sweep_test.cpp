@@ -1,0 +1,536 @@
+// Tests for the process-isolated sweep supervisor and its parts: grid
+// enumeration and split-seed derivation, pure-function cell evaluation,
+// manifest round-trip and corruption rejection, worker frame protocol,
+// deterministic fault injection, crash/hang/OOM retry, poison quarantine,
+// and kill/resume determinism (a resumed sweep's results hash must equal an
+// uninterrupted one's, bit for bit).
+#include "vbr/sweep/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vbr/common/error.hpp"
+#include "vbr/sweep/cell_eval.hpp"
+#include "vbr/sweep/manifest.hpp"
+#include "vbr/sweep/sweep_plan.hpp"
+#include "vbr/sweep/worker.hpp"
+
+namespace vbr::sweep {
+namespace {
+
+/// A manifest path under the test temp dir, removed on destruction.
+class TempManifest {
+ public:
+  explicit TempManifest(const std::string& tag)
+      : path_(std::filesystem::temp_directory_path() / ("vbr_sweep_" + tag + ".bin")) {
+    std::filesystem::remove(path_);
+  }
+  ~TempManifest() { std::filesystem::remove(path_); }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// A grid small enough that fork-per-cell tests stay fast.
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.queues = {QueueKind::kFluid, QueueKind::kFbm};
+  grid.hursts = {0.7, 0.9};
+  grid.utilizations = {0.8};
+  grid.buffer_ms = {10.0};
+  grid.sources = {1};
+  grid.frames_per_source = 256;
+  grid.seed = 1994;
+  return grid;
+}
+
+CellResult sample_result() {
+  CellResult r;
+  r.mean_rate_bps = 5.3e6;
+  r.capacity_bps = 6.6e6;
+  r.buffer_bytes = 8192.0;
+  r.loss_rate = 1.25e-3;
+  r.mean_queue_bytes = 900.0;
+  r.max_queue_bytes = 8192.0;
+  return r;
+}
+
+CellRecord done_record(std::uint64_t index) {
+  CellRecord record;
+  record.cell_index = index;
+  record.status = CellStatus::kDone;
+  record.result = sample_result();
+  return record;
+}
+
+CellRecord quarantined_record(std::uint64_t index) {
+  CellRecord record;
+  record.cell_index = index;
+  record.status = CellStatus::kQuarantined;
+  record.failure.kind = FailureKind::kHang;
+  record.failure.term_signal = SIGKILL;
+  record.failure.attempts = 3;
+  record.failure.max_rss_kib = 5120;
+  record.failure.wall_seconds = 1.5;
+  record.failure.message = "watchdog deadline exceeded";
+  record.failure.stderr_tail = "some stderr noise";
+  return record;
+}
+
+SweepManifest sample_manifest() {
+  SweepManifest manifest;
+  manifest.fingerprint = 0xfeedfacecafebeefULL;
+  manifest.total_cells = 6;
+  manifest.records.push_back(done_record(0));
+  manifest.records.push_back(quarantined_record(2));
+  manifest.records.push_back(done_record(5));
+  return manifest;
+}
+
+// ---------------------------------------------------------------------------
+// Grid enumeration and seeds
+
+TEST(SweepPlan, CellCountIsCrossProduct) {
+  SweepGrid grid = small_grid();
+  EXPECT_EQ(cell_count(grid), 2u * 2u * 1u * 1u * 1u);
+  grid.utilizations = {0.5, 0.7, 0.9};
+  grid.sources = {1, 4};
+  EXPECT_EQ(cell_count(grid), 2u * 2u * 3u * 1u * 2u);
+}
+
+TEST(SweepPlan, CellAtEnumeratesRowMajorSourcesFastest) {
+  SweepGrid grid = small_grid();
+  grid.sources = {1, 4};
+  const CellSpec first = cell_at(grid, 0);
+  const CellSpec second = cell_at(grid, 1);
+  EXPECT_EQ(first.num_sources, 1u);
+  EXPECT_EQ(second.num_sources, 4u);
+  EXPECT_EQ(first.queue, second.queue);
+  EXPECT_EQ(first.hurst, second.hurst);
+
+  const std::size_t cells = cell_count(grid);
+  const CellSpec last = cell_at(grid, cells - 1);
+  EXPECT_EQ(last.queue, QueueKind::kFbm);
+  EXPECT_EQ(last.hurst, 0.9);
+  EXPECT_EQ(last.num_sources, 4u);
+  EXPECT_EQ(last.cell_index, cells - 1);
+}
+
+TEST(SweepPlan, CellSeedsAreDistinctAndDeterministic) {
+  SweepGrid grid = small_grid();
+  grid.utilizations = {0.5, 0.7, 0.9};
+  const std::vector<std::uint64_t> seeds = derive_cell_seeds(grid);
+  ASSERT_EQ(seeds.size(), cell_count(grid));
+  const std::set<std::uint64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), seeds.size());
+  EXPECT_EQ(derive_cell_seeds(grid), seeds);
+
+  grid.seed += 1;
+  EXPECT_NE(derive_cell_seeds(grid), seeds);
+}
+
+TEST(SweepPlan, FingerprintCoversEverySemanticAxis) {
+  const SweepGrid base = small_grid();
+  const std::uint64_t fp = sweep_fingerprint(base);
+  EXPECT_EQ(sweep_fingerprint(base), fp);
+
+  SweepGrid grid = base;
+  grid.hursts[0] = 0.75;
+  EXPECT_NE(sweep_fingerprint(grid), fp);
+  grid = base;
+  grid.seed += 1;
+  EXPECT_NE(sweep_fingerprint(grid), fp);
+  grid = base;
+  grid.frames_per_source += 1;
+  EXPECT_NE(sweep_fingerprint(grid), fp);
+  grid = base;
+  grid.queues = {QueueKind::kFbm, QueueKind::kFluid};
+  EXPECT_NE(sweep_fingerprint(grid), fp);
+}
+
+TEST(SweepPlan, ValidateRejectsBadGrids) {
+  SweepGrid grid = small_grid();
+  grid.hursts = {};
+  EXPECT_THROW(grid.validate(), InvalidArgument);
+  grid = small_grid();
+  grid.hursts = {1.5};
+  EXPECT_THROW(grid.validate(), InvalidArgument);
+  grid = small_grid();
+  grid.utilizations = {0.0};
+  EXPECT_THROW(grid.validate(), InvalidArgument);
+  grid = small_grid();
+  grid.buffer_ms = {-1.0};
+  EXPECT_THROW(grid.validate(), InvalidArgument);
+  grid = small_grid();
+  grid.sources = {0};
+  EXPECT_THROW(grid.validate(), InvalidArgument);
+  grid = small_grid();
+  grid.frames_per_source = 1;
+  EXPECT_THROW(grid.validate(), InvalidArgument);
+}
+
+TEST(SweepPlan, QueueKindNamesRoundTrip) {
+  for (QueueKind kind : {QueueKind::kFluid, QueueKind::kCell, QueueKind::kFbm}) {
+    EXPECT_EQ(parse_queue_kind(queue_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_queue_kind("token-bucket"), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Cell evaluation
+
+TEST(CellEval, EvaluationIsDeterministic) {
+  SweepGrid grid = small_grid();
+  for (std::size_t index = 0; index < cell_count(grid); ++index) {
+    CellSpec spec = cell_at(grid, index);
+    spec.seed = derive_cell_seeds(grid)[index];
+    const CellResult a = evaluate_cell(spec);
+    const CellResult b = evaluate_cell(spec);
+    EXPECT_EQ(a, b) << "cell " << index;
+    EXPECT_GT(a.mean_rate_bps, 0.0);
+    EXPECT_GT(a.capacity_bps, a.mean_rate_bps);
+  }
+}
+
+TEST(CellEval, ResultSerializationRoundTripsExactly) {
+  const CellResult result = sample_result();
+  std::ostringstream out(std::ios::binary);
+  write_cell_result(out, result);
+  EXPECT_EQ(out.str().size(), kCellResultBytes);
+  std::istringstream in(out.str(), std::ios::binary);
+  EXPECT_EQ(read_cell_result(in, "test"), result);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest round-trip and hostile inputs
+
+TEST(SweepManifestIo, RoundTripsRecordsExactly) {
+  const SweepManifest manifest = sample_manifest();
+  const std::string bytes = encode_manifest(manifest);
+  std::istringstream in(bytes, std::ios::binary);
+  const SweepManifest parsed = parse_manifest(in, "roundtrip");
+
+  EXPECT_EQ(parsed.fingerprint, manifest.fingerprint);
+  EXPECT_EQ(parsed.total_cells, manifest.total_cells);
+  ASSERT_EQ(parsed.records.size(), manifest.records.size());
+  EXPECT_EQ(parsed.records[0].status, CellStatus::kDone);
+  EXPECT_EQ(parsed.records[0].result, manifest.records[0].result);
+  EXPECT_EQ(parsed.records[1].status, CellStatus::kQuarantined);
+  EXPECT_EQ(parsed.records[1].failure.kind, FailureKind::kHang);
+  EXPECT_EQ(parsed.records[1].failure.term_signal, SIGKILL);
+  EXPECT_EQ(parsed.records[1].failure.message, "watchdog deadline exceeded");
+  EXPECT_EQ(parsed.records[1].failure.stderr_tail, "some stderr noise");
+  EXPECT_EQ(parsed.records[2].cell_index, 5u);
+}
+
+TEST(SweepManifestIo, RejectsEveryTruncationPoint) {
+  const std::string bytes = encode_manifest(sample_manifest());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::istringstream in(bytes.substr(0, cut), std::ios::binary);
+    EXPECT_THROW(parse_manifest(in, "truncated"), IoError) << "cut at " << cut;
+  }
+}
+
+TEST(SweepManifestIo, RejectsEveryByteFlip) {
+  const std::string bytes = encode_manifest(sample_manifest());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x20);
+    std::istringstream in(corrupt, std::ios::binary);
+    EXPECT_THROW(parse_manifest(in, "flipped"), IoError) << "flip at " << i;
+  }
+}
+
+TEST(SweepManifestIo, RejectsNonIncreasingCellIndexes) {
+  SweepManifest manifest = sample_manifest();
+  manifest.records[1].cell_index = 0;  // duplicates record 0
+  const std::string bytes = encode_manifest(manifest);
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(parse_manifest(in, "dup"), IoError);
+}
+
+TEST(SweepManifestIo, RejectsOutOfRangeCellIndex) {
+  SweepManifest manifest = sample_manifest();
+  manifest.records[2].cell_index = manifest.total_cells;
+  const std::string bytes = encode_manifest(manifest);
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(parse_manifest(in, "range"), IoError);
+}
+
+TEST(SweepManifestIo, RejectsTrailingBytes) {
+  std::string bytes = encode_manifest(sample_manifest());
+  bytes.push_back('\0');
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(parse_manifest(in, "trailing"), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// Worker frame protocol
+
+TEST(WorkerFrames, ResultFrameRoundTrips) {
+  const CellResult result = sample_result();
+  const WorkerMessage message = parse_worker_message(encode_worker_result(result));
+  ASSERT_TRUE(message.is_result);
+  EXPECT_EQ(message.result, result);
+}
+
+TEST(WorkerFrames, FailureFrameRoundTrips) {
+  const WorkerMessage message = parse_worker_message(
+      encode_worker_failure(FailureKind::kOom, "allocation failed"));
+  ASSERT_FALSE(message.is_result);
+  EXPECT_EQ(message.kind, FailureKind::kOom);
+  EXPECT_EQ(message.message, "allocation failed");
+}
+
+TEST(WorkerFrames, RejectsTornAndForgedFrames) {
+  const std::string frame = encode_worker_result(sample_result());
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_THROW(parse_worker_message(frame.substr(0, cut)), IoError);
+  }
+  std::string flipped = frame;
+  flipped[frame.size() - 1] = static_cast<char>(flipped[frame.size() - 1] ^ 1);
+  EXPECT_THROW(parse_worker_message(flipped), IoError);
+  std::string trailing = frame;
+  trailing.push_back('x');
+  EXPECT_THROW(parse_worker_message(trailing), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// Fault decisions
+
+TEST(FaultPlan, PoisonAlwaysFires) {
+  SweepFaultPlan faults;
+  faults.poison = {3};
+  for (std::size_t attempt = 1; attempt <= 5; ++attempt) {
+    EXPECT_EQ(fault_for_attempt(faults, 3, attempt), InjectedFault::kPoison);
+  }
+  EXPECT_EQ(fault_for_attempt(faults, 2, 1), InjectedFault::kNone);
+}
+
+TEST(FaultPlan, RateFaultsOnlyOnFirstAttempt) {
+  SweepFaultPlan faults;
+  faults.rate = 1.0;
+  faults.seed = 42;
+  for (std::uint64_t cell = 0; cell < 16; ++cell) {
+    EXPECT_NE(fault_for_attempt(faults, cell, 1), InjectedFault::kNone);
+    EXPECT_EQ(fault_for_attempt(faults, cell, 2), InjectedFault::kNone);
+  }
+}
+
+TEST(FaultPlan, DecisionIsDeterministicAndSeedSensitive) {
+  SweepFaultPlan faults;
+  faults.rate = 0.5;
+  faults.seed = 7;
+  std::vector<InjectedFault> first;
+  for (std::uint64_t cell = 0; cell < 64; ++cell) {
+    first.push_back(fault_for_attempt(faults, cell, 1));
+  }
+  std::vector<InjectedFault> second;
+  for (std::uint64_t cell = 0; cell < 64; ++cell) {
+    second.push_back(fault_for_attempt(faults, cell, 1));
+  }
+  EXPECT_EQ(first, second);
+
+  faults.seed = 8;
+  std::vector<InjectedFault> reseeded;
+  for (std::uint64_t cell = 0; cell < 64; ++cell) {
+    reseeded.push_back(fault_for_attempt(faults, cell, 1));
+  }
+  EXPECT_NE(first, reseeded);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor end-to-end (forks real workers)
+
+SweepOptions base_options(const TempManifest& manifest) {
+  SweepOptions options;
+  options.grid = small_grid();
+  options.manifest_path = manifest.path();
+  options.limits.worker.deadline_seconds = 30.0;
+  options.limits.max_attempts = 3;
+  return options;
+}
+
+TEST(Supervisor, CleanSweepCompletesEveryCell) {
+  TempManifest manifest("clean");
+  SweepOptions options = base_options(manifest);
+  std::size_t callbacks = 0;
+  options.on_cell_settled = [&](const CellRecord&) { callbacks += 1; };
+
+  const SweepReport report = run_sweep(options);
+  EXPECT_EQ(report.total_cells, 4u);
+  EXPECT_EQ(report.completed, 4u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(report.retried_attempts, 0u);
+  EXPECT_EQ(callbacks, 4u);
+  EXPECT_TRUE(std::filesystem::exists(manifest.path()));
+
+  // Every record's result matches an in-process evaluation of the same spec:
+  // process isolation must not change a single bit.
+  const std::vector<std::uint64_t> seeds = derive_cell_seeds(options.grid);
+  for (const CellRecord& record : report.records) {
+    CellSpec spec = cell_at(options.grid, record.cell_index);
+    spec.seed = seeds[record.cell_index];
+    EXPECT_EQ(record.result, evaluate_cell(spec));
+  }
+}
+
+TEST(Supervisor, InjectedFaultsAreHealedByRetryBitIdentically) {
+  TempManifest clean_manifest("ref");
+  SweepOptions clean = base_options(clean_manifest);
+  const SweepReport reference = run_sweep(clean);
+
+  TempManifest faulted_manifest("faulted");
+  SweepOptions faulted = base_options(faulted_manifest);
+  faulted.limits.worker.deadline_seconds = 3.0;
+  faulted.limits.worker.memory_bytes = std::uint64_t{512} << 20;
+  faulted.faults.rate = 1.0;  // every cell's first attempt faults
+  faulted.faults.seed = 42;
+  const SweepReport report = run_sweep(faulted);
+
+  EXPECT_EQ(report.completed, report.total_cells);
+  EXPECT_GE(report.retried_attempts, report.total_cells);
+  EXPECT_EQ(report.results_hash, reference.results_hash);
+}
+
+TEST(Supervisor, PoisonCellIsQuarantinedWithoutBlockingOthers) {
+  TempManifest manifest("poison");
+  SweepOptions options = base_options(manifest);
+  options.faults.poison = {1};
+
+  const SweepReport report = run_sweep(options);
+  EXPECT_EQ(report.completed, report.total_cells - 1);
+  EXPECT_EQ(report.quarantined, 1u);
+  const CellRecord& bad = report.records[1];
+  EXPECT_EQ(bad.cell_index, 1u);
+  EXPECT_EQ(bad.status, CellStatus::kQuarantined);
+  EXPECT_EQ(bad.failure.kind, FailureKind::kError);
+  // Deterministic errors must not burn the retry budget.
+  EXPECT_EQ(bad.failure.attempts, 1u);
+  EXPECT_NE(bad.failure.message.find("poison"), std::string::npos);
+}
+
+TEST(Supervisor, CrashOnFirstAttemptIsRetriedAndHealed) {
+  TempManifest manifest("crashy");
+  SweepOptions options = base_options(manifest);
+  options.grid.queues = {QueueKind::kFbm};
+  options.grid.hursts = {0.8};
+  options.limits.max_attempts = 2;
+  options.faults.rate = 1.0;
+  options.faults.hang = false;
+  options.faults.oom = false;
+
+  const SweepReport report = run_sweep(options);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.retried_attempts, 1u);
+  EXPECT_EQ(report.quarantined, 0u);
+}
+
+TEST(Supervisor, HangIsKilledByWatchdogAndRetried) {
+  TempManifest manifest("hang");
+  SweepOptions options = base_options(manifest);
+  options.grid.queues = {QueueKind::kFbm};
+  options.grid.hursts = {0.8};
+  options.limits.worker.deadline_seconds = 1.0;
+  options.faults.rate = 1.0;
+  options.faults.crash = false;
+  options.faults.oom = false;
+
+  const SweepReport report = run_sweep(options);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.retried_attempts, 1u);
+}
+
+TEST(Supervisor, OomUnderMemoryCeilingIsRetried) {
+  TempManifest manifest("oom");
+  SweepOptions options = base_options(manifest);
+  options.grid.queues = {QueueKind::kFbm};
+  options.grid.hursts = {0.8};
+  options.limits.worker.memory_bytes = std::uint64_t{512} << 20;
+  options.faults.rate = 1.0;
+  options.faults.crash = false;
+  options.faults.hang = false;
+
+  const SweepReport report = run_sweep(options);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.retried_attempts, 1u);
+}
+
+TEST(Supervisor, ResumeSalvagesSettledCellsBitIdentically) {
+  TempManifest reference_manifest("resume_ref");
+  SweepOptions reference_options = base_options(reference_manifest);
+  const SweepReport reference = run_sweep(reference_options);
+
+  // Simulate a supervisor killed mid-sweep: a manifest holding only the
+  // first two settled records.
+  TempManifest partial("resume_partial");
+  {
+    SweepManifest half;
+    half.fingerprint = sweep_fingerprint(reference_options.grid);
+    half.total_cells = reference.total_cells;
+    half.records.assign(reference.records.begin(), reference.records.begin() + 2);
+    save_manifest(partial.path(), half, false);
+  }
+
+  SweepOptions resumed_options = base_options(partial);
+  resumed_options.manifest_path = partial.path();
+  resumed_options.resume = true;
+  const SweepReport resumed = run_sweep(resumed_options);
+
+  EXPECT_EQ(resumed.resumed_cells, 2u);
+  EXPECT_EQ(resumed.completed, reference.completed);
+  EXPECT_EQ(resumed.results_hash, reference.results_hash);
+
+  // The resumed manifest reloads to the full record set.
+  const SweepManifest final_manifest = load_manifest(partial.path());
+  EXPECT_EQ(final_manifest.records.size(), reference.records.size());
+}
+
+TEST(Supervisor, ResumeRejectsManifestFromDifferentGrid) {
+  TempManifest manifest("fingerprint");
+  SweepOptions options = base_options(manifest);
+  (void)run_sweep(options);
+
+  SweepOptions other = options;
+  other.grid.hursts = {0.6, 0.85};
+  other.resume = true;
+  EXPECT_THROW(run_sweep(other), IoError);
+}
+
+TEST(Supervisor, UnsafeFaultPlansAreRejected) {
+  TempManifest manifest("unsafe");
+  SweepOptions options = base_options(manifest);
+  options.faults.rate = 0.5;
+  options.faults.crash = false;
+  options.faults.hang = false;
+  options.faults.oom = true;  // but no memory ceiling
+  EXPECT_THROW(run_sweep(options), InvalidArgument);
+
+  options.faults.oom = false;
+  options.faults.hang = true;
+  options.limits.worker.deadline_seconds = 0.0;  // but no watchdog
+  EXPECT_THROW(run_sweep(options), InvalidArgument);
+}
+
+TEST(Supervisor, ResultsHashIgnoresNondeterministicDiagnostics) {
+  std::vector<CellRecord> a{done_record(0), quarantined_record(1)};
+  std::vector<CellRecord> b{done_record(0), quarantined_record(1)};
+  b[1].failure.max_rss_kib += 1234;
+  b[1].failure.wall_seconds *= 2.0;
+  b[1].failure.stderr_tail = "different noise";
+  EXPECT_EQ(results_hash(a), results_hash(b));
+
+  b[1].status = CellStatus::kDone;
+  EXPECT_NE(results_hash(a), results_hash(b));
+}
+
+}  // namespace
+}  // namespace vbr::sweep
