@@ -9,30 +9,68 @@
 //
 // Usage:
 //   ./generate_many [sources] [frames] [H] [threads] [seed] [utilization]
+//   ./generate_many --plan <file> [utilization]
 // Defaults: 16 sources x 32768 frames, H = 0.8, all cores, seed 1994, 80%.
+// The --plan form reads the key=value plan text of plan_text.hpp, including
+// generator selection by zoo registry name (generator=paxson etc.).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "vbr/common/error.hpp"
 #include "vbr/engine/engine.hpp"
+#include "vbr/engine/plan_text.hpp"
+#include "vbr/model/fgn_generator.hpp"
 #include "vbr/net/fluid_queue.hpp"
 
 int main(int argc, char** argv) {
   vbr::engine::GenerationPlan plan;
-  plan.num_sources = (argc > 1) ? std::stoul(argv[1]) : 16;
-  plan.frames_per_source = (argc > 2) ? std::stoul(argv[2]) : 32768;
-  plan.params.hurst = (argc > 3) ? std::stod(argv[3]) : 0.8;
-  plan.threads = (argc > 4) ? std::stoul(argv[4]) : 0;
-  plan.seed = (argc > 5) ? std::stoull(argv[5]) : 1994;
-  const double utilization = (argc > 6) ? std::stod(argv[6]) : 0.8;
-  plan.params.marginal.mu_gamma = 27791.0;
-  plan.params.marginal.sigma_gamma = 6254.0;
-  plan.params.marginal.tail_slope = 12.0;
+  double utilization = 0.8;
+  if (argc > 1 && std::string(argv[1]) == "--plan") {
+    if (argc < 3) {
+      std::fprintf(stderr, "--plan needs a file argument\n");
+      return EXIT_FAILURE;
+    }
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open plan file %s\n", argv[2]);
+      return EXIT_FAILURE;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      plan = vbr::engine::parse_plan_text(text.str());
+    } catch (const vbr::Error& e) {
+      std::fprintf(stderr, "bad plan file %s: %s\n", argv[2], e.what());
+      return EXIT_FAILURE;
+    }
+    if (argc > 3) utilization = std::stod(argv[3]);
+    if (plan.frames_per_source == 0) plan.frames_per_source = 32768;
+    // Fill the paper's Star Wars marginal for any parameter the file left
+    // at the (invalid) zero default.
+    if (plan.params.marginal.mu_gamma == 0.0) plan.params.marginal.mu_gamma = 27791.0;
+    if (plan.params.marginal.sigma_gamma == 0.0) plan.params.marginal.sigma_gamma = 6254.0;
+    if (plan.params.marginal.tail_slope == 0.0) plan.params.marginal.tail_slope = 12.0;
+  } else {
+    plan.num_sources = (argc > 1) ? std::stoul(argv[1]) : 16;
+    plan.frames_per_source = (argc > 2) ? std::stoul(argv[2]) : 32768;
+    plan.params.hurst = (argc > 3) ? std::stod(argv[3]) : 0.8;
+    plan.threads = (argc > 4) ? std::stoul(argv[4]) : 0;
+    plan.seed = (argc > 5) ? std::stoull(argv[5]) : 1994;
+    if (argc > 6) utilization = std::stod(argv[6]);
+    plan.params.marginal.mu_gamma = 27791.0;
+    plan.params.marginal.sigma_gamma = 6254.0;
+    plan.params.marginal.tail_slope = 12.0;
+  }
 
-  std::printf("Generating %zu independent sources x %zu frames (H=%.2f, seed=%llu)...\n",
-              plan.num_sources, plan.frames_per_source, plan.params.hurst,
-              static_cast<unsigned long long>(plan.seed));
+  std::printf(
+      "Generating %zu independent sources x %zu frames (H=%.2f, seed=%llu, %s)...\n",
+      plan.num_sources, plan.frames_per_source, plan.params.hurst,
+      static_cast<unsigned long long>(plan.seed),
+      vbr::model::generator_backend_name(plan.resolved_backend()));
 
   const auto trace = vbr::engine::generate_sources(plan);
   const auto& stats = trace.stats;

@@ -1,0 +1,55 @@
+// Fuzz harness: the plan-text parser (engine/plan_text.hpp), the surface the
+// generate_many --plan flag hands to arbitrary user files.
+//
+// The invariant under test: for any input text, parse_plan_text() either
+// throws vbr::InvalidArgument or returns a GenerationPlan whose documented
+// field invariants hold (positive counts, H strictly inside (0, 1), a
+// generator name that resolves in the zoo registry) AND whose canonical text
+// form round-trips — format_plan_text() of the result re-parses to a plan
+// with the identical checkpoint fingerprint. Anything else — a crash, any
+// other exception type, a partially-filled plan smuggled out, a plan whose
+// own formatting it rejects — is a bug.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "vbr/common/error.hpp"
+#include "vbr/engine/engine.hpp"
+#include "vbr/engine/plan_text.hpp"
+#include "vbr/model/fgn_generator.hpp"
+#include "vbr/run/checkpoint.hpp"
+
+namespace {
+
+void check_invariants(const vbr::engine::GenerationPlan& plan) {
+  if (plan.num_sources < 1) std::abort();
+  if (!(plan.params.hurst > 0.0 && plan.params.hurst < 1.0)) std::abort();
+  // A successfully parsed generator name must resolve (parse validates it).
+  if (!plan.generator.empty() &&
+      plan.generator != vbr::model::generator_backend_name(plan.resolved_backend())) {
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const vbr::engine::GenerationPlan plan = vbr::engine::parse_plan_text(text);
+    check_invariants(plan);
+
+    // Round trip through the canonical form: must re-parse (a reject here
+    // means format emits text parse refuses) and preserve the fingerprint.
+    const vbr::engine::GenerationPlan again =
+        vbr::engine::parse_plan_text(vbr::engine::format_plan_text(plan));
+    if (vbr::run::plan_fingerprint(plan, 1.0, "fuzz") !=
+        vbr::run::plan_fingerprint(again, 1.0, "fuzz")) {
+      std::abort();
+    }
+  } catch (const vbr::InvalidArgument&) {
+    // Malformed plan text: the documented rejection path.
+  }
+  return 0;
+}

@@ -76,7 +76,7 @@ if [[ $run_fuzz -eq 1 ]]; then
   # accepts the same flags, so this line works with either toolchain.
   for pair in huffman_decode:huffman rle_decode:rle trace_io:trace_io \
               stream_reader:stream_reader checkpoint:checkpoint \
-              sweep_manifest:sweep_manifest; do
+              sweep_manifest:sweep_manifest generation_plan:generation_plan; do
     harness="${pair%%:*}" corpus="${pair##*:}"
     ./build-fuzz/fuzz/fuzz_"$harness" fuzz/corpus/"$corpus" -runs=12000 -seed=1
   done

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Schema smoke-check for BENCH_generator_pareto.json.
+
+CI runs bench_generator_pareto at reduced scale and then this script, so a
+refactor that silently drops a field, emits malformed JSON, or records an
+out-of-domain number fails the build — the recorded artifact in results/
+and any downstream plotting stay parseable. Usage:
+
+    python3 scripts/check_bench_schema.py path/to/BENCH_generator_pareto.json
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"schema check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_number(obj, key, lo=None, hi=None, ctx=""):
+    require(key in obj, f"missing key '{key}' {ctx}")
+    v = obj[key]
+    require(isinstance(v, (int, float)) and not isinstance(v, bool),
+            f"'{key}' is not a number {ctx}")
+    if lo is not None:
+        require(v >= lo, f"'{key}' = {v} below {lo} {ctx}")
+    if hi is not None:
+        require(v <= hi, f"'{key}' = {v} above {hi} {ctx}")
+    return v
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("expected exactly one argument: path to BENCH_generator_pareto.json")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {sys.argv[1]}: {e}")
+
+    require(doc.get("bench") == "generator_pareto", "bench name mismatch")
+    require(doc.get("contracts") in ("on", "off"), "contracts must be on/off")
+    check_number(doc, "frames", lo=1)
+    check_number(doc, "reps", lo=1)
+    check_number(doc, "fidelity_frames", lo=32)
+    check_number(doc, "timing_hurst", lo=0.0, hi=1.0)
+
+    gens = doc.get("generators")
+    require(isinstance(gens, list) and gens, "'generators' must be a non-empty list")
+    names = [g.get("name") for g in gens]
+    require(len(set(names)) == len(names), "duplicate generator names")
+    expected = {"davies-harte", "hosking", "paxson", "onoff"}
+    require(expected <= set(names),
+            f"zoo registry incomplete: missing {expected - set(names)}")
+
+    for g in gens:
+        ctx = f"(generator {g.get('name')})"
+        require(isinstance(g.get("exact"), bool), f"'exact' not bool {ctx}")
+        require(g.get("covariance") in ("farima", "fgn"), f"bad covariance {ctx}")
+        require(isinstance(g.get("pareto_optimal"), bool),
+                f"'pareto_optimal' not bool {ctx}")
+        check_number(g, "timing_frames", lo=1, ctx=ctx)
+        check_number(g, "fidelity_frames", lo=32, ctx=ctx)
+        check_number(g, "cold_ms_median", lo=0.0, ctx=ctx)
+        check_number(g, "warm_ms_median", lo=0.0, ctx=ctx)
+        check_number(g, "frames_per_second_cold", lo=1, ctx=ctx)
+        check_number(g, "max_whittle_error", lo=0.0, hi=1.0, ctx=ctx)
+        check_number(g, "max_gaussian_ks", lo=0.0, hi=1.0, ctx=ctx)
+        check_number(g, "max_acf_rms_error", lo=0.0, ctx=ctx)
+        fid = g.get("fidelity")
+        require(isinstance(fid, list) and len(fid) == 3,
+                f"'fidelity' must list the three H targets {ctx}")
+        targets = []
+        for row in fid:
+            targets.append(check_number(row, "target_hurst", lo=0.0, hi=1.0, ctx=ctx))
+            check_number(row, "whittle_hurst", lo=0.0, hi=1.0, ctx=ctx)
+            check_number(row, "vt_hurst", lo=0.0, hi=1.5, ctx=ctx)
+            check_number(row, "gaussian_ks", lo=0.0, hi=1.0, ctx=ctx)
+            check_number(row, "acf_rms_error", lo=0.0, ctx=ctx)
+            check_number(row, "sample_variance", lo=0.0, ctx=ctx)
+        require(targets == [0.6, 0.75, 0.9], f"unexpected H grid {targets} {ctx}")
+
+    require(any(g["pareto_optimal"] for g in gens),
+            "no generator marked pareto_optimal — the front cannot be empty")
+
+    c = doc.get("constraints")
+    require(isinstance(c, dict), "missing 'constraints' object")
+    require(isinstance(c.get("enforced"), bool), "'enforced' not bool")
+    check_number(c, "paxson_speedup_min", lo=1.0)
+    check_number(c, "paxson_cold_speedup", lo=0.0)
+    check_number(c, "whittle_tolerance", lo=0.0, hi=1.0)
+    require(isinstance(c.get("paxson_speedup_ok"), bool), "'paxson_speedup_ok' not bool")
+    require(isinstance(c.get("paxson_whittle_ok"), bool), "'paxson_whittle_ok' not bool")
+    if c["enforced"]:
+        require(c["paxson_speedup_ok"] and c["paxson_whittle_ok"],
+                "enforced constraints recorded as failing")
+
+    print(f"schema check OK: {sys.argv[1]} ({len(gens)} generators)")
+
+
+if __name__ == "__main__":
+    main()

@@ -67,10 +67,15 @@ ATOMIC_WRITE_ALLOWLIST = {"src/vbr/common/atomic_file.cpp"}
 
 # R3: files with reviewed, synchronization-guarded static state.
 #   davies_harte.cpp — the mutex-guarded eigenvalue cache
+#   paxson_fgn.cpp   — the mutex-guarded spectrum cache (same pattern:
+#                      compute outside the lock, first insert wins)
+#   fft_fast.cpp     — the mutex-guarded twiddle-plan cache (same pattern)
 #   dct.cpp          — `static const` basis (const, listed for the declaration
 #                      form `static const Basis b;` inside a function)
 MUTABLE_STATIC_ALLOWLIST = {
     "src/vbr/model/davies_harte.cpp",
+    "src/vbr/model/paxson_fgn.cpp",
+    "src/vbr/common/fft_fast.cpp",
 }
 
 

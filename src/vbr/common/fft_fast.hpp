@@ -1,0 +1,34 @@
+// Table-driven power-of-two FFT kernels for throughput-critical paths.
+//
+// fft.cpp's kernels generate stage twiddles by serial complex multiplication
+// (w *= wlen), which is a long floating-point dependency chain — correct, but
+// several times slower than reading precomputed std::polar() tables, and the
+// two evaluation orders differ in the last ulps. The outputs of fft.cpp are
+// pinned by golden determinism hashes (Davies-Harte -> engine trace hashes),
+// so they cannot change; this header is the separate opt-in fast path for new
+// code with no bit-compatibility burden (Paxson synthesis, future SIMD work).
+//
+// Same transform and normalization contract as irfft(); results agree with
+// irfft() to ~1e-12 relative, not bit-for-bit.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace vbr {
+
+/// Inverse real FFT for power-of-two n >= 2. `spectrum` holds the
+/// non-redundant half, exactly n/2 + 1 coefficients, and the conjugate
+/// mirror is implied; includes the 1/n normalization, matching irfft().
+/// Twiddle tables are cached per n, process-wide and thread-safe.
+std::vector<double> fast_irfft_pow2(const std::vector<std::complex<double>>& spectrum,
+                                    std::size_t n);
+
+/// Number of cached twiddle plans (tests/diagnostics).
+std::size_t fast_fft_plan_cache_size();
+
+/// Drop every cached twiddle plan (tests; e.g. forcing a cold-cache timing).
+void fast_fft_plan_cache_clear();
+
+}  // namespace vbr

@@ -7,9 +7,14 @@
 #include "vbr/common/error.hpp"
 #include "vbr/common/math_util.hpp"
 #include "vbr/engine/thread_pool.hpp"
+#include "vbr/model/fgn_generator.hpp"
 #include "vbr/stream/sink.hpp"
 
 namespace vbr::engine {
+
+model::GeneratorBackend GenerationPlan::resolved_backend() const {
+  return generator.empty() ? backend : model::generator_backend_from_name(generator);
+}
 
 std::vector<double> MultiSourceTrace::aggregate() const {
   // Quarantined sources leave empty slots; they contribute nothing to the
@@ -142,7 +147,7 @@ MultiSourceTrace generate_sources(const GenerationPlan& plan, stream::Sink* tap,
   const auto t0 = std::chrono::steady_clock::now();
   SourceBatch batch = generate_source_batch(
       model, streams, /*first_index=*/0, plan.frames_per_source, plan.variant,
-      plan.backend, threads, tap, policy);
+      plan.resolved_backend(), threads, tap, policy);
   const auto t1 = std::chrono::steady_clock::now();
 
   // In-order reduction keeps the tap independent of scheduling; quarantined

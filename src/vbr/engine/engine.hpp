@@ -40,8 +40,20 @@ struct GenerationPlan {
   model::VbrModelParams params;
   model::ModelVariant variant = model::ModelVariant::kFull;
   model::GeneratorBackend backend = model::GeneratorBackend::kDaviesHarte;
+  /// Zoo registry name (fgn_generator.hpp) selecting the LRD generator; when
+  /// non-empty it takes precedence over `backend`. The plan-text form and
+  /// CLI surfaces set this; programmatic callers may keep using the enum.
+  std::string generator;
   /// Worker threads; 0 means hardware concurrency. Never affects output.
   std::size_t threads = 0;
+
+  /// The backend this plan actually runs: `generator` resolved through the
+  /// zoo registry when set, else `backend`. Everything that consumes a plan
+  /// — the engine, the campaign runner, the checkpoint fingerprint — goes
+  /// through this, so a name-selected plan and its enum-selected twin are
+  /// interchangeable (identical output and fingerprint). Throws
+  /// vbr::InvalidArgument on an unknown name.
+  model::GeneratorBackend resolved_backend() const;
 };
 
 /// How the engine responds when a source's generation or tap fails.

@@ -1,0 +1,146 @@
+#include "vbr/engine/plan_text.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "vbr/common/error.hpp"
+#include "vbr/model/fgn_generator.hpp"
+
+namespace vbr::engine {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw InvalidArgument("plan text line " + std::to_string(line) + ": " + what);
+}
+
+std::uint64_t parse_u64(std::string_view value, std::size_t line, const char* key) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    fail(line, std::string(key) + " wants an unsigned integer, got \"" +
+                   std::string(value) + "\"");
+  }
+  return out;
+}
+
+double parse_f64(std::string_view value, std::size_t line, const char* key) {
+  // std::from_chars<double> is the strict full-consumption parse; strtod
+  // would silently accept trailing garbage and locale-dependent forms.
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size() || !std::isfinite(out)) {
+    fail(line, std::string(key) + " wants a finite number, got \"" +
+                   std::string(value) + "\"");
+  }
+  return out;
+}
+
+model::ModelVariant parse_variant(std::string_view value, std::size_t line) {
+  if (value == "full") return model::ModelVariant::kFull;
+  if (value == "gaussian-farima") return model::ModelVariant::kGaussianFarima;
+  if (value == "iid-gamma-pareto") return model::ModelVariant::kIidGammaPareto;
+  fail(line, "unknown variant \"" + std::string(value) +
+                 "\" (expected full, gaussian-farima, or iid-gamma-pareto)");
+}
+
+const char* variant_name(model::ModelVariant variant) {
+  switch (variant) {
+    case model::ModelVariant::kFull:
+      return "full";
+    case model::ModelVariant::kGaussianFarima:
+      return "gaussian-farima";
+    case model::ModelVariant::kIidGammaPareto:
+      return "iid-gamma-pareto";
+  }
+  throw InvalidArgument("unknown ModelVariant value");
+}
+
+}  // namespace
+
+GenerationPlan parse_plan_text(std::string_view text) {
+  GenerationPlan plan;
+  std::set<std::string, std::less<>> seen;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    const std::size_t eol = text.find('\n');
+    std::string_view line = text.substr(0, eol);
+    text.remove_prefix(eol == std::string_view::npos ? text.size() : eol + 1);
+    ++line_no;
+
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) fail(line_no, "expected key=value");
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) fail(line_no, "empty key");
+    if (value.empty()) fail(line_no, "empty value for \"" + std::string(key) + "\"");
+    if (!seen.emplace(key).second) {
+      fail(line_no, "duplicate key \"" + std::string(key) + "\"");
+    }
+
+    if (key == "sources") {
+      plan.num_sources = parse_u64(value, line_no, "sources");
+      if (plan.num_sources < 1) fail(line_no, "sources must be >= 1");
+    } else if (key == "frames") {
+      plan.frames_per_source = parse_u64(value, line_no, "frames");
+      if (plan.frames_per_source < 1) fail(line_no, "frames must be >= 1");
+    } else if (key == "seed") {
+      plan.seed = parse_u64(value, line_no, "seed");
+    } else if (key == "threads") {
+      plan.threads = parse_u64(value, line_no, "threads");
+    } else if (key == "hurst") {
+      plan.params.hurst = parse_f64(value, line_no, "hurst");
+      if (!(plan.params.hurst > 0.0 && plan.params.hurst < 1.0)) {
+        fail(line_no, "hurst must lie strictly inside (0, 1)");
+      }
+    } else if (key == "mu_gamma") {
+      plan.params.marginal.mu_gamma = parse_f64(value, line_no, "mu_gamma");
+    } else if (key == "sigma_gamma") {
+      plan.params.marginal.sigma_gamma = parse_f64(value, line_no, "sigma_gamma");
+    } else if (key == "tail_slope") {
+      plan.params.marginal.tail_slope = parse_f64(value, line_no, "tail_slope");
+    } else if (key == "variant") {
+      plan.variant = parse_variant(value, line_no);
+    } else if (key == "generator") {
+      // Resolves the registry name now so a typo fails at parse time, not
+      // halfway into a campaign; the name is kept verbatim on the plan and
+      // re-resolved by resolved_backend().
+      plan.backend = model::generator_backend_from_name(value);
+      plan.generator.assign(value);
+    } else {
+      fail(line_no, "unknown key \"" + std::string(key) + "\"");
+    }
+  }
+  return plan;
+}
+
+std::string format_plan_text(const GenerationPlan& plan) {
+  std::ostringstream out;
+  out.precision(17);  // round-trips any double exactly through parse_f64
+  out << "sources=" << plan.num_sources << '\n'
+      << "frames=" << plan.frames_per_source << '\n'
+      << "seed=" << plan.seed << '\n'
+      << "threads=" << plan.threads << '\n'
+      << "hurst=" << plan.params.hurst << '\n'
+      << "mu_gamma=" << plan.params.marginal.mu_gamma << '\n'
+      << "sigma_gamma=" << plan.params.marginal.sigma_gamma << '\n'
+      << "tail_slope=" << plan.params.marginal.tail_slope << '\n'
+      << "variant=" << variant_name(plan.variant) << '\n'
+      << "generator=" << model::generator_backend_name(plan.resolved_backend()) << '\n';
+  return out.str();
+}
+
+}  // namespace vbr::engine

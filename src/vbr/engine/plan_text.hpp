@@ -1,0 +1,41 @@
+// Text form of a GenerationPlan: the human-editable `key=value` format the
+// generate_many example accepts via --plan and the surface the
+// fuzz_generation_plan harness drives.
+//
+// One `key = value` pair per line; blank lines and `#` comments are
+// skipped; whitespace around keys and values is trimmed. Recognized keys:
+//
+//   sources    number of independent sources (>= 1)
+//   frames     frames per source (>= 1)
+//   seed       master seed (unsigned 64-bit)
+//   threads    worker threads (0 = hardware concurrency; never affects output)
+//   hurst      target H, strictly inside (0, 1)
+//   mu_gamma / sigma_gamma / tail_slope   marginal parameters (finite)
+//   variant    full | gaussian-farima | iid-gamma-pareto
+//   generator  a zoo registry name (fgn_generator.hpp): davies-harte,
+//              hosking, paxson, or onoff
+//
+// Every key is optional (defaults are GenerationPlan's), duplicates and
+// unknown keys are rejected, and numeric values must parse in full — a
+// trailing "x" is an error, not ignored. All failures throw
+// vbr::InvalidArgument with the offending line number; a parse never
+// returns a partially-filled plan.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "vbr/engine/engine.hpp"
+
+namespace vbr::engine {
+
+/// Parse the text form. Throws vbr::InvalidArgument on any malformed line,
+/// unknown/duplicate key, out-of-domain value, or unknown generator name.
+GenerationPlan parse_plan_text(std::string_view text);
+
+/// Canonical text form: every key on its own line, generator emitted under
+/// its resolved registry name. Round-trips: parse_plan_text(format_plan_text
+/// (p)) reproduces p's semantic fields (and thus its plan fingerprint).
+std::string format_plan_text(const GenerationPlan& plan);
+
+}  // namespace vbr::engine

@@ -1,0 +1,102 @@
+#include "vbr/model/onoff_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vbr/common/error.hpp"
+
+namespace vbr::model {
+
+double pareto_forward_recurrence(double k, double alpha, Rng& rng) {
+  VBR_ENSURE(k > 0.0 && alpha > 1.0, "forward recurrence needs k > 0 and alpha > 1");
+  // Survival S(u) = 1 for u < k, (k/u)^alpha beyond; the equilibrium
+  // distribution has P(T_e > x) = I(x)/mu with I(x) = integral_x^inf S and
+  // mu = alpha k / (alpha - 1). Invert I(x) = mu (1 - u) piecewise: the
+  // tail region I(x) = k^alpha x^{1-alpha} / (alpha - 1) applies while
+  // I <= k/(alpha-1) (i.e. x >= k), the linear region I(x) = (k - x) +
+  // k/(alpha-1) below it.
+  const double mu = alpha * k / (alpha - 1.0);
+  const double y = mu * (1.0 - rng.uniform());  // in (0, mu]
+  const double knee = k / (alpha - 1.0);
+  if (y <= knee) {
+    return std::pow(std::pow(k, alpha) / ((alpha - 1.0) * y), 1.0 / (alpha - 1.0));
+  }
+  return k + knee - y;
+}
+
+std::vector<double> onoff_aggregate(std::size_t n, const OnOffOptions& options, Rng& rng) {
+  VBR_ENSURE(n >= 1, "cannot generate an empty realization");
+  VBR_ENSURE(options.hurst > 0.5 && options.hurst < 1.0,
+             "on/off superposition needs H in (0.5, 1)");
+  VBR_ENSURE(options.mean_active_sessions > 0.0, "mean active sessions must be positive");
+  VBR_ENSURE(options.min_session_frames > 0.0, "minimum session duration must be positive");
+  VBR_ENSURE(options.variance > 0.0, "variance must be positive");
+  const double sigma = std::sqrt(options.variance);
+  if (n == 1) return {rng.normal(0.0, sigma)};
+
+  const double alpha = 3.0 - 2.0 * options.hurst;  // in (1, 2)
+  const double k = options.min_session_frames;
+  const double mu = alpha * k / (alpha - 1.0);               // mean session duration
+  const double lambda = options.mean_active_sessions / mu;   // arrival rate
+  const double horizon = static_cast<double>(n);
+
+  // Difference array over frame boundaries: a session active on [s, e)
+  // covers the integer sample times ceil(s) .. ceil(e) - 1, so the count at
+  // frame j is the prefix sum of the increments. O(1) per session
+  // regardless of its duration, which matters with infinite-variance
+  // Pareto draws.
+  std::vector<double> diff(n + 1, 0.0);
+  const auto mark = [&](double s, double e) {
+    const auto b0 = static_cast<std::size_t>(std::ceil(s));
+    if (b0 >= n) return;
+    const auto b1 = std::min(static_cast<std::size_t>(std::ceil(std::min(e, horizon))), n);
+    if (b1 <= b0) return;
+    diff[b0] += 1.0;
+    diff[b1] -= 1.0;
+  };
+
+  // Equilibrium initial state: Poisson(lambda mu) sessions already in
+  // progress at time 0 (drawn by accumulating unit exponentials until the
+  // sum exceeds the mean), each with a forward-recurrence residual.
+  std::size_t initial = 0;
+  double acc = rng.exponential(1.0);
+  while (acc <= options.mean_active_sessions) {
+    ++initial;
+    acc += rng.exponential(1.0);
+  }
+  for (std::size_t i = 0; i < initial; ++i) {
+    mark(0.0, pareto_forward_recurrence(k, alpha, rng));
+  }
+
+  // Poisson arrivals over (0, n).
+  double t = rng.exponential(lambda);
+  while (t < horizon) {
+    mark(t, t + rng.pareto(k, alpha));
+    t += rng.exponential(lambda);
+  }
+
+  // Lag-1 calibration (see header). The count covariance is
+  //   gamma(0) = lambda mu,   gamma(tau) = A tau^{1-alpha} for tau >= k,
+  //   A = lambda k^alpha / (alpha - 1),
+  // and adding white noise of variance V - gamma(0) leaves every lag >= 1
+  // untouched while raising the total variance to V = A / rho_1, so the
+  // lag-1 autocorrelation lands exactly on fGn's rho_1 = 2^{2H-1} - 1.
+  // For k >= 1 the required noise variance is provably nonnegative; the
+  // clamp only engages for sub-frame minimum durations (header note).
+  const double tail_a = lambda * std::pow(k, alpha) / (alpha - 1.0);
+  const double rho1 = std::pow(2.0, 2.0 * options.hurst - 1.0) - 1.0;
+  const double total_var = tail_a / rho1;
+  const double noise_sd = std::sqrt(std::max(0.0, total_var - lambda * mu));
+  const double scale = sigma / std::sqrt(total_var);
+
+  std::vector<double> out(n);
+  double count = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    count += diff[j];
+    VBR_DCHECK(count >= 0.0, "negative session count");
+    out[j] = scale * (count - lambda * mu + noise_sd * rng.normal());
+  }
+  return out;
+}
+
+}  // namespace vbr::model

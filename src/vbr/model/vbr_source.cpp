@@ -5,8 +5,7 @@
 
 #include "vbr/common/error.hpp"
 #include "vbr/common/math_util.hpp"
-#include "vbr/model/davies_harte.hpp"
-#include "vbr/model/hosking.hpp"
+#include "vbr/model/fgn_generator.hpp"
 #include "vbr/model/marginal_transform.hpp"
 #include "vbr/stats/whittle.hpp"
 
@@ -59,20 +58,12 @@ std::vector<double> VbrVideoSourceModel::generate(std::size_t n, Rng& rng,
     return out;
   }
 
-  // Gaussian LRD core with zero mean, unit variance.
-  std::vector<double> gaussian;
-  if (backend == GeneratorBackend::kHosking) {
-    HoskingOptions opt;
-    opt.hurst = params_.hurst;
-    gaussian = hosking_farima(n, opt, rng);
-  } else {
-    DaviesHarteOptions opt;
-    opt.hurst = params_.hurst;
-    // The paper's process is fARIMA(0,d,0); keep both backends on the same
-    // covariance so Hosking and Davies-Harte are interchangeable.
-    opt.covariance = CovarianceKind::kFarima;
-    gaussian = davies_harte(n, opt, rng);
-  }
+  // Gaussian(-ish) LRD core with zero mean, unit variance, from the
+  // generator zoo. The exact backends realize the paper's fARIMA(0,d,0)
+  // covariance; the approximate ones target fGn (see fgn_generator.hpp for
+  // the fidelity contract).
+  std::vector<double> gaussian =
+      make_fgn_generator(backend, params_.hurst)->generate(n, rng);
 
   if (variant == ModelVariant::kGaussianFarima) {
     // Gaussian marginals scaled to the trace's mean/stddev; negative frame

@@ -27,10 +27,14 @@ enum class ModelVariant {
   kIidGammaPareto,  ///< i.i.d. Gamma/Pareto: heavy tail only
 };
 
-/// Which Gaussian LRD generator to use underneath.
+/// Which Gaussian(-ish) LRD generator to use underneath. The full zoo —
+/// construction, exactness contract, and registry-name mapping — lives in
+/// fgn_generator.hpp; select by name with generator_backend_from_name().
 enum class GeneratorBackend {
-  kHosking,      ///< the paper's exact O(n^2) recursion
-  kDaviesHarte,  ///< exact O(n log n) circulant embedding
+  kHosking,          ///< the paper's exact O(n^2) recursion
+  kDaviesHarte,      ///< exact O(n log n) circulant embedding
+  kPaxson,           ///< Paxson's approximate spectral synthesis (fast)
+  kAggregatedOnOff,  ///< Pareto-session M/G/inf count (on/off superposition limit)
 };
 
 /// The complete four-parameter model.

@@ -130,7 +130,8 @@ CampaignResult run_campaign(const CampaignOptions& options, stream::Sink* tap) {
             : std::min(options.checkpoint_every_sources, remaining);
     engine::SourceBatch batch = engine::generate_source_batch(
         model, std::span<const Rng>(streams).subspan(next_source, batch_size),
-        next_source, plan.frames_per_source, plan.variant, plan.backend, threads,
+        next_source, plan.frames_per_source, plan.variant, plan.resolved_backend(),
+        threads,
         tap, options.failure);
 
     // Serial, in source order: append to the trace, fold into the hash,

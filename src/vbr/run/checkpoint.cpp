@@ -47,7 +47,10 @@ std::uint64_t plan_fingerprint(const engine::GenerationPlan& plan, double dt_sec
   put_f64(plan.params.marginal.tail_slope);
   put_f64(plan.params.hurst);
   put_u64(static_cast<std::uint64_t>(plan.variant));
-  put_u64(static_cast<std::uint64_t>(plan.backend));
+  // Resolved, not raw: a plan selecting "paxson" by registry name must
+  // fingerprint identically to one selecting GeneratorBackend::kPaxson, or
+  // a resume through the other surface would be rejected.
+  put_u64(static_cast<std::uint64_t>(plan.resolved_backend()));
   put_f64(dt_seconds);
   h.update(unit.data(), unit.size());
   return h.digest();
