@@ -48,8 +48,9 @@ int main() {
     for (std::size_t b = 0; b < bins; ++b) {
       const double mass = hist.mass(b);
       const auto bar = static_cast<int>(mass * 200.0);
-      std::printf("    %6.0f-%6.0f %6.2f%% %.*s\n", hist.lo + hist.bin_width() * b,
-                  hist.lo + hist.bin_width() * (b + 1), 100.0 * mass,
+      std::printf("    %6.0f-%6.0f %6.2f%% %.*s\n",
+                  hist.lo + hist.bin_width() * static_cast<double>(b),
+                  hist.lo + hist.bin_width() * static_cast<double>(b + 1), 100.0 * mass,
                   std::min(bar, 60), "############################################################");
     }
   }

@@ -27,8 +27,9 @@ int main() {
     const double mod = model.pdf(x);
     if (emp <= 0.0 && mod < 1e-12) continue;
     const double ratio = (mod > 0.0 && emp > 0.0) ? emp / mod : 0.0;
-    std::printf("  %6.0f-%6.0f %12.3e %12.3e %8.2f\n", hist.lo + hist.bin_width() * b,
-                hist.lo + hist.bin_width() * (b + 1), emp, mod, ratio);
+    std::printf("  %6.0f-%6.0f %12.3e %12.3e %8.2f\n",
+                hist.lo + hist.bin_width() * static_cast<double>(b),
+                hist.lo + hist.bin_width() * static_cast<double>(b + 1), emp, mod, ratio);
     // Track agreement over the well-populated body (10th..99th percentile).
     if (emp > 1e-6 && ratio > 0.0) {
       worst_body_ratio = std::max(worst_body_ratio, std::max(ratio, 1.0 / ratio));

@@ -5,6 +5,8 @@
 #   ./scripts/check.sh --tier1    # configure + build + ctest (canonical gate)
 #   ./scripts/check.sh --asan     # full ctest under ASan+UBSan
 #   ./scripts/check.sh --tsan     # engine/fft/generator tests under TSan
+#   ./scripts/check.sh --analyze  # vbr_analyze over the full tree (build the
+#                                 # analyzer, zero findings required)
 #   ./scripts/check.sh --lint     # domain lint + clang-tidy (if installed)
 #   ./scripts/check.sh --fuzz     # fuzz harness smoke (~12k execs each)
 #   ./scripts/check.sh --stream   # stream_analyze on a 2^24-sample trace,
@@ -21,20 +23,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-run_tier1=0 run_asan=0 run_tsan=0 run_lint=0 run_fuzz=0 run_stream=0 run_crash=0
+run_tier1=0 run_asan=0 run_tsan=0 run_analyze=0 run_lint=0 run_fuzz=0 run_stream=0 run_crash=0
 if [[ $# -eq 0 ]]; then
-  run_tier1=1 run_asan=1 run_tsan=1 run_lint=1 run_fuzz=1 run_stream=1 run_crash=1
+  run_tier1=1 run_asan=1 run_tsan=1 run_analyze=1 run_lint=1 run_fuzz=1 run_stream=1 run_crash=1
 fi
 for arg in "$@"; do
   case "$arg" in
-    --tier1)  run_tier1=1 ;;
-    --asan)   run_asan=1 ;;
-    --tsan)   run_tsan=1 ;;
-    --lint)   run_lint=1 ;;
-    --fuzz)   run_fuzz=1 ;;
-    --stream) run_stream=1 ;;
-    --crash)  run_crash=1 ;;
-    *) echo "unknown stage: $arg (expected --tier1/--asan/--tsan/--lint/--fuzz/--stream/--crash)" >&2
+    --tier1)   run_tier1=1 ;;
+    --asan)    run_asan=1 ;;
+    --tsan)    run_tsan=1 ;;
+    --analyze) run_analyze=1 ;;
+    --lint)    run_lint=1 ;;
+    --fuzz)    run_fuzz=1 ;;
+    --stream)  run_stream=1 ;;
+    --crash)   run_crash=1 ;;
+    *) echo "unknown stage: $arg (expected --tier1/--asan/--tsan/--analyze/--lint/--fuzz/--stream/--crash)" >&2
        exit 2 ;;
   esac
 done
@@ -62,8 +65,18 @@ if [[ $run_tsan -eq 1 ]]; then
   ./build-tsan/tests/generators_test
 fi
 
+if [[ $run_analyze -eq 1 ]]; then
+  echo "=== analyze: vbr_analyze over the full tree (zero findings required) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target vbr_analyze >/dev/null
+  ./build/tools/vbr_analyze/vbr_analyze --root .
+  python3 tests/analyzer_fixtures/run_fixtures.py ./build/tools/vbr_analyze/vbr_analyze
+fi
+
 if [[ $run_lint -eq 1 ]]; then
-  echo "=== lint: domain rules + clang-tidy ==="
+  echo "=== lint: domain rules (via vbr_analyze) + clang-tidy ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target vbr_analyze >/dev/null
   python3 scripts/lint_domain.py
   ./scripts/tidy.sh
 fi

@@ -1,223 +1,66 @@
 #!/usr/bin/env python3
-"""Domain lint: repo-specific invariants that generic tools don't know about.
+"""Historical entry point for the repo's domain lint.
 
-Run from the repo root (or via ctest, test name `domain_lint`):
+The regex rules that used to live here (R1 rng-purity, R2 lgamma-reentrancy,
+R3 no-mutable-static, R4 no-naked-new, R5 pragma-once, R6 atomic-artifacts)
+were ported onto the token stream of `tools/vbr_analyze`, which also checks
+the invariants a regex cannot (fork safety, RNG stream discipline, thread
+exception boundaries, contract coverage, naive accumulation). This wrapper
+delegates so existing muscle memory — `python3 scripts/lint_domain.py`,
+`ctest -R domain_lint` — keeps working.
 
-    python3 scripts/lint_domain.py            # lint the whole tree
-    python3 scripts/lint_domain.py --list     # show the rules and exit
+Usage:
+    lint_domain.py [--bin PATH] [vbr_analyze args...]
 
-Rules (each encodes a bug class this repo has actually hit or must never hit):
-
-  R1 rng-purity        std::rand / srand / std::random_device / std::mt19937
-                       appear only in src/vbr/common/rng.cpp. Every stochastic
-                       component must draw from the seeded, splittable
-                       vbr::Rng so experiments stay reproducible.
-  R2 lgamma-reentrancy bare (std::)lgamma appears only in
-                       src/vbr/common/special_functions.cpp, which wraps the
-                       reentrant lgamma_r. std::lgamma writes the process
-                       global `signgam` — the data race TSan caught in PR 1.
-  R3 no-mutable-static no namespace-scope mutable globals and no function-
-                       local `static` non-const state in library sources
-                       outside the allowlist (same `signgam` bug class).
-                       Headers are scanned too — subsystems with
-                       header-visible code (e.g. src/vbr/stream/) get the
-                       same guarantee; static member-function declarations
-                       are recognized and skipped.
-  R4 no-naked-new      no `new`/`delete` expressions; the library is
-                       value-semantic and RAII-managed throughout.
-  R5 pragma-once       every header under src/ starts its preprocessor life
-                       with #pragma once.
-  R6 atomic-artifacts  no direct std::ofstream in bench/, examples/,
-                       src/vbr/run/ or src/vbr/common/ outside
-                       atomic_file.cpp. Checkpoints and benchmark artifacts
-                       must go through vbr::write_file_atomic (temp file +
-                       rename) so a killed process can never leave a torn
-                       file that a resume would then trust.
-
-Violations print as file:line: [rule] message, and the exit status is the
-number of violations (0 = clean).
+The analyzer binary is located from, in order: --bin, $VBR_ANALYZE, the
+conventional build directories. Exit status is the analyzer's (the number of
+findings, capped at 125).
 """
-
-from __future__ import annotations
-
-import re
+import os
+import pathlib
+import subprocess
 import sys
-from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-
-# Directories scanned per rule. Tests are exempt from R1/R3 (they may use
-# local statics for fixtures) but not from the others.
-LIBRARY_DIRS = ["src"]
-CODE_DIRS = ["src", "bench", "examples", "fuzz"]
-ALL_DIRS = ["src", "bench", "examples", "fuzz", "tests"]
-
-# R1: the one file allowed to touch the raw entropy/stdlib generators.
-RNG_ALLOWLIST = {"src/vbr/common/rng.cpp"}
-
-# R2: the one file allowed to call lgamma (it wraps lgamma_r).
-LGAMMA_ALLOWLIST = {"src/vbr/common/special_functions.cpp"}
-
-# R6: directories whose file writes are artifacts (checkpoints, bench JSON)
-# that resume/CI logic later trusts, and the one helper allowed to open an
-# ofstream there. The trace writer (src/vbr/trace/) is exempt: it appends to
-# its own format with explicit short-write detection and resume truncation.
-ATOMIC_ARTIFACT_DIRS = ["bench", "examples", "src/vbr/run", "src/vbr/common"]
-ATOMIC_WRITE_ALLOWLIST = {"src/vbr/common/atomic_file.cpp"}
-
-# R3: files with reviewed, synchronization-guarded static state.
-#   davies_harte.cpp — the mutex-guarded eigenvalue cache
-#   paxson_fgn.cpp   — the mutex-guarded spectrum cache (same pattern:
-#                      compute outside the lock, first insert wins)
-#   fft_fast.cpp     — the mutex-guarded twiddle-plan cache (same pattern)
-#   dct.cpp          — `static const` basis (const, listed for the declaration
-#                      form `static const Basis b;` inside a function)
-MUTABLE_STATIC_ALLOWLIST = {
-    "src/vbr/model/davies_harte.cpp",
-    "src/vbr/model/paxson_fgn.cpp",
-    "src/vbr/common/fft_fast.cpp",
-}
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+CANDIDATES = [
+    REPO_ROOT / "build" / "tools" / "vbr_analyze" / "vbr_analyze",
+    REPO_ROOT / "build-asan" / "tools" / "vbr_analyze" / "vbr_analyze",
+    REPO_ROOT / "build-tsan" / "tools" / "vbr_analyze" / "vbr_analyze",
+]
 
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving line structure."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n if j == -1 else j + 2
-            out.append("\n" * text.count("\n", i, j))
-            i = j
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n:
-                if text[j] == "\\":
-                    j += 2
-                    continue
-                if text[j] == quote:
-                    j += 1
-                    break
-                if text[j] == "\n":  # unterminated; bail at line end
-                    break
-                j += 1
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
+def find_binary(argv):
+    if "--bin" in argv:
+        i = argv.index("--bin")
+        if i + 1 >= len(argv):
+            print("lint_domain: --bin needs a path", file=sys.stderr)
+            sys.exit(126)
+        path = pathlib.Path(argv[i + 1])
+        del argv[i : i + 2]
+        return path
+    env = os.environ.get("VBR_ANALYZE")
+    if env:
+        return pathlib.Path(env)
+    for candidate in CANDIDATES:
+        if candidate.is_file():
+            return candidate
+    print(
+        "lint_domain: vbr_analyze binary not found; build it first\n"
+        "  cmake -B build -S . && cmake --build build --target vbr_analyze\n"
+        "or point --bin / $VBR_ANALYZE at it",
+        file=sys.stderr,
+    )
+    sys.exit(126)
 
 
-def iter_sources(dirs, suffixes):
-    for d in dirs:
-        root = REPO_ROOT / d
-        if not root.is_dir():
-            continue
-        for path in sorted(root.rglob("*")):
-            if path.suffix in suffixes and path.is_file():
-                yield path
-
-
-def relpath(path: Path) -> str:
-    return path.relative_to(REPO_ROOT).as_posix()
-
-
-def lint(violations):
-    def report(path, line_no, rule, message):
-        violations.append(f"{relpath(path)}:{line_no}: [{rule}] {message}")
-
-    # --- R1 / R2 / R4: token scans over comment-stripped sources ----------
-    r1_pattern = re.compile(r"\bstd::rand\b|\bsrand\s*\(|\brandom_device\b|\bmt19937\b")
-    r2_pattern = re.compile(r"(?<![\w:])(?:std::)?lgamma\s*\(")
-    r4_pattern = re.compile(r"(?<![\w:.])new\s+[\w:<(]|(?<![\w:.])delete\s*(?:\[\s*\])?\s+\w|(?<![\w:.])delete\s+\[")
-
-    for path in iter_sources(CODE_DIRS, {".cpp", ".hpp", ".h"}):
-        rel = relpath(path)
-        clean = strip_comments_and_strings(path.read_text(encoding="utf-8"))
-        for line_no, line in enumerate(clean.splitlines(), 1):
-            if rel not in RNG_ALLOWLIST and r1_pattern.search(line):
-                report(path, line_no, "R1",
-                       "stdlib RNG outside rng.cpp; draw from the seeded vbr::Rng")
-            if rel not in LGAMMA_ALLOWLIST and r2_pattern.search(line):
-                report(path, line_no, "R2",
-                       "bare lgamma writes global signgam; use vbr::lgamma_safe")
-            if r4_pattern.search(line):
-                report(path, line_no, "R4",
-                       "naked new/delete; use containers or smart pointers")
-
-    # --- R3: mutable static state in library sources and headers ----------
-    # `static` at statement level that is not const/constexpr. Headers are
-    # scanned as well so subsystems that keep inline code in headers (the
-    # streaming sketches in src/vbr/stream/, templates in common/) can't
-    # smuggle in global state; a `static` line in a header is skipped only
-    # when it parses as a member-function declaration — a parenthesized
-    # parameter list with no initializer before it.
-    r3_pattern = re.compile(r"^\s*static\s+(?!const\b|constexpr\b|_Thread_local\b|thread_local\b)")
-    r3_function_decl = re.compile(r"^[^=]*\(")
-    for path in iter_sources(LIBRARY_DIRS, {".cpp", ".hpp", ".h"}):
-        rel = relpath(path)
-        if rel in MUTABLE_STATIC_ALLOWLIST:
-            continue
-        is_header = path.suffix != ".cpp"
-        clean = strip_comments_and_strings(path.read_text(encoding="utf-8"))
-        for line_no, line in enumerate(clean.splitlines(), 1):
-            if not r3_pattern.search(line):
-                continue
-            if is_header and r3_function_decl.search(line):
-                continue
-            report(path, line_no, "R3",
-                   "mutable static state (the signgam bug class); "
-                   "pass state explicitly or allowlist a reviewed cache")
-
-    # --- R6: artifact writes go through vbr::write_file_atomic -------------
-    r6_pattern = re.compile(r"\bofstream\b")
-    for path in iter_sources(ATOMIC_ARTIFACT_DIRS, {".cpp", ".hpp", ".h"}):
-        rel = relpath(path)
-        if rel in ATOMIC_WRITE_ALLOWLIST:
-            continue
-        clean = strip_comments_and_strings(path.read_text(encoding="utf-8"))
-        for line_no, line in enumerate(clean.splitlines(), 1):
-            if r6_pattern.search(line):
-                report(path, line_no, "R6",
-                       "direct ofstream artifact write; use vbr::write_file_atomic "
-                       "(temp file + rename) so crashes can't leave torn artifacts")
-
-    # --- R5: #pragma once in every header ----------------------------------
-    for path in iter_sources(LIBRARY_DIRS, {".hpp", ".h"}):
-        text = path.read_text(encoding="utf-8")
-        for line in text.splitlines():
-            stripped = line.strip()
-            if not stripped or stripped.startswith("//"):
-                continue
-            if stripped == "#pragma once":
-                break
-            report(path, 1, "R5", "header must open with #pragma once")
-            break
-        else:
-            report(path, 1, "R5", "header must open with #pragma once")
-
-
-def main(argv):
-    if "--list" in argv:
-        print(__doc__)
-        return 0
-    violations = []
-    lint(violations)
-    for v in violations:
-        print(v)
-    if violations:
-        print(f"domain lint: {len(violations)} violation(s)")
-    else:
-        print("domain lint: clean")
-    return min(len(violations), 125)
+def main() -> int:
+    argv = sys.argv[1:]
+    # The old lint spelled it --list; the analyzer spells it --list-rules.
+    argv = ["--list-rules" if a == "--list" else a for a in argv]
+    binary = find_binary(argv)
+    cmd = [str(binary), "--root", str(REPO_ROOT), *argv]
+    return subprocess.run(cmd, check=False).returncode
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main())

@@ -3,17 +3,36 @@
 # example, and fuzz sources using a fresh compile database.
 #
 #   ./scripts/tidy.sh              # analyze everything
+#   ./scripts/tidy.sh --require    # FAIL (exit 3) if clang-tidy is missing
 #   ./scripts/tidy.sh src/vbr/stats/whittle.cpp ...   # analyze specific files
 #
-# Exits 0 with a notice when clang-tidy is not installed (the toolchain image
-# may be GCC-only); CI's lint job provides clang-tidy and runs this for real.
+# Without --require, exits 0 with a notice when clang-tidy is not installed
+# (the toolchain image may be GCC-only). CI passes --require so a broken
+# install can never silently skip the stage. Set CLANG_TIDY to pin a
+# specific binary (e.g. CLANG_TIDY=clang-tidy-18).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "tidy.sh: clang-tidy not found on PATH; skipping (install clang-tidy to run this stage)"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+require=0
+args=()
+for arg in "$@"; do
+  case "$arg" in
+    --require) require=1 ;;
+    *) args+=("$arg") ;;
+  esac
+done
+set -- "${args[@]+"${args[@]}"}"
+
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  if [[ $require -eq 1 ]]; then
+    echo "tidy.sh: FATAL: $CLANG_TIDY not found on PATH but --require was given" >&2
+    exit 3
+  fi
+  echo "tidy.sh: $CLANG_TIDY not found on PATH; skipping (install clang-tidy to run this stage)"
   exit 0
 fi
+echo "tidy.sh: using $("$CLANG_TIDY" --version | head -n1)"
 
 BUILD_DIR=build-tidy
 cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
@@ -25,12 +44,12 @@ else
   mapfile -t FILES < <(find src bench examples fuzz -name '*.cpp' | sort)
 fi
 
-if command -v run-clang-tidy >/dev/null 2>&1; then
+if [[ "$CLANG_TIDY" == "clang-tidy" ]] && command -v run-clang-tidy >/dev/null 2>&1; then
   run-clang-tidy -quiet -p "$BUILD_DIR" "${FILES[@]}"
 else
   status=0
   for f in "${FILES[@]}"; do
-    clang-tidy -quiet -p "$BUILD_DIR" "$f" || status=1
+    "$CLANG_TIDY" -quiet -p "$BUILD_DIR" "$f" || status=1
   done
   exit $status
 fi

@@ -29,6 +29,7 @@ double fgn_rho(double hurst, std::size_t k) {
 }
 
 std::vector<double> fgn_acf(double hurst, std::size_t max_lag) {
+  VBR_ENSURE(hurst > 0.0 && hurst < 1.0, "H must be in (0, 1)");
   std::vector<double> rho(max_lag + 1);
   for (std::size_t k = 0; k <= max_lag; ++k) rho[k] = fgn_rho(hurst, k);
   return rho;

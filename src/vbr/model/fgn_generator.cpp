@@ -106,6 +106,7 @@ std::unique_ptr<FgnGenerator> make_fgn_generator(GeneratorBackend backend, doubl
 
 std::unique_ptr<FgnGenerator> make_fgn_generator(std::string_view name, double hurst,
                                                  double variance) {
+  VBR_ENSURE(hurst > 0.0 && hurst < 1.0, "H must be in (0, 1)");
   return make_fgn_generator(generator_backend_from_name(name), hurst, variance);
 }
 

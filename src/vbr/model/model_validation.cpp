@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "vbr/common/error.hpp"
+
 namespace vbr::model {
 
 bool ValidationReport::agrees(double rel_tol, double hurst_tol) const {
@@ -11,6 +13,7 @@ bool ValidationReport::agrees(double rel_tol, double hurst_tol) const {
 
 ValidationReport validate_model(const VbrVideoSourceModel& model, std::size_t n, Rng& rng,
                                 ModelVariant variant, GeneratorBackend backend) {
+  VBR_ENSURE(n >= 1000, "model validation refits the model and needs a long record");
   ValidationReport report;
   report.input = model.params();
 

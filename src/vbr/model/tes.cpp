@@ -36,6 +36,7 @@ std::vector<double> TesGammaParetoSource::background(std::size_t n, Rng& rng) co
 }
 
 std::vector<double> TesGammaParetoSource::generate(std::size_t n, Rng& rng) const {
+  VBR_ENSURE(n >= 1, "cannot generate an empty sequence");
   auto u = background(n, rng);
   for (auto& value : u) {
     // Stitch, then invert the target CDF; clamp away from the endpoints so

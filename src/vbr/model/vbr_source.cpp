@@ -85,6 +85,7 @@ trace::TimeSeries VbrVideoSourceModel::generate_trace(std::size_t n, Rng& rng,
                                                       ModelVariant variant,
                                                       GeneratorBackend backend,
                                                       double dt_seconds) const {
+  VBR_ENSURE(n >= 1, "cannot generate an empty trace");
   return trace::TimeSeries(generate(n, rng, variant, backend), dt_seconds, "bytes/frame");
 }
 

@@ -53,6 +53,7 @@ double NormalDistribution::pdf(double x) const {
 double NormalDistribution::cdf(double x) const { return normal_cdf((x - mu_) / sigma_); }
 
 double NormalDistribution::quantile(double p) const {
+  VBR_ENSURE(p > 0.0 && p < 1.0, "Normal quantile requires p in (0, 1)");
   return mu_ + sigma_ * normal_quantile(p);
 }
 
@@ -117,6 +118,7 @@ double LognormalDistribution::cdf(double x) const {
 }
 
 double LognormalDistribution::quantile(double p) const {
+  VBR_ENSURE(p > 0.0 && p < 1.0, "Lognormal quantile requires p in (0, 1)");
   return std::exp(mu_log_ + sigma_log_ * normal_quantile(p));
 }
 

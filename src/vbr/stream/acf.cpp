@@ -30,8 +30,10 @@ std::vector<double> StreamingAcf::last(std::size_t k) const {
 void StreamingAcf::push_value(double x) {
   VBR_DCHECK(std::isfinite(x), "non-finite sample pushed into StreamingAcf");
   const std::size_t lags = std::min(max_lag_, n_);
+  // NOLINTBEGIN(vbr-naive-accumulation): the per-lag cross products are snapshot-serialized state with merge identities pinned bit-exact by tests; per-lag compensation would enter the on-disk format. The cancellation-prone term — the stream total — is Kahan-compensated below.
   for (std::size_t k = 1; k <= lags; ++k) cross_[k] += x * sample_back(k);
   cross_[0] += x * x;
+  // NOLINTEND(vbr-naive-accumulation)
   // Kahan step for the stream total; the mean correction in acf() subtracts
   // two totals of similar magnitude, so the total is worth keeping exact.
   const double y = x - compensation_;
@@ -62,6 +64,7 @@ void StreamingAcf::merge(const Sink& other) {
   // recent sample. Only j < k contributes, and only while k - j <= n_.
   // Everything needed is in peer.head_ and our ring — compute before any
   // state is overwritten.
+  // NOLINTBEGIN(vbr-naive-accumulation): same serialized-state constraint as push_value; the boundary terms must add in plain order to reproduce the single-stream result bit-exactly.
   for (std::size_t k = 1; k <= max_lag_; ++k) {
     const std::size_t j_end = std::min<std::size_t>(k, peer.head_.size());
     for (std::size_t j = (k > n_) ? k - n_ : 0; j < j_end; ++j) {
@@ -69,6 +72,7 @@ void StreamingAcf::merge(const Sink& other) {
     }
   }
   for (std::size_t k = 0; k <= max_lag_; ++k) cross_[k] += peer.cross_[k];
+  // NOLINTEND(vbr-naive-accumulation)
 
   // New last-max_lag window of the concatenated stream.
   const std::size_t from_peer = std::min(peer.n_, max_lag_);

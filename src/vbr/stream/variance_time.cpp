@@ -42,6 +42,7 @@ void StreamingVarianceTime::Level::merge_completed(const Level& other) {
 void StreamingVarianceTime::cascade(std::size_t level, double mean) {
   while (level < levels_.size()) {
     Level& l = levels_[level];
+    // NOLINTNEXTLINE(vbr-naive-accumulation): pairwise by construction — at most two terms accumulate before the sum is consumed and reset.
     l.partial_sum += mean;
     if (++l.partial_fill < 2) return;
     mean = l.partial_sum / 2.0;

@@ -25,7 +25,7 @@ void StreamingWelchPeriodogram::flush_segment() {
   // periodogram differs only in the lowest ordinate's leakage.
   const double mean = kahan_total(buffer_) / static_cast<double>(s);
   std::vector<double> seg(s);
-  double window_power = 0.0;
+  KahanSum window_power;
   for (std::size_t i = 0; i < s; ++i) {
     double w = 1.0;
     if (options_.hann_window) {
@@ -33,13 +33,14 @@ void StreamingWelchPeriodogram::flush_segment() {
                                 static_cast<double>(s)));
     }
     seg[i] = (buffer_[i] - mean) * w;
-    window_power += w * w;
+    window_power.add(w * w);
   }
   const auto spectrum = rfft(seg);
-  const double norm = 1.0 / (2.0 * std::numbers::pi * window_power);
+  const double norm = 1.0 / (2.0 * std::numbers::pi * window_power.value());
   for (std::size_t k = 0; k < power_sum_.size(); ++k) {
     const double p = std::norm(spectrum[k + 1]) * norm;
     VBR_DCHECK(std::isfinite(p), "non-finite Welch ordinate");
+    // NOLINTNEXTLINE(vbr-naive-accumulation): ordinates are nonnegative (no cancellation) and power_sum_ is snapshot-serialized state; a compensation vector would change the on-disk format and the merge identity.
     power_sum_[k] += p;
   }
   ++segments_;
@@ -62,6 +63,7 @@ void StreamingWelchPeriodogram::merge(const Sink& other) {
              "cannot merge Welch sinks with different configurations");
   // Completed segments add exactly; our open partial segment (if any) is
   // discarded at the boundary and the peer's stays open.
+  // NOLINTNEXTLINE(vbr-naive-accumulation): one nonnegative term per peer; same serialized-state constraint as flush_segment.
   for (std::size_t k = 0; k < power_sum_.size(); ++k) power_sum_[k] += peer.power_sum_[k];
   segments_ += peer.segments_;
   buffer_ = peer.buffer_;

@@ -1,0 +1,9 @@
+// vbr-analyze-fixture: bench/fixture_atomic_artifacts.cpp
+// Artifact writes go through vbr::write_file_atomic so a crash can never
+// leave a torn file behind.
+#include <fstream>
+
+void dump_results(const char* path) {
+  std::ofstream out(path);  // VIOLATION(vbr-atomic-artifacts)
+  out << "hurst 0.8\n";
+}

@@ -1,0 +1,12 @@
+// vbr-analyze-fixture: src/vbr/stats/fixture_contract_coverage.cpp
+// Public stats/model entry points must validate hurst / probability /
+// length parameters before using them.
+#include <cmath>
+
+namespace vbr::stats {
+
+double scaled_hurst(double hurst, double weight) {
+  return weight * std::pow(2.0, 2.0 * hurst - 1.0);  // VIOLATION(vbr-contract-coverage)
+}
+
+}  // namespace vbr::stats

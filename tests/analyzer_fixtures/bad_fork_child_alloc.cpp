@@ -1,0 +1,14 @@
+// vbr-analyze-fixture: src/vbr/sweep/fixture_fork_child_alloc.cpp
+// Allocation between fork()==0 and _exit is not async-signal-safe: the
+// child may deadlock on a malloc arena lock held by a parent thread.
+#include <unistd.h>
+
+void spawn_worker(int fd) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(fd);
+    void* scratch = malloc(4096);  // VIOLATION(vbr-fork-safety)
+    ::write(1, scratch, 1);
+    ::_exit(0);
+  }
+}

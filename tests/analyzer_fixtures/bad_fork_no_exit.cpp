@@ -1,0 +1,11 @@
+// vbr-analyze-fixture: src/vbr/sweep/fixture_fork_no_exit.cpp
+// A fork child that can fall off the end of its block returns into the
+// parent's control flow: two processes then run the same code.
+#include <unistd.h>
+
+void spawn_worker(int fd) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {  // VIOLATION(vbr-fork-safety)
+    ::close(fd);
+  }
+}

@@ -1,0 +1,8 @@
+// vbr-analyze-fixture: src/vbr/engine/fixture_fork_outside.cpp
+// Process isolation lives behind the sweep supervisor; nothing else forks.
+#include <unistd.h>
+
+int spawn_things() {
+  const pid_t pid = ::fork();  // VIOLATION(vbr-fork-safety)
+  return pid == 0 ? 1 : 0;
+}

@@ -1,0 +1,11 @@
+// vbr-analyze-fixture: src/vbr/stats/fixture_lgamma.cpp
+// Bare lgamma writes the global signgam — a data race under the pool.
+#include <cmath>
+
+namespace vbr::stats {
+
+double log_gamma_ratio(double a, double b) {
+  return std::lgamma(a) - std::lgamma(b);  // VIOLATION(vbr-lgamma-reentrancy) VIOLATION(vbr-lgamma-reentrancy)
+}
+
+}  // namespace vbr::stats

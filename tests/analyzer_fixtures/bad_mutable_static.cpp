@@ -1,0 +1,12 @@
+// vbr-analyze-fixture: src/vbr/common/fixture_mutable_static.cpp
+// Mutable static state is the signgam bug class: invisible cross-thread
+// coupling that breaks run-to-run determinism.
+
+namespace vbr {
+
+int next_id() {
+  static int counter = 0;  // VIOLATION(vbr-mutable-static)
+  return ++counter;
+}
+
+}  // namespace vbr

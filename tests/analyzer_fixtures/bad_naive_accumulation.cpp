@@ -1,0 +1,17 @@
+// vbr-analyze-fixture: src/vbr/stream/fixture_naive_accumulation.cpp
+// Long-running floating-point += reductions in the streaming layer must use
+// the Kahan/pairwise helpers.
+#include <cstddef>
+#include <span>
+
+namespace vbr::stream {
+
+double plain_total(std::span<const double> values) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    total += values[i];  // VIOLATION(vbr-naive-accumulation)
+  }
+  return total;
+}
+
+}  // namespace vbr::stream

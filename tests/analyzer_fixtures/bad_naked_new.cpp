@@ -1,0 +1,10 @@
+// vbr-analyze-fixture: src/vbr/common/fixture_naked_new.cpp
+// Ownership goes through containers and smart pointers, never naked new.
+
+namespace vbr {
+
+int* make_buffer(int n) {
+  return new int[n];  // VIOLATION(vbr-naked-new)
+}
+
+}  // namespace vbr

@@ -1,0 +1,7 @@
+// vbr-analyze-fixture: src/vbr/common/fixture_pragma_once.hpp
+// Headers must open with #pragma once. This one does not.
+// VIOLATION(vbr-pragma-once)
+
+namespace vbr {
+inline int answer() { return 42; }
+}  // namespace vbr

@@ -1,0 +1,13 @@
+// vbr-analyze-fixture: src/vbr/stats/fixture_rng_purity.cpp
+// All randomness flows from the seeded vbr::Rng; stdlib engines appear only
+// inside src/vbr/common/rng.cpp.
+#include <random>
+
+namespace vbr::stats {
+
+double noisy() {
+  std::mt19937 gen(42);  // VIOLATION(vbr-rng-purity)
+  return static_cast<double>(gen());
+}
+
+}  // namespace vbr::stats

@@ -1,0 +1,10 @@
+// vbr-analyze-fixture: src/vbr/common/fixture_suppression_blanket.cpp
+// A blanket NOLINT (no rule list) is rejected and suppresses nothing.
+
+namespace vbr {
+
+int* leak(int n) {
+  return new int[n];  // NOLINT VIOLATION(vbr-suppression) VIOLATION(vbr-naked-new)
+}
+
+}  // namespace vbr

@@ -1,0 +1,11 @@
+// vbr-analyze-fixture: src/vbr/common/fixture_suppression_no_justification.cpp
+// A NOLINT without a written justification is rejected AND does not
+// suppress — both the meta finding and the underlying finding fire.
+
+namespace vbr {
+
+int* leak(int n) {
+  return new int[n];  // NOLINT(vbr-naked-new) VIOLATION(vbr-suppression) VIOLATION(vbr-naked-new)
+}
+
+}  // namespace vbr

@@ -1,0 +1,19 @@
+// vbr-analyze-fixture: src/vbr/engine/fixture_thread_no_boundary.cpp
+// An exception escaping a thread entry point calls std::terminate; every
+// entry must be noexcept or wrap its body in catch-and-report.
+#include <thread>
+#include <vector>
+
+namespace vbr {
+
+void risky_work(std::size_t i);
+
+void launch(std::size_t workers) {
+  std::vector<std::thread> pool;
+  for (std::size_t i = 0; i < workers; ++i) {
+    pool.emplace_back([i]() { risky_work(i); });  // VIOLATION(vbr-thread-boundary)
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace vbr

@@ -1,0 +1,15 @@
+// vbr-analyze-fixture: src/vbr/stats/fixture_clean.cpp
+// A well-behaved stats file: contracts validated before use, no flagged
+// constructs anywhere.
+#include <cmath>
+
+#define VBR_ENSURE(expr, msg) ((expr) ? (void)0 : throw(msg))
+
+namespace vbr::stats {
+
+double hurst_to_beta(double hurst) {
+  VBR_ENSURE(hurst > 0.0 && hurst < 1.0, "H must be in (0, 1)");
+  return 2.0 * hurst - 1.0;
+}
+
+}  // namespace vbr::stats

@@ -1,0 +1,19 @@
+// vbr-analyze-fixture: src/vbr/common/fixture_raw_string.cpp
+// Violation-shaped text inside string literals must never trip a rule —
+// this is the false-positive class the token-aware lexer exists to kill.
+
+namespace vbr {
+
+const char* lint_documentation() {
+  return R"doc(
+    Forbidden patterns include std::mt19937 gen(42), new int[n],
+    std::lgamma(x), static int counter, and std::ofstream out(path).
+    None of these may appear outside their allowlisted homes.
+  )doc";
+}
+
+const char* tricky_escapes() {
+  return "static int counter = 0; // new int[8] \" std::mt19937";
+}
+
+}  // namespace vbr

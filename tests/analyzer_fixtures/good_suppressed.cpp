@@ -1,0 +1,12 @@
+// vbr-analyze-fixture: src/vbr/common/fixture_suppressed.cpp
+// A correctly-formed suppression — named rule plus written justification —
+// silences the finding and produces no meta finding.
+
+namespace vbr {
+
+int* arena_block(int n) {
+  // NOLINTNEXTLINE(vbr-naked-new): fixture for the arena idiom; ownership is transferred to the pool on the next line in real code.
+  return new int[n];
+}
+
+}  // namespace vbr

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fixture harness for vbr_analyze.
+
+Each fixture is a deliberately-broken (or deliberately-clean) snippet. Its
+first line maps it to a pretend in-tree path so the analyzer's directory
+scoping applies, and every line that should be flagged carries a marker:
+
+    // VIOLATION(vbr-rule)
+
+The harness runs `vbr_analyze --fixture <file> --json` and requires the
+multiset of reported rules to equal the multiset of marked rules — a fixture
+must trip exactly its rule(s) and nothing else, and clean fixtures must stay
+silent.
+
+Usage: run_fixtures.py <path-to-vbr_analyze> [fixtures-dir]
+"""
+import json
+import pathlib
+import re
+import subprocess
+import sys
+from collections import Counter
+
+MARKER = re.compile(r"VIOLATION\(([a-z-]+)\)")
+
+
+def expected_rules(path: pathlib.Path) -> Counter:
+    counts: Counter = Counter()
+    for line in path.read_text().splitlines():
+        for rule in MARKER.findall(line):
+            counts[rule] += 1
+    return counts
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print("usage: run_fixtures.py <vbr_analyze> [fixtures-dir]", file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    fixture_dir = (
+        pathlib.Path(sys.argv[2])
+        if len(sys.argv) > 2
+        else pathlib.Path(__file__).resolve().parent
+    )
+    fixtures = sorted(
+        p
+        for p in fixture_dir.iterdir()
+        if p.suffix in (".cpp", ".hpp") and p.is_file()
+    )
+    if not fixtures:
+        print(f"run_fixtures: no fixtures found in {fixture_dir}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for fixture in fixtures:
+        proc = subprocess.run(
+            [binary, "--fixture", str(fixture), "--json"],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode >= 126:
+            print(f"FAIL {fixture.name}: analyzer error\n{proc.stderr}", file=sys.stderr)
+            failures += 1
+            continue
+        got = Counter(f["rule"] for f in json.loads(proc.stdout))
+        want = expected_rules(fixture)
+        if got != want:
+            print(
+                f"FAIL {fixture.name}: expected {dict(want) or 'no findings'}, "
+                f"got {dict(got) or 'no findings'}",
+                file=sys.stderr,
+            )
+            for line in proc.stdout.splitlines():
+                print(f"  {line}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {fixture.name}: {sum(want.values())} expected finding(s)")
+
+    if failures:
+        print(f"{failures}/{len(fixtures)} fixtures failed", file=sys.stderr)
+        return 1
+    print(f"all {len(fixtures)} fixtures behaved")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,8 +95,9 @@ TEST(FbmRequiredCapacityTest, EconomyOfScale) {
   double prev = 1e18;
   for (std::size_t n : {1u, 2u, 5u, 20u}) {
     const auto agg = superpose(one, n);
-    const double c = fbm_required_capacity(agg, buffer_per_source * n, eps) /
-                     static_cast<double>(n);
+    const double c =
+        fbm_required_capacity(agg, buffer_per_source * static_cast<double>(n), eps) /
+        static_cast<double>(n);
     EXPECT_LT(c, prev) << "n=" << n;
     prev = c;
   }

@@ -139,7 +139,8 @@ TEST(TabulatedDistributionTest, ConvolutionOfTwoMatchesMonteCarlo) {
   // Compare a few quantiles.
   std::sort(draws.begin(), draws.end());
   for (double p : {0.1, 0.5, 0.9}) {
-    const double mc = draws[static_cast<std::size_t>(p * (draws.size() - 1))];
+    const double mc =
+        draws[static_cast<std::size_t>(p * static_cast<double>(draws.size() - 1))];
     EXPECT_NEAR(sum2.quantile(p), mc, 0.02 * mc) << "p=" << p;
   }
 }

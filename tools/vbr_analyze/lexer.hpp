@@ -1,0 +1,55 @@
+// Lexer for vbr_analyze: turns C++ source text into a token stream with
+// positions, with comments and string/char/raw-string literals stripped out
+// of the rule-visible stream. Preprocessor logical lines become single
+// tokens so rules never mistake macro bodies for code, and suppression
+// comments (// NOLINT(vbr-rule): why) are collected during the same pass.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vbr::analyze {
+
+enum class TokKind {
+  kIdent,    ///< identifiers and keywords
+  kNumber,   ///< numeric literals (pp-numbers)
+  kString,   ///< string literal, including raw strings; text excludes quotes
+  kChar,     ///< character literal
+  kPunct,    ///< operators/punctuation, longest-match for the ones rules use
+  kPreproc,  ///< one whole logical preprocessor line (continuations joined)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;  ///< view into the owning SourceFile's buffer
+  std::size_t line = 0;   ///< 1-based line of the token's first character
+};
+
+/// How a suppression comment scopes the lines it covers.
+enum class SuppressKind {
+  kLine,      ///< NOLINT: the line the comment sits on
+  kNextLine,  ///< NOLINTNEXTLINE: the following line
+  kBegin,     ///< NOLINTBEGIN: start of a region
+  kEnd,       ///< NOLINTEND: end of a region
+};
+
+struct Suppression {
+  SuppressKind kind = SuppressKind::kLine;
+  std::size_t line = 0;                ///< line the marker appears on
+  std::vector<std::string> rules;      ///< rule ids named in the parens
+  std::string justification;           ///< text after the colon (may be empty)
+  bool has_rule_list = false;          ///< false for a bare NOLINT
+  mutable bool used = false;           ///< set when a finding matches it
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+/// Lex `text` (which must outlive the result; tokens hold views into it).
+LexResult lex(std::string_view text);
+
+}  // namespace vbr::analyze

@@ -1,0 +1,392 @@
+// vbr_analyze: token-aware static analyzer for the repo's determinism,
+// fork-safety, and contract-coverage invariants. See DESIGN.md §11.
+//
+// Usage:
+//   vbr_analyze [--root DIR] [--json] [--baseline FILE] [--list-rules]
+//               [--fixture FILE] [paths...]
+//
+// Exit status is min(#findings, 125) so CI and ctest fail on any finding.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+#include "source.hpp"
+
+namespace fs = std::filesystem;
+using vbr::analyze::Finding;
+using vbr::analyze::SourceFile;
+using vbr::analyze::Suppression;
+using vbr::analyze::SuppressKind;
+
+namespace {
+
+constexpr std::string_view kFixtureHeader = "// vbr-analyze-fixture:";
+
+bool is_source_ext(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Directories scanned by default, relative to --root.
+const std::vector<std::string>& default_dirs() {
+  static const std::vector<std::string> kDirs = {"src",  "bench", "examples",
+                                                 "fuzz", "tests", "tools"};
+  return kDirs;
+}
+
+std::vector<std::string> discover(const fs::path& root,
+                                  const std::vector<std::string>& paths) {
+  std::vector<std::string> rel;
+  const auto add_tree = [&](const fs::path& dir) {
+    if (!fs::exists(dir)) return;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !is_source_ext(entry.path())) continue;
+      const std::string r = fs::relative(entry.path(), root).generic_string();
+      // Fixtures are deliberately-broken snippets; only --fixture reads them.
+      if (r.starts_with("tests/analyzer_fixtures/")) continue;
+      rel.push_back(r);
+    }
+  };
+  if (paths.empty()) {
+    for (const std::string& d : default_dirs()) add_tree(root / d);
+  } else {
+    for (const std::string& p : paths) {
+      const fs::path full = root / p;
+      if (fs::is_directory(full)) {
+        add_tree(full);
+      } else {
+        rel.push_back(fs::path(p).generic_string());
+      }
+    }
+  }
+  std::sort(rel.begin(), rel.end());
+  rel.erase(std::unique(rel.begin(), rel.end()), rel.end());
+  return rel;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+/// Apply NOLINT markers to `findings`, erasing suppressed entries and
+/// appending vbr-suppression findings for malformed markers.
+void apply_suppressions(const std::vector<SourceFile>& files,
+                        std::vector<Finding>& findings) {
+  std::vector<Finding> meta;
+
+  for (const SourceFile& f : files) {
+    // Validate markers and build the per-line suppression map.
+    //   line -> set of rules suppressed on that line
+    std::map<std::size_t, std::set<std::string>> by_line;
+    std::vector<const Suppression*> begin_stack;
+
+    const auto vbr_rules = [](const Suppression& s) {
+      std::vector<std::string> rules;
+      for (const std::string& r : s.rules) {
+        if (r.starts_with("vbr-")) rules.push_back(r);
+      }
+      return rules;
+    };
+
+    for (const Suppression& s : f.suppressions()) {
+      const std::vector<std::string> rules = vbr_rules(s);
+      if (s.has_rule_list && rules.empty()) {
+        continue;  // clang-tidy-only marker, e.g. NOLINT(bugprone-*): ours to ignore
+      }
+      if (!s.has_rule_list) {
+        if (s.kind == SuppressKind::kEnd) {
+          // END may omit the list; it closes the innermost BEGIN.
+          if (begin_stack.empty()) {
+            meta.push_back({f.rel_path(), s.line, "vbr-suppression",
+                            "NOLINTEND without a matching NOLINTBEGIN"});
+          } else {
+            begin_stack.pop_back();
+          }
+          continue;
+        }
+        meta.push_back({f.rel_path(), s.line, "vbr-suppression",
+                        "blanket NOLINT is not allowed; name the vbr-* rule "
+                        "being suppressed"});
+        continue;
+      }
+      bool valid = true;
+      for (const std::string& r : rules) {
+        if (!vbr::analyze::is_known_rule(r)) {
+          meta.push_back({f.rel_path(), s.line, "vbr-suppression",
+                          "unknown rule '" + r + "' in NOLINT marker"});
+          valid = false;
+        }
+        if (r == "vbr-suppression") {
+          meta.push_back({f.rel_path(), s.line, "vbr-suppression",
+                          "vbr-suppression itself cannot be suppressed"});
+          valid = false;
+        }
+      }
+      if (s.kind != SuppressKind::kEnd && s.justification.empty()) {
+        meta.push_back({f.rel_path(), s.line, "vbr-suppression",
+                        "suppression needs a written justification: "
+                        "// NOLINT(rule): <why this is safe>"});
+        valid = false;
+      }
+      if (!valid) continue;
+
+      switch (s.kind) {
+        case SuppressKind::kLine:
+          for (const std::string& r : rules) by_line[s.line].insert(r);
+          break;
+        case SuppressKind::kNextLine:
+          for (const std::string& r : rules) by_line[s.line + 1].insert(r);
+          break;
+        case SuppressKind::kBegin:
+          begin_stack.push_back(&s);
+          break;
+        case SuppressKind::kEnd: {
+          if (begin_stack.empty()) {
+            meta.push_back({f.rel_path(), s.line, "vbr-suppression",
+                            "NOLINTEND without a matching NOLINTBEGIN"});
+            break;
+          }
+          const Suppression* begin = begin_stack.back();
+          begin_stack.pop_back();
+          for (const std::string& r : vbr_rules(*begin)) {
+            for (std::size_t ln = begin->line; ln <= s.line; ++ln) {
+              by_line[ln].insert(r);
+            }
+          }
+          break;
+        }
+      }
+    }
+    for (const Suppression* begin : begin_stack) {
+      meta.push_back({f.rel_path(), begin->line, "vbr-suppression",
+                      "NOLINTBEGIN without a matching NOLINTEND"});
+    }
+
+    if (by_line.empty()) continue;
+    std::erase_if(findings, [&](const Finding& fd) {
+      if (fd.file != f.rel_path()) return false;
+      const auto it = by_line.find(fd.line);
+      return it != by_line.end() && it->second.contains(fd.rule);
+    });
+  }
+
+  findings.insert(findings.end(), meta.begin(), meta.end());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+/// Baseline format: one `path [rule] count` per line, '#' comments. Findings
+/// within the (file, rule) budget are silenced; an overflow reports all of
+/// them so the overflow is visible in context.
+void apply_baseline(const fs::path& baseline_file,
+                    std::vector<Finding>& findings) {
+  std::ifstream in(baseline_file);
+  if (!in) return;
+  std::map<std::pair<std::string, std::string>, std::size_t> budget;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string path, rule;
+    std::size_t count = 0;
+    if (!(ls >> path) || path.starts_with("#")) continue;
+    if (!(ls >> rule >> count)) continue;
+    if (rule.size() > 2 && rule.front() == '[' && rule.back() == ']') {
+      rule = rule.substr(1, rule.size() - 2);
+    }
+    budget[{path, rule}] = count;
+  }
+  if (budget.empty()) return;
+
+  std::map<std::pair<std::string, std::string>, std::size_t> seen;
+  for (const Finding& fd : findings) ++seen[{fd.file, fd.rule}];
+  std::erase_if(findings, [&](const Finding& fd) {
+    const auto key = std::make_pair(fd.file, fd.rule);
+    const auto it = budget.find(key);
+    return it != budget.end() && seen[key] <= it->second;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_findings(const std::vector<Finding>& findings, bool json) {
+  if (json) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& fd = findings[i];
+      std::cout << (i == 0 ? "\n" : ",\n")
+                << "  {\"file\": \"" << json_escape(fd.file)
+                << "\", \"line\": " << fd.line << ", \"rule\": \"" << fd.rule
+                << "\", \"message\": \"" << json_escape(fd.message) << "\"}";
+    }
+    std::cout << (findings.empty() ? "]\n" : "\n]\n");
+    return;
+  }
+  for (const Finding& fd : findings) {
+    std::cout << fd.file << ":" << fd.line << ": [" << fd.rule << "] "
+              << fd.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+  }
+}
+
+int exit_code(std::size_t findings) {
+  return static_cast<int>(std::min<std::size_t>(findings, 125));
+}
+
+// ---------------------------------------------------------------------------
+// Fixture mode
+// ---------------------------------------------------------------------------
+
+/// A fixture's first line is `// vbr-analyze-fixture: <pretend-rel-path>`;
+/// the file is analyzed as if it lived at that path, so rule dir scoping
+/// applies without polluting the real tree.
+int run_fixture(const fs::path& file, bool json) {
+  std::ifstream in(file);
+  if (!in) {
+    std::cerr << "vbr_analyze: cannot read fixture " << file << "\n";
+    return 126;
+  }
+  std::string first;
+  std::getline(in, first);
+  if (!first.starts_with(kFixtureHeader)) {
+    std::cerr << "vbr_analyze: fixture missing '" << kFixtureHeader
+              << " <pretend-path>' header: " << file << "\n";
+    return 126;
+  }
+  std::string pretend = first.substr(kFixtureHeader.size());
+  const std::size_t ws = pretend.find_first_not_of(" \t");
+  pretend = ws == std::string::npos ? "" : pretend.substr(ws);
+  if (pretend.empty()) {
+    std::cerr << "vbr_analyze: empty pretend path in fixture " << file << "\n";
+    return 126;
+  }
+  std::optional<SourceFile> sf = SourceFile::load(file.string(), pretend);
+  if (!sf) {
+    std::cerr << "vbr_analyze: cannot load fixture " << file << "\n";
+    return 126;
+  }
+  std::vector<SourceFile> files;
+  files.push_back(std::move(*sf));
+  std::vector<Finding> findings;
+  vbr::analyze::run_rules(files, findings);
+  apply_suppressions(files, findings);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  print_findings(findings, json);
+  return exit_code(findings.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path baseline_file;
+  bool baseline_set = false;
+  bool json = false;
+  bool list_rules = false;
+  std::string fixture;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "vbr_analyze: " << arg << " needs a value\n";
+        std::exit(126);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value();
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--baseline") {
+      baseline_file = value();
+      baseline_set = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--fixture") {
+      fixture = value();
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: vbr_analyze [--root DIR] [--json] [--baseline FILE]"
+                   " [--list-rules] [--fixture FILE] [paths...]\n";
+      return 0;
+    } else if (arg.starts_with("--")) {
+      std::cerr << "vbr_analyze: unknown option " << arg << "\n";
+      return 126;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const vbr::analyze::RuleInfo& info : vbr::analyze::rule_catalog()) {
+      std::cout << info.id << " (" << info.legacy << "): " << info.summary
+                << "\n";
+    }
+    return 0;
+  }
+  if (!fixture.empty()) return run_fixture(fixture, json);
+
+  if (!baseline_set) baseline_file = root / "tools/vbr_analyze/baseline.txt";
+
+  std::vector<SourceFile> files;
+  for (const std::string& rel : discover(root, paths)) {
+    std::optional<SourceFile> sf = SourceFile::load((root / rel).string(), rel);
+    if (!sf) {
+      std::cerr << "vbr_analyze: cannot read " << rel << "\n";
+      return 126;
+    }
+    files.push_back(std::move(*sf));
+  }
+
+  std::vector<Finding> findings;
+  vbr::analyze::run_rules(files, findings);
+  apply_suppressions(files, findings);
+  apply_baseline(baseline_file, findings);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  print_findings(findings, json);
+  return exit_code(findings.size());
+}

@@ -1,0 +1,330 @@
+#include "source.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+namespace vbr::analyze {
+
+bool is_ident(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kIdent && tok.text == text;
+}
+
+bool is_punct(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+namespace {
+
+bool is_control_keyword(std::string_view s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "do" || s == "else" || s == "try" || s == "catch";
+}
+
+}  // namespace
+
+std::optional<SourceFile> SourceFile::load(const std::string& fs_path,
+                                           std::string rel_path) {
+  std::ifstream in(fs_path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  SourceFile file;
+  file.rel_path_ = std::move(rel_path);
+  file.text_ = buffer.str();
+  file.lex_ = lex(file.text_);
+  file.index();
+  return file;
+}
+
+void SourceFile::index() {
+  const std::vector<Token>& toks = lex_.tokens;
+  const std::size_t n = toks.size();
+  match_.assign(n, npos);
+  scope_of_.assign(n, Scope::kNoScope);
+
+  // --- bracket matching -------------------------------------------------
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    const std::string_view t = toks[i].text;
+    if (t == "(" || t == "[" || t == "{") {
+      stack.push_back(i);
+    } else if (t == ")" || t == "]" || t == "}") {
+      static constexpr std::array<std::string_view, 3> kOpen = {"(", "[", "{"};
+      static constexpr std::array<std::string_view, 3> kClose = {")", "]", "}"};
+      std::size_t want = npos;
+      for (std::size_t k = 0; k < 3; ++k) {
+        if (t == kClose[k]) want = k;
+      }
+      // Pop until the matching opener kind (tolerates unbalanced input).
+      while (!stack.empty() && toks[stack.back()].text != kOpen[want]) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        match_[stack.back()] = i;
+        match_[i] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+
+  // --- scope classification --------------------------------------------
+  std::vector<std::size_t> open_scopes;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!open_scopes.empty()) scope_of_[i] = open_scopes.back();
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "}") {
+      if (!open_scopes.empty() &&
+          scopes_[open_scopes.back()].close == npos) {
+        scopes_[open_scopes.back()].close = i;
+      }
+      if (!open_scopes.empty()) open_scopes.pop_back();
+      continue;
+    }
+    if (toks[i].text != "{") continue;
+
+    Scope scope;
+    scope.open = i;
+    scope.close = match_[i];
+    scope.parent =
+        open_scopes.empty() ? Scope::kNoScope : open_scopes.back();
+
+    // Classify by what precedes the `{`. Walk back over trivia the grammar
+    // allows between a header and its body.
+    std::size_t p = i;
+    const auto prev = [&]() -> const Token* {
+      return p == 0 ? nullptr : &toks[--p];
+    };
+    const Token* b = prev();
+    scope.kind = ScopeKind::kInit;  // default: initializer-ish
+    if (b == nullptr) {
+      scope.kind = ScopeKind::kBlock;
+    } else if (b->kind == TokKind::kIdent && b->text == "namespace") {
+      scope.kind = ScopeKind::kNamespace;
+      scope.anonymous_namespace = true;
+    } else if (b->kind == TokKind::kIdent && b->text == "do") {
+      scope.kind = ScopeKind::kLoop;
+    } else if (b->kind == TokKind::kIdent &&
+               (b->text == "else" || b->text == "try")) {
+      scope.kind = ScopeKind::kBlock;
+    } else if (b->kind == TokKind::kIdent || b->kind == TokKind::kPunct) {
+      // Skip over: identifier chains (namespace names, base-class lists,
+      // trailing return types, const/noexcept/override) to find the shape.
+      std::size_t q = p;  // index of b
+      // Case: `) {` possibly with qualifiers between — function, lambda,
+      // or control statement body.
+      std::size_t steps = 0;
+      while (q != npos && steps < 24) {
+        const Token& t = toks[q];
+        if (is_punct(t, ")")) {
+          const std::size_t open_paren = match_[q];
+          if (open_paren == npos) break;
+          // What precedes the `(`?
+          std::size_t h = open_paren;
+          while (h > 0) {
+            --h;
+            break;
+          }
+          const Token& head = toks[h];
+          if (head.kind == TokKind::kIdent && is_control_keyword(head.text)) {
+            scope.kind = (head.text == "for" || head.text == "while")
+                             ? ScopeKind::kLoop
+                             : ScopeKind::kBlock;
+          } else if (is_punct(head, "]")) {
+            scope.kind = ScopeKind::kFunction;  // lambda: ](params){
+          } else if (head.kind == TokKind::kIdent ||
+                     is_punct(head, ">") || is_punct(head, "::")) {
+            scope.kind = ScopeKind::kFunction;
+          } else {
+            scope.kind = ScopeKind::kInit;
+          }
+          break;
+        }
+        if (is_punct(t, "]")) {
+          // `[...] {` — capture list with no parameter list.
+          scope.kind = ScopeKind::kFunction;
+          break;
+        }
+        if (t.kind == TokKind::kIdent &&
+            (t.text == "const" || t.text == "noexcept" ||
+             t.text == "override" || t.text == "final" ||
+             t.text == "mutable" || t.text == "->" )) {
+          if (q == 0) break;
+          --q;
+          ++steps;
+          continue;
+        }
+        if (is_punct(t, "->") || is_punct(t, "::") || is_punct(t, ">") ||
+            is_punct(t, "<") || is_punct(t, ",") || t.kind == TokKind::kIdent ||
+            t.kind == TokKind::kNumber) {
+          // Could be: class head (`struct X : Y {`), namespace name,
+          // trailing return type, enum base. Scan back for the introducing
+          // keyword on this declaration.
+          std::size_t r = q;
+          ScopeKind kind = ScopeKind::kInit;
+          std::size_t guard = 0;
+          while (r != npos && guard < 64) {
+            const Token& u = toks[r];
+            if (u.kind == TokKind::kIdent) {
+              if (u.text == "class" || u.text == "struct" ||
+                  u.text == "union" || u.text == "enum") {
+                kind = ScopeKind::kClass;
+                break;
+              }
+              if (u.text == "namespace") {
+                kind = ScopeKind::kNamespace;
+                break;
+              }
+            }
+            if (u.kind == TokKind::kPunct &&
+                (u.text == ";" || u.text == "{" || u.text == "}" ||
+                 u.text == "=" || u.text == "(" || u.text == "return")) {
+              break;
+            }
+            if (is_ident(u, "return")) break;
+            if (r == 0) break;
+            --r;
+            ++guard;
+          }
+          scope.kind = kind == ScopeKind::kInit &&
+                               (is_punct(t, ")") || is_punct(t, "]"))
+                           ? ScopeKind::kFunction
+                           : kind;
+          break;
+        }
+        break;
+      }
+    }
+    open_scopes.push_back(scopes_.size());
+    scopes_.push_back(scope);
+    scope_of_[i] = scope.parent;  // the `{` itself belongs to the parent
+  }
+
+  // --- namespace-scope function definitions ----------------------------
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (toks[i].kind != TokKind::kIdent || !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    if (is_control_keyword(toks[i].text)) continue;
+    const std::size_t params_close = match_[i + 1];
+    if (params_close == npos) continue;
+    // Must be at namespace/file scope (free function or out-of-line member).
+    const std::size_t sc = scope_of_[i];
+    if (sc != Scope::kNoScope && scopes_[sc].kind != ScopeKind::kNamespace) {
+      continue;
+    }
+    // After the `)`: optional qualifiers/init-list, then `{`.
+    std::size_t j = params_close + 1;
+    bool is_noexcept = false;
+    bool saw_init_list = false;
+    while (j < n) {
+      const Token& t = toks[j];
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "const" || t.text == "override" || t.text == "final" ||
+           t.text == "mutable")) {
+        ++j;
+        continue;
+      }
+      if (is_ident(t, "noexcept")) {
+        is_noexcept = true;
+        ++j;
+        if (j < n && is_punct(toks[j], "(")) {
+          if (match_[j] == npos) break;
+          j = match_[j] + 1;
+        }
+        continue;
+      }
+      if (is_punct(t, "->")) {  // trailing return type: skip to `{` or `;`
+        ++j;
+        while (j < n && !is_punct(toks[j], "{") && !is_punct(toks[j], ";")) {
+          if (is_punct(toks[j], "(") || is_punct(toks[j], "[")) {
+            if (match_[j] == npos) break;
+            j = match_[j];
+          }
+          ++j;
+        }
+        continue;
+      }
+      if (is_punct(t, ":")) {  // constructor init list
+        saw_init_list = true;
+        ++j;
+        while (j < n && !is_punct(toks[j], "{")) {
+          if (is_punct(toks[j], "(") || is_punct(toks[j], "[")) {
+            if (match_[j] == npos) break;
+            j = match_[j];
+          }
+          ++j;
+        }
+        continue;
+      }
+      break;
+    }
+    (void)saw_init_list;
+    if (j >= n || !is_punct(toks[j], "{")) continue;
+    const std::size_t body_close = match_[j];
+    if (body_close == npos) continue;
+
+    FunctionDef def;
+    def.name = toks[i].text;
+    def.name_tok = i;
+    def.params_open = i + 1;
+    def.params_close = params_close;
+    def.body_open = j;
+    def.body_close = body_close;
+    def.is_noexcept = is_noexcept;
+    def.in_anonymous_namespace = in_anonymous_namespace(i);
+    // `static` anywhere in the declaration specifiers before the name.
+    std::size_t r = i;
+    while (r > 0) {
+      --r;
+      const Token& u = toks[r];
+      if (u.kind == TokKind::kPunct &&
+          (u.text == ";" || u.text == "}" || u.text == "{")) {
+        break;
+      }
+      if (is_ident(u, "static")) {
+        def.is_static = true;
+        break;
+      }
+    }
+    functions_.push_back(def);
+  }
+}
+
+bool SourceFile::in_loop(std::size_t i) const {
+  std::size_t sc = scope_of_[i];
+  while (sc != Scope::kNoScope) {
+    const Scope& scope = scopes_[sc];
+    if (scope.kind == ScopeKind::kLoop) return true;
+    // Don't look past a function boundary: a lambda inside a loop is not
+    // itself loop-repeated code from the rule's point of view.
+    if (scope.kind == ScopeKind::kFunction) return false;
+    sc = scope.parent;
+  }
+  return false;
+}
+
+bool SourceFile::in_anonymous_namespace(std::size_t i) const {
+  std::size_t sc = scope_of_[i];
+  while (sc != Scope::kNoScope) {
+    const Scope& scope = scopes_[sc];
+    if (scope.kind == ScopeKind::kNamespace && scope.anonymous_namespace) {
+      return true;
+    }
+    sc = scope.parent;
+  }
+  return false;
+}
+
+const FunctionDef* SourceFile::enclosing_function(std::size_t i) const {
+  const FunctionDef* best = nullptr;
+  for (const FunctionDef& def : functions_) {
+    if (def.body_open < i && i < def.body_close) {
+      if (best == nullptr || def.body_open > best->body_open) best = &def;
+    }
+  }
+  return best;
+}
+
+}  // namespace vbr::analyze

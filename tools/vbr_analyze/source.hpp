@@ -1,0 +1,100 @@
+// SourceFile: one lexed file plus the structural indexes the rules share —
+// bracket matching, a brace-scope classification (namespace / class /
+// function / loop / plain block), and a namespace-scope function-definition
+// table. All offsets are token indexes into `tokens`.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace vbr::analyze {
+
+enum class ScopeKind {
+  kNamespace,
+  kClass,      ///< class/struct/union/enum body
+  kFunction,   ///< function or lambda body
+  kLoop,       ///< for/while/do body
+  kBlock,      ///< any other braced region (if/else/try/catch/bare)
+  kInit,       ///< braced initializer (= {...}, f({...}), return {...})
+};
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kBlock;
+  std::size_t open = 0;    ///< token index of `{`
+  std::size_t close = 0;   ///< token index of matching `}` (or last token)
+  std::size_t parent = kNoScope;  ///< index into scopes, or kNoScope
+  bool anonymous_namespace = false;
+
+  static constexpr std::size_t kNoScope = static_cast<std::size_t>(-1);
+};
+
+/// A namespace-scope function definition (free function or out-of-line
+/// member). `name` is the unqualified name; params/body are token ranges.
+struct FunctionDef {
+  std::string_view name;
+  std::size_t name_tok = 0;
+  std::size_t params_open = 0;   ///< `(`
+  std::size_t params_close = 0;  ///< matching `)`
+  std::size_t body_open = 0;     ///< `{`
+  std::size_t body_close = 0;    ///< matching `}`
+  bool is_noexcept = false;
+  bool is_static = false;
+  bool in_anonymous_namespace = false;
+};
+
+class SourceFile {
+ public:
+  /// Load and index a file. Returns std::nullopt when unreadable.
+  static std::optional<SourceFile> load(const std::string& fs_path,
+                                        std::string rel_path);
+
+  const std::string& rel_path() const { return rel_path_; }
+  const std::vector<Token>& tokens() const { return lex_.tokens; }
+  const std::vector<Suppression>& suppressions() const {
+    return lex_.suppressions;
+  }
+
+  /// Matching bracket for tokens()[i] when it is one of ()[]{}; npos if
+  /// unbalanced.
+  std::size_t match(std::size_t i) const { return match_[i]; }
+
+  /// Innermost scope containing token i (Scope::kNoScope at file scope).
+  std::size_t scope_of(std::size_t i) const { return scope_of_[i]; }
+  const std::vector<Scope>& scopes() const { return scopes_; }
+
+  /// True when token i sits (transitively) inside a loop body.
+  bool in_loop(std::size_t i) const;
+  /// True when token i sits inside an anonymous namespace.
+  bool in_anonymous_namespace(std::size_t i) const;
+
+  const std::vector<FunctionDef>& functions() const { return functions_; }
+
+  /// The function definition whose body contains token i, if any.
+  const FunctionDef* enclosing_function(std::size_t i) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  void index();
+
+  std::string rel_path_;
+  std::string text_;
+  LexResult lex_;
+  std::vector<std::size_t> match_;
+  std::vector<std::size_t> scope_of_;
+  std::vector<Scope> scopes_;
+  std::vector<FunctionDef> functions_;
+};
+
+/// True if `tok` is an identifier with exactly this text.
+bool is_ident(const Token& tok, std::string_view text);
+
+/// True if `tok` is a punctuator with exactly this text.
+bool is_punct(const Token& tok, std::string_view text);
+
+}  // namespace vbr::analyze
