@@ -1,0 +1,195 @@
+// bench_service: throughput and memory footprint of the streaming traffic
+// service (src/vbr/service), emitted as JSON for dashboards/CI.
+//
+// Three questions, one driver:
+//   1. Build rate — how fast can the service stand up N per-stream states
+//      (streams/sec)? This bounds cold-start for a million-stream fleet.
+//   2. Serve rate — steady-state samples/sec of advance_round() for each
+//      thread count, with the FNV-1a results hash doubling as the
+//      determinism witness (all thread counts must agree bit-for-bit).
+//   3. Footprint — peak RSS, normalized to MiB per 10^6 streams so runs at
+//      different scales land on one comparable number.
+// A final save/load round-trip times the VBRSRVC1 checkpoint path and
+// verifies the restored service reproduces the same results hash.
+//
+// Usage:
+//   ./bench_service [streams] [samples_per_stream] [block] [thread_list]
+// e.g. ./bench_service 65536 1024 256 1,2,4
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "vbr/service/service_checkpoint.hpp"
+#include "vbr/service/traffic_service.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Resident-set figure from /proc/self/status in MiB; 0 if unreadable.
+/// "VmHWM:" reads the process peak, "VmRSS:" the current footprint.
+double rss_mib(const char* field) {
+  std::ifstream status("/proc/self/status");
+  const std::size_t field_len = std::strlen(field);
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(field, 0) == 0) {
+      return std::strtod(line.c_str() + static_cast<std::ptrdiff_t>(field_len), nullptr) /
+             1024.0;
+    }
+  }
+  return 0.0;
+}
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int len = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (len > 0) out.append(buf, std::min(static_cast<std::size_t>(len), sizeof buf - 1));
+}
+
+std::vector<std::size_t> parse_thread_list(const char* arg) {
+  std::vector<std::size_t> threads;
+  std::string token;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) threads.push_back(std::stoul(token));
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token += *p;
+    }
+  }
+  return threads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vbr::service::ServiceConfig config;
+  config.num_streams = (argc > 1) ? std::stoul(argv[1]) : 65536;
+  config.seed = 1994;
+  config.variant = vbr::model::ModelVariant::kGaussianFarima;
+  config.backend = vbr::model::GeneratorBackend::kHosking;
+  config.params.hurst = 0.8;
+  config.params.marginal.mu_gamma = 27791.0;
+  config.params.marginal.sigma_gamma = 6254.0;
+  config.params.marginal.tail_slope = 12.0;
+
+  const std::size_t samples_per_stream = (argc > 2) ? std::stoul(argv[2]) : 1024;
+  const std::size_t block = (argc > 3) ? std::stoul(argv[3]) : 256;
+  const std::vector<std::size_t> thread_counts =
+      (argc > 4) ? parse_thread_list(argv[4]) : std::vector<std::size_t>{1, 2, 4};
+  const std::size_t rounds = std::max<std::size_t>(1, samples_per_stream / block);
+
+  std::string json;
+  appendf(json, "{\n");
+  appendf(json, "  \"benchmark\": \"service\",\n");
+  appendf(json, "  \"streams\": %zu,\n", config.num_streams);
+  appendf(json, "  \"samples_per_stream\": %zu,\n", rounds * block);
+  appendf(json, "  \"block\": %zu,\n", block);
+  appendf(json, "  \"backend\": \"hosking\",\n");
+  appendf(json, "  \"hosking_horizon\": %zu,\n", config.tuning.hosking_horizon);
+  appendf(json, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  appendf(json, "  \"contracts\": \"%s\",\n", vbrbench::contracts_state());
+  appendf(json, "  \"results\": [\n");
+
+  double baseline_sps = 0.0;
+  std::uint64_t baseline_hash = 0;
+  bool bit_identical = true;
+  double build_seconds_first = 0.0;
+  double serve_rss = 0.0;
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    config.threads = thread_counts[i];
+    const auto build_start = std::chrono::steady_clock::now();
+    vbr::service::TrafficService service(config);
+    const double build_seconds = seconds_since(build_start);
+    if (i == 0) build_seconds_first = build_seconds;
+
+    const auto serve_start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < rounds; ++r) service.advance_round(block);
+    const double serve_seconds = seconds_since(serve_start);
+    // Footprint while exactly one fleet is live and serving — the number
+    // the bounded-memory contract is about. The later checkpoint phase
+    // legitimately holds two services plus payload buffers, so the process
+    // peak (reported separately) is not the per-stream figure.
+    if (i == 0) serve_rss = rss_mib("VmRSS:");
+
+    const std::uint64_t hash = service.results_hash();
+    const double samples_per_second =
+        serve_seconds > 0.0 ? static_cast<double>(service.total_samples()) / serve_seconds : 0.0;
+    if (i == 0) {
+      baseline_sps = samples_per_second;
+      baseline_hash = hash;
+    } else if (hash != baseline_hash) {
+      bit_identical = false;
+    }
+    appendf(json,
+            "    {\"threads\": %zu, \"build_seconds\": %.6f, "
+            "\"streams_per_second_build\": %.1f, \"serve_seconds\": %.6f, "
+            "\"samples_per_second\": %.1f, \"speedup_vs_first\": %.3f, "
+            "\"results_hash\": \"%016llx\"}%s\n",
+            thread_counts[i], build_seconds,
+            build_seconds > 0.0 ? static_cast<double>(config.num_streams) / build_seconds : 0.0,
+            serve_seconds, samples_per_second,
+            baseline_sps > 0.0 ? samples_per_second / baseline_sps : 0.0,
+            static_cast<unsigned long long>(hash),
+            i + 1 < thread_counts.size() ? "," : "");
+  }
+  appendf(json, "  ],\n");
+
+  // Checkpoint round-trip: time the VBRSRVC1 save and load on a fresh
+  // service advanced to the same position, and require the restored hash to
+  // match (the SIGKILL soak's correctness condition, timed here).
+  const auto scratch = std::filesystem::temp_directory_path() / "bench_service.ckpt";
+  config.threads = thread_counts.back();
+  bool checkpoint_hash_match = false;
+  double save_seconds = 0.0;
+  double load_seconds = 0.0;
+  {
+    vbr::service::TrafficService service(config);
+    for (std::size_t r = 0; r < rounds; ++r) service.advance_round(block);
+    const auto save_start = std::chrono::steady_clock::now();
+    vbr::service::save_service_checkpoint(scratch, service);
+    save_seconds = seconds_since(save_start);
+
+    vbr::service::TrafficService restored(config);
+    const auto load_start = std::chrono::steady_clock::now();
+    vbr::service::load_service_checkpoint(scratch, restored);
+    load_seconds = seconds_since(load_start);
+    checkpoint_hash_match = restored.results_hash() == service.results_hash() &&
+                            service.results_hash() == baseline_hash;
+  }
+  std::error_code cleanup;
+  std::filesystem::remove(scratch, cleanup);
+
+  appendf(json,
+          "  \"checkpoint\": {\"save_seconds\": %.6f, \"load_seconds\": %.6f, "
+          "\"hash_match\": %s},\n",
+          save_seconds, load_seconds, checkpoint_hash_match ? "true" : "false");
+  appendf(json, "  \"build_seconds\": %.6f,\n", build_seconds_first);
+  appendf(json, "  \"serve_rss_mib\": %.1f,\n", serve_rss);
+  appendf(json, "  \"peak_rss_mib\": %.1f,\n", rss_mib("VmHWM:"));
+  appendf(json, "  \"rss_mib_per_million_streams\": %.1f,\n",
+          serve_rss * 1.0e6 / static_cast<double>(config.num_streams));
+  appendf(json, "  \"bit_identical_across_thread_counts\": %s\n",
+          bit_identical ? "true" : "false");
+  appendf(json, "}\n");
+  std::fputs(json.c_str(), stdout);
+  vbrbench::emit_bench_json("service", json);
+  return (bit_identical && checkpoint_hash_match) ? 0 : 1;
+}

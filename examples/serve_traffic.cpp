@@ -1,0 +1,254 @@
+// serve_traffic: the ROADMAP item 3 shape — one long-lived driver serving
+// endless VBR traffic from N lightweight streaming sources, with crash-safe
+// checkpointing and a self-enforced RSS ceiling.
+//
+//   serve_traffic [options]
+//       --streams N          concurrent streams              (default 4)
+//       --samples N          samples to serve per stream     (default 4096)
+//       --block N            samples per stream per round    (default 64)
+//       --seed S             master seed                     (default 42)
+//       --generator NAME     hosking | paxson | onoff        (default hosking)
+//       --variant NAME       full | gaussian | iid           (default gaussian)
+//       --hurst H            Hurst parameter                 (default 0.8)
+//       --mean X             marginal mean (bytes/frame)     (default 27791)
+//       --stddev X           marginal stddev                 (default 6254)
+//       --tail-slope X       Pareto tail slope m_T           (default 12)
+//       --hosking-horizon N  hosking predictor horizon       (default 64)
+//       --paxson-window N    paxson synthesis window         (default 4096)
+//       --paxson-overlap N   paxson stitch overlap           (default 512)
+//       --threads N          worker threads (0 = auto; never affects output)
+//       --queue-capacity X   multiplexer service rate, bytes/sec (0 = no queue)
+//       --queue-buffer X     multiplexer buffer, bytes
+//       --checkpoint FILE    VBRSRVC1 checkpoint path (written atomically)
+//       --checkpoint-every N rounds between checkpoint saves (default 1)
+//       --resume             continue from FILE if it exists
+//       --max-rss-mib M      fail (exit 3) if peak RSS exceeds M MiB
+//       --hash-out FILE      write results_hash (hex) atomically
+//       --json               print the summary as one JSON object
+//
+// Exit codes: 0 success, 1 runtime error (clean vbr::Error — hostile inputs
+// never abort), 2 usage error, 3 RSS ceiling exceeded.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "vbr/common/atomic_file.hpp"
+#include "vbr/common/error.hpp"
+#include "vbr/model/fgn_generator.hpp"
+#include "vbr/service/service_checkpoint.hpp"
+#include "vbr/service/traffic_service.hpp"
+
+namespace {
+
+std::uint64_t parse_u64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "serve_traffic: bad value for %s: %s\n", flag, text);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_f64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "serve_traffic: bad value for %s: %s\n", flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Peak resident set (VmHWM) in MiB from /proc/self/status; 0 if unreadable.
+double peak_rss_mib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: serve_traffic [--streams N] [--samples N] [--block N] [--seed S]\n"
+               "                     [--generator hosking|paxson|onoff]\n"
+               "                     [--variant full|gaussian|iid] [--hurst H]\n"
+               "                     [--mean X] [--stddev X] [--tail-slope X]\n"
+               "                     [--hosking-horizon N] [--paxson-window N]\n"
+               "                     [--paxson-overlap N] [--threads N]\n"
+               "                     [--queue-capacity X] [--queue-buffer X]\n"
+               "                     [--checkpoint FILE] [--checkpoint-every N] [--resume]\n"
+               "                     [--max-rss-mib M] [--hash-out FILE] [--json]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vbr::service::ServiceConfig config;
+  config.num_streams = 4;
+  config.seed = 42;
+  config.variant = vbr::model::ModelVariant::kGaussianFarima;
+  config.backend = vbr::model::GeneratorBackend::kHosking;
+  config.params.hurst = 0.8;
+  config.params.marginal.mu_gamma = 27791.0;
+  config.params.marginal.sigma_gamma = 6254.0;
+  config.params.marginal.tail_slope = 12.0;
+
+  std::uint64_t samples = 4096;
+  std::uint64_t block = 64;
+  std::uint64_t checkpoint_every = 1;
+  std::string checkpoint_path;
+  std::string hash_out;
+  bool resume = false;
+  bool json = false;
+  double max_rss_mib = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "serve_traffic: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--streams") {
+      config.num_streams = static_cast<std::size_t>(parse_u64(next(), "--streams"));
+    } else if (arg == "--samples") {
+      samples = parse_u64(next(), "--samples");
+    } else if (arg == "--block") {
+      block = parse_u64(next(), "--block");
+    } else if (arg == "--seed") {
+      config.seed = parse_u64(next(), "--seed");
+    } else if (arg == "--generator") {
+      try {
+        config.backend = vbr::model::generator_backend_from_name(next());
+      } catch (const vbr::Error& e) {
+        std::fprintf(stderr, "serve_traffic: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--variant") {
+      const std::string name = next();
+      if (name == "full") {
+        config.variant = vbr::model::ModelVariant::kFull;
+      } else if (name == "gaussian") {
+        config.variant = vbr::model::ModelVariant::kGaussianFarima;
+      } else if (name == "iid") {
+        config.variant = vbr::model::ModelVariant::kIidGammaPareto;
+      } else {
+        std::fprintf(stderr, "serve_traffic: unknown variant: %s\n", name.c_str());
+        return 2;
+      }
+    } else if (arg == "--hurst") {
+      config.params.hurst = parse_f64(next(), "--hurst");
+    } else if (arg == "--mean") {
+      config.params.marginal.mu_gamma = parse_f64(next(), "--mean");
+    } else if (arg == "--stddev") {
+      config.params.marginal.sigma_gamma = parse_f64(next(), "--stddev");
+    } else if (arg == "--tail-slope") {
+      config.params.marginal.tail_slope = parse_f64(next(), "--tail-slope");
+    } else if (arg == "--hosking-horizon") {
+      config.tuning.hosking_horizon =
+          static_cast<std::size_t>(parse_u64(next(), "--hosking-horizon"));
+    } else if (arg == "--paxson-window") {
+      config.tuning.paxson_window =
+          static_cast<std::size_t>(parse_u64(next(), "--paxson-window"));
+    } else if (arg == "--paxson-overlap") {
+      config.tuning.paxson_overlap =
+          static_cast<std::size_t>(parse_u64(next(), "--paxson-overlap"));
+    } else if (arg == "--threads") {
+      config.threads = static_cast<std::size_t>(parse_u64(next(), "--threads"));
+    } else if (arg == "--queue-capacity") {
+      config.queue_capacity_bytes_per_sec = parse_f64(next(), "--queue-capacity");
+    } else if (arg == "--queue-buffer") {
+      config.queue_buffer_bytes = parse_f64(next(), "--queue-buffer");
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = parse_u64(next(), "--checkpoint-every");
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--max-rss-mib") {
+      max_rss_mib = parse_f64(next(), "--max-rss-mib");
+    } else if (arg == "--hash-out") {
+      hash_out = next();
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr, "serve_traffic: unknown option: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (block == 0 || samples == 0 || checkpoint_every == 0) {
+    std::fprintf(stderr, "serve_traffic: --samples, --block, --checkpoint-every must be > 0\n");
+    return 2;
+  }
+
+  try {
+    vbr::service::TrafficService service(config);
+    if (resume && !checkpoint_path.empty() &&
+        std::filesystem::exists(checkpoint_path)) {
+      vbr::service::load_service_checkpoint(checkpoint_path, service);
+    }
+
+    // Every stream stays active, so samples-per-stream is rounds * block;
+    // a resumed run continues exactly where the last checkpoint stopped.
+    const auto target_rounds =
+        static_cast<std::uint64_t>((samples + block - 1) / block);
+    while (service.rounds() < target_rounds) {
+      service.advance_round(static_cast<std::size_t>(block));
+      if (!checkpoint_path.empty() && (service.rounds() % checkpoint_every == 0 ||
+                                       service.rounds() == target_rounds)) {
+        vbr::service::save_service_checkpoint(checkpoint_path, service);
+      }
+    }
+
+    const double rss = peak_rss_mib();
+    if (!hash_out.empty()) {
+      char line[32];
+      std::snprintf(line, sizeof line, "%016" PRIx64 "\n", service.results_hash());
+      vbr::write_file_atomic(hash_out, line);
+    }
+
+    if (json) {
+      std::printf("{\"streams\": %zu, \"samples_per_stream\": %" PRIu64
+                  ", \"rounds\": %" PRIu64 ", \"total_samples\": %" PRIu64
+                  ", \"results_hash\": \"%016" PRIx64 "\", \"total_bytes\": %.17g"
+                  ", \"peak_rss_mib\": %.1f}\n",
+                  config.num_streams, samples, service.rounds(), service.total_samples(),
+                  service.results_hash(), service.total_bytes(), rss);
+    } else {
+      std::printf("streams        %zu\n", config.num_streams);
+      std::printf("samples/stream %" PRIu64 "\n", samples);
+      std::printf("rounds         %" PRIu64 "\n", service.rounds());
+      std::printf("total_samples  %" PRIu64 "\n", service.total_samples());
+      std::printf("total_bytes    %.6g\n", service.total_bytes());
+      std::printf("results_hash   %016" PRIx64 "\n", service.results_hash());
+      if (service.queue() != nullptr) {
+        std::printf("queue_lost     %.6g\n", service.queue()->lost_bytes());
+        std::printf("queue_max      %.6g\n", service.queue()->max_queue_bytes());
+      }
+      std::printf("peak_rss_mib   %.1f\n", rss);
+    }
+
+    if (max_rss_mib > 0.0 && rss > max_rss_mib) {
+      std::fprintf(stderr, "serve_traffic: peak RSS %.1f MiB exceeds ceiling %.1f MiB\n",
+                   rss, max_rss_mib);
+      return 3;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_traffic: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

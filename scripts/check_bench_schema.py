@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Schema smoke-check for BENCH_generator_pareto.json.
+"""Schema smoke-check for the recorded BENCH_*.json artifacts.
 
-CI runs bench_generator_pareto at reduced scale and then this script, so a
-refactor that silently drops a field, emits malformed JSON, or records an
-out-of-domain number fails the build — the recorded artifact in results/
-and any downstream plotting stay parseable. Usage:
+CI runs each bench at reduced scale and then this script, so a refactor
+that silently drops a field, emits malformed JSON, or records an
+out-of-domain number fails the build — the recorded artifacts in results/
+and any downstream plotting stay parseable. The schema is dispatched on the
+document's own name field, so one entry point covers every bench:
 
     python3 scripts/check_bench_schema.py path/to/BENCH_generator_pareto.json
+    python3 scripts/check_bench_schema.py path/to/BENCH_engine_scaling.json
+    python3 scripts/check_bench_schema.py path/to/BENCH_service.json
 """
 import json
 import sys
@@ -34,15 +37,97 @@ def check_number(obj, key, lo=None, hi=None, ctx=""):
     return v
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail("expected exactly one argument: path to BENCH_generator_pareto.json")
-    try:
-        with open(sys.argv[1]) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot load {sys.argv[1]}: {e}")
+def check_hash(obj, key, ctx=""):
+    v = obj.get(key)
+    require(isinstance(v, str) and len(v) == 16
+            and all(c in "0123456789abcdef" for c in v),
+            f"'{key}' is not a 16-hex-digit hash {ctx}")
+    return v
 
+
+def check_engine_scaling(doc):
+    """BENCH_engine_scaling.json: thread-scaling + determinism witness."""
+    require(doc.get("contracts") in ("on", "off"), "contracts must be on/off")
+    check_number(doc, "sources", lo=1)
+    check_number(doc, "frames_per_source", lo=1)
+    check_number(doc, "hardware_concurrency", lo=1)
+    results = doc.get("results")
+    require(isinstance(results, list) and results,
+            "'results' must be a non-empty list")
+    hashes = set()
+    for row in results:
+        ctx = f"(threads {row.get('threads')})"
+        check_number(row, "threads", lo=1, ctx=ctx)
+        check_number(row, "threads_used", lo=1, ctx=ctx)
+        check_number(row, "wall_seconds", lo=0.0, ctx=ctx)
+        check_number(row, "frames_per_second", lo=1.0, ctx=ctx)
+        check_number(row, "bytes_per_second", lo=0.0, ctx=ctx)
+        check_number(row, "speedup_vs_first", lo=0.0, ctx=ctx)
+        hashes.add(check_hash(row, "trace_hash", ctx=ctx))
+    require(isinstance(doc.get("bit_identical_across_thread_counts"), bool),
+            "'bit_identical_across_thread_counts' not bool")
+    require(doc["bit_identical_across_thread_counts"],
+            "recorded run was not bit-identical across thread counts")
+    require(len(hashes) == 1, "trace hashes differ across thread counts")
+    ck = doc.get("checkpoint_overhead")
+    require(isinstance(ck, dict), "missing 'checkpoint_overhead' object")
+    check_number(ck, "plain_seconds", lo=0.0)
+    check_number(ck, "checkpointed_seconds", lo=0.0)
+    check_number(ck, "overhead_fraction", lo=-1.0)
+    check_number(ck, "checkpoint_every_sources", lo=1)
+    print(f"schema check OK: {sys.argv[1]} ({len(results)} thread counts)")
+
+
+def check_service(doc):
+    """BENCH_service.json: streaming-service throughput + footprint."""
+    require(doc.get("contracts") in ("on", "off"), "contracts must be on/off")
+    streams = check_number(doc, "streams", lo=1)
+    check_number(doc, "samples_per_stream", lo=1)
+    check_number(doc, "block", lo=1)
+    require(doc.get("backend") in ("hosking", "paxson", "onoff"),
+            f"unknown backend {doc.get('backend')}")
+    check_number(doc, "hosking_horizon", lo=1)
+    check_number(doc, "hardware_concurrency", lo=1)
+    results = doc.get("results")
+    require(isinstance(results, list) and results,
+            "'results' must be a non-empty list")
+    hashes = set()
+    for row in results:
+        ctx = f"(threads {row.get('threads')})"
+        check_number(row, "threads", lo=1, ctx=ctx)
+        check_number(row, "build_seconds", lo=0.0, ctx=ctx)
+        check_number(row, "streams_per_second_build", lo=0.0, ctx=ctx)
+        check_number(row, "serve_seconds", lo=0.0, ctx=ctx)
+        check_number(row, "samples_per_second", lo=1.0, ctx=ctx)
+        check_number(row, "speedup_vs_first", lo=0.0, ctx=ctx)
+        hashes.add(check_hash(row, "results_hash", ctx=ctx))
+    require(len(hashes) == 1, "results hashes differ across thread counts")
+    require(isinstance(doc.get("bit_identical_across_thread_counts"), bool),
+            "'bit_identical_across_thread_counts' not bool")
+    require(doc["bit_identical_across_thread_counts"],
+            "recorded run was not bit-identical across thread counts")
+    ck = doc.get("checkpoint")
+    require(isinstance(ck, dict), "missing 'checkpoint' object")
+    check_number(ck, "save_seconds", lo=0.0)
+    check_number(ck, "load_seconds", lo=0.0)
+    require(ck.get("hash_match") is True, "checkpoint round-trip hash mismatch")
+    check_number(doc, "build_seconds", lo=0.0)
+    check_number(doc, "serve_rss_mib", lo=0.0)
+    check_number(doc, "peak_rss_mib", lo=0.0)
+    per_million = check_number(doc, "rss_mib_per_million_streams", lo=0.0)
+    # The bounded-memory contract at recorded scale (normalized from the
+    # serve-phase RSS, one live fleet): at >= 2^18 streams the fixed
+    # process overhead is amortized and per-stream state dominates, so the
+    # normalized footprint must stay inside the documented 1 GiB/10^6
+    # ceiling check.sh --service enforces.
+    if streams >= (1 << 18):
+        require(per_million <= 1024.0,
+                f"rss_mib_per_million_streams = {per_million} above the 1 GiB ceiling")
+    print(f"schema check OK: {sys.argv[1]} ({len(results)} thread counts, "
+          f"{streams} streams)")
+
+
+def check_generator_pareto(doc):
     require(doc.get("bench") == "generator_pareto", "bench name mismatch")
     require(doc.get("contracts") in ("on", "off"), "contracts must be on/off")
     check_number(doc, "frames", lo=1)
@@ -101,6 +186,28 @@ def main():
                 "enforced constraints recorded as failing")
 
     print(f"schema check OK: {sys.argv[1]} ({len(gens)} generators)")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("expected exactly one argument: path to a BENCH_*.json artifact")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {sys.argv[1]}: {e}")
+
+    checkers = {
+        "engine_scaling": check_engine_scaling,
+        "service": check_service,
+    }
+    if doc.get("bench") == "generator_pareto":
+        check_generator_pareto(doc)
+    elif doc.get("benchmark") in checkers:
+        checkers[doc["benchmark"]](doc)
+    else:
+        fail(f"unrecognized bench document: bench={doc.get('bench')!r} "
+             f"benchmark={doc.get('benchmark')!r}")
 
 
 if __name__ == "__main__":

@@ -17,6 +17,14 @@
 #
 #   crash_soak.sh --sweep <run_sweep-binary> [supervisor_kills]
 #
+# Service mode tortures the streaming traffic service the same way:
+#
+#   crash_soak.sh --service <serve_traffic-binary> [kills] [streams] [samples]
+#
+# It runs one uninterrupted serve_traffic as the reference, then SIGKILLs
+# checkpointing runs at random instants, resumes each from its VBRSRVC1
+# checkpoint, and requires the resumed results_hash to be bit-identical.
+#
 # It (1) runs a fault-free reference sweep, (2) replays it with every cell's
 # first worker attempt crashing/hanging/OOMing and requires the retried
 # results hash to match the reference bit-for-bit, (3) SIGSTOPs a live
@@ -157,6 +165,66 @@ if [[ "${1:-}" == "--sweep" ]]; then
     note "FAILED (seed ${CRASH_SOAK_SEED:-1994})" >&2
   else
     note "$retries worker faults + 1 external SIGSTOP + $KILLS supervisor kills: all bit-identical"
+  fi
+  exit $fail
+fi
+
+if [[ "${1:-}" == "--service" ]]; then
+  shift
+  BIN=${1:?usage: crash_soak.sh --service <serve_traffic-binary> [kills] [streams] [samples]}
+  KILLS=${2:-10}
+  STREAMS=${3:-64}
+  SAMPLES=${4:-16384}
+  RANDOM=${CRASH_SOAK_SEED:-1994}
+
+  WORK=$(mktemp -d "${TMPDIR:-/tmp}/service_soak.XXXXXX")
+  trap 'rm -rf "$WORK"' EXIT
+
+  # Checkpoint every other round so a random SIGKILL usually lands between
+  # a save and the next — the resume path that matters.
+  common=(--streams "$STREAMS" --samples "$SAMPLES" --block 256 --checkpoint-every 2
+          --queue-capacity 8e6 --queue-buffer 4e6)
+
+  t0=$(date +%s%N)
+  "$BIN" "${common[@]}" --checkpoint "$WORK/ref.ckpt" --hash-out "$WORK/ref.hash" \
+    >/dev/null || {
+    echo "service_soak: reference run failed" >&2
+    exit 1
+  }
+  t1=$(date +%s%N)
+  window_ms=$(((t1 - t0) / 1000000))
+  ((window_ms < 50)) && window_ms=50
+  echo "service_soak: reference $(cat "$WORK/ref.hash") (~${window_ms}ms, $STREAMS streams)"
+
+  fail=0
+  for i in $(seq 1 "$KILLS"); do
+    rm -f "$WORK"/run.*
+    delay_ms=$((RANDOM % window_ms))
+    "$BIN" "${common[@]}" --checkpoint "$WORK/run.ckpt" --hash-out "$WORK/run.hash" \
+      >/dev/null 2>&1 &
+    pid=$!
+    sleep "$(awk "BEGIN{printf \"%.3f\", $delay_ms / 1000}")"
+    if kill -9 "$pid" 2>/dev/null; then outcome=killed; else outcome=completed; fi
+    wait "$pid" 2>/dev/null
+
+    if ! "$BIN" "${common[@]}" --checkpoint "$WORK/run.ckpt" --resume \
+      --hash-out "$WORK/run.hash" >/dev/null; then
+      echo "service_soak: iter $i (delay ${delay_ms}ms, $outcome): resume FAILED"
+      fail=1
+      continue
+    fi
+    if cmp -s "$WORK/ref.hash" "$WORK/run.hash"; then
+      echo "service_soak: iter $i (delay ${delay_ms}ms, $outcome): identical"
+    else
+      echo "service_soak: iter $i (delay ${delay_ms}ms, $outcome): HASH MISMATCH"
+      fail=1
+    fi
+  done
+
+  if ((fail)); then
+    echo "service_soak: FAILED (seed ${CRASH_SOAK_SEED:-1994})" >&2
+  else
+    echo "service_soak: $KILLS kills, all resumes bit-identical"
   fi
   exit $fail
 fi

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Regenerate fuzz/corpus/service_checkpoint from a real VBRSRVC1 file.
+
+Usage:
+    scripts/make_service_fuzz_corpus.py --bin build/examples/serve_traffic
+
+Runs serve_traffic at the fuzz harness's exact config (4 streams, seed 42,
+gaussian variant, hosking backend — see fuzz/fuzz_service_checkpoint.cpp) to
+produce a genuine checkpoint, then derives the hostile variants: truncations,
+CRC-breaking bit flips, magic/version forgeries, a size-field lie, and a
+forged stream count re-sealed with a *valid* CRC so the mutation survives the
+envelope and reaches the payload validator. zlib.crc32 matches the repo's
+CRC-32/ISO-HDLC (checkpoint_test pins the check value), so Python can seal
+envelopes the C++ reader accepts.
+"""
+import argparse
+import pathlib
+import struct
+import subprocess
+import sys
+import tempfile
+import zlib
+
+MAGIC = b"VBRSRVC1"
+VERSION = 1
+
+
+def seal(payload: bytes, magic: bytes = MAGIC, version: int = VERSION,
+         size: int | None = None) -> bytes:
+    header = magic + struct.pack("<I", version)
+    header += struct.pack("<Q", len(payload) if size is None else size)
+    header += struct.pack("<I", zlib.crc32(payload) & 0xFFFFFFFF)
+    return header + payload
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bin", required=True, help="path to serve_traffic")
+    parser.add_argument("--out", default="fuzz/corpus/service_checkpoint",
+                        help="corpus directory to (re)populate")
+    args = parser.parse_args()
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = pathlib.Path(tmp) / "service.ckpt"
+        subprocess.run(
+            [args.bin, "--streams", "4", "--samples", "32", "--block", "16",
+             "--seed", "42", "--checkpoint", str(ckpt)],
+            check=True, stdout=subprocess.DEVNULL)
+        valid = ckpt.read_bytes()
+
+    header_len = 8 + 4 + 8 + 4
+    assert valid[:8] == MAGIC, "serve_traffic wrote an unexpected magic"
+    payload = valid[header_len:]
+    assert zlib.crc32(payload) & 0xFFFFFFFF == struct.unpack(
+        "<I", valid[20:24])[0], "CRC mismatch: layout drifted"
+
+    seeds = {
+        # The genuine article: exercises the full success path.
+        "valid": valid,
+        # Envelope-level hostility.
+        "truncated": valid[: len(valid) * 2 // 5],
+        "truncated_header": valid[:10],
+        "bad_magic": b"VBRSRVX1" + valid[8:],
+        "version_skew": seal(payload, version=2),
+        "size_lies": seal(payload, size=1 << 40),
+        "bad_crc": valid[:header_len]
+        + payload[: len(payload) // 2]
+        + bytes([payload[len(payload) // 2] ^ 0x10])
+        + payload[len(payload) // 2 + 1:],
+        # Payload-level hostility behind a *valid* CRC: forge the stream
+        # count (the first u64 after the 4-byte "service" tag prefix, i.e.
+        # len-u32 + "service"), so restore must reject it cleanly.
+        "forged_stream_count": seal(
+            payload[: 4 + 7] + struct.pack("<Q", 1 << 30) + payload[4 + 7 + 8:]),
+        "empty_payload": seal(b""),
+    }
+    for name, data in seeds.items():
+        (out / name).write_bytes(data)
+        print(f"wrote {out / name} ({len(data)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

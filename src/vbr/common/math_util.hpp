@@ -15,6 +15,20 @@ class KahanSum {
   void add(double value);
   double value() const { return sum_; }
 
+  /// The compensation term, exposed (with from_parts) so a checkpoint can
+  /// persist a running sum mid-stream and resume it bit-for-bit; rounding
+  /// of later add()s depends on both words, not just value().
+  double compensation() const { return compensation_; }
+
+  /// Reconstruct the exact accumulator state captured by (value(),
+  /// compensation()).
+  static KahanSum from_parts(double sum, double compensation) {
+    KahanSum k;
+    k.sum_ = sum;
+    k.compensation_ = compensation;
+    return k;
+  }
+
  private:
   double sum_ = 0.0;
   double compensation_ = 0.0;

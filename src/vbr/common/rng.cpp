@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
 
 namespace vbr {
 namespace {
@@ -51,6 +52,26 @@ Rng Rng::from_state(const std::array<std::uint64_t, 4>& state) {
   rng.cached_normal_ = 0.0;
   rng.has_cached_normal_ = false;
   return rng;
+}
+
+void Rng::save(std::ostream& out) const {
+  for (const std::uint64_t word : state_) io::write_u64(out, word);
+  io::write_u8(out, has_cached_normal_ ? 1 : 0);
+  io::write_f64(out, has_cached_normal_ ? cached_normal_ : 0.0);
+}
+
+void Rng::restore(std::istream& in) {
+  std::array<std::uint64_t, 4> words{};
+  for (auto& word : words) word = io::read_u64(in, "Rng::restore");
+  const std::uint8_t flag = io::read_u8(in, "Rng::restore");
+  if (flag > 1) throw IoError("Rng::restore: corrupt cached-normal flag");
+  const double cached = io::read_f64(in, "Rng::restore");
+  if (flag == 1 && !std::isfinite(cached)) {
+    throw IoError("Rng::restore: non-finite cached normal");
+  }
+  state_ = words;
+  has_cached_normal_ = (flag == 1);
+  cached_normal_ = (flag == 1) ? cached : 0.0;
 }
 
 double Rng::uniform() {

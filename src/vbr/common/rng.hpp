@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 
 namespace vbr {
 
@@ -43,6 +44,17 @@ class Rng {
   /// Reconstruct a stream from state() words (never through the seed
   /// expansion). from_state(r.state()) produces the same draws as r.
   static Rng from_state(const std::array<std::uint64_t, 4>& state);
+
+  /// Serialize the *complete* stream state — the four xoshiro words plus any
+  /// cached Normal deviate — so a stream can be checkpointed at an arbitrary
+  /// instant, including mid-normal-pair where state() would throw. The
+  /// streaming-source checkpoints (src/vbr/service/) need exactly this:
+  /// restore() + continued draws reproduce the original stream bit-for-bit.
+  void save(std::ostream& out) const;
+
+  /// Inverse of save(). Throws vbr::IoError on truncation or a corrupt
+  /// cached-normal flag; on failure this stream is left unchanged.
+  void restore(std::istream& in);
 
   /// Uniform double in [0, 1).
   double uniform();

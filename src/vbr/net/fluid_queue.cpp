@@ -1,8 +1,10 @@
 #include "vbr/net/fluid_queue.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
 
 namespace vbr::net {
 
@@ -63,6 +65,41 @@ double FluidQueue::offer(double bytes, double duration_sec) {
 
 double FluidQueue::mean_queue_bytes() const {
   return (elapsed_seconds_ > 0.0) ? queue_time_integral_ / elapsed_seconds_ : 0.0;
+}
+
+void FluidQueue::save(std::ostream& out) const {
+  io::write_string(out, "fluid-queue");
+  io::write_f64(out, capacity_);
+  io::write_f64(out, buffer_);
+  io::write_f64(out, queue_);
+  io::write_f64(out, max_queue_);
+  io::write_f64(out, arrived_);
+  io::write_f64(out, lost_);
+  io::write_f64(out, queue_time_integral_);
+  io::write_f64(out, elapsed_seconds_);
+}
+
+void FluidQueue::restore(std::istream& in) {
+  io::read_tag(in, "fluid-queue", "FluidQueue::restore");
+  const double capacity = io::read_f64(in, "FluidQueue::restore");
+  const double buffer = io::read_f64(in, "FluidQueue::restore");
+  if (capacity != capacity_ || buffer != buffer_) {
+    throw IoError("FluidQueue::restore: configuration mismatch");
+  }
+  double state[6];
+  for (double& v : state) {
+    v = io::read_f64(in, "FluidQueue::restore");
+    if (!std::isfinite(v) || v < 0.0) {
+      throw IoError("FluidQueue::restore: corrupt accumulator");
+    }
+  }
+  if (state[0] > buffer_) throw IoError("FluidQueue::restore: backlog exceeds buffer");
+  queue_ = state[0];
+  max_queue_ = state[1];
+  arrived_ = state[2];
+  lost_ = state[3];
+  queue_time_integral_ = state[4];
+  elapsed_seconds_ = state[5];
 }
 
 FluidQueueResult run_fluid_queue(std::span<const double> interval_bytes, double dt_seconds,

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -60,6 +61,16 @@ class FluidQueue {
   double lost_bytes() const { return lost_; }
   /// Time-average backlog over the offered duration so far.
   double mean_queue_bytes() const;
+
+  /// Serialize the complete queue state (configuration + every accumulator,
+  /// doubles as raw bit patterns). restore() on a queue constructed with
+  /// the same capacity and buffer reproduces the state bit-for-bit, so a
+  /// checkpointed service resumes its loss/backlog accounting exactly
+  /// (vbr::service uses this). Throws vbr::IoError on a configuration
+  /// mismatch, truncation, or non-finite state; on failure this queue is
+  /// left unchanged.
+  void save(std::ostream& out) const;
+  void restore(std::istream& in);
 
  private:
   double capacity_;

@@ -1,0 +1,34 @@
+#include "vbr/service/service_checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "vbr/common/atomic_file.hpp"
+#include "vbr/common/error.hpp"
+
+namespace vbr::service {
+
+run::EnvelopeSpec service_checkpoint_envelope() {
+  // The payload bound allows a million hosking streams at a generous
+  // horizon (a few hundred bytes each) while keeping a forged size field
+  // from driving a multi-GB allocation under the fuzzer's RSS limit.
+  return {kServiceCheckpointMagic, kServiceCheckpointVersion, std::uint64_t{1} << 31,
+          "service checkpoint"};
+}
+
+void save_service_checkpoint(const std::string& path, const TrafficService& service) {
+  std::ostringstream payload(std::ios::binary);
+  service.save_state(payload);
+  write_file_atomic(path, run::seal_envelope(service_checkpoint_envelope(), payload.str()),
+                    /*durable=*/true);
+}
+
+void load_service_checkpoint(const std::string& path, TrafficService& service) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open service checkpoint: " + path);
+  const std::string body = run::open_envelope(in, service_checkpoint_envelope(), path);
+  std::istringstream payload(body, std::ios::binary);
+  service.restore_state(payload);
+}
+
+}  // namespace vbr::service

@@ -1,0 +1,47 @@
+// Crash-safe on-disk persistence for a TrafficService: the service payload
+// (TrafficService::save_state) wrapped in the same CRC-guarded envelope
+// format the campaign checkpoint uses (run/envelope.hpp), under its own
+// magic:
+//
+//   8 bytes  magic  "VBRSRVC1"
+//   u32      version (currently 1)
+//   u64      payload size
+//   u32      CRC-32 of the payload
+//   payload  TrafficService state (config fingerprint + counters + hash +
+//            queue + sink + every live stream)
+//
+// Writes go through write_file_atomic, so a SIGKILL mid-save leaves the
+// previous complete checkpoint in place; loads verify magic, version, size
+// bound, and CRC before a single payload byte is parsed, and the payload
+// parse itself validates the config fingerprint and every count against
+// the live service. scripts/crash_soak.sh --service kills serve_traffic at
+// random instants and asserts the resumed results_hash is bit-identical to
+// an uninterrupted run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "vbr/run/envelope.hpp"
+#include "vbr/service/traffic_service.hpp"
+
+namespace vbr::service {
+
+inline constexpr std::array<char, 8> kServiceCheckpointMagic = {'V', 'B', 'R', 'S',
+                                                                'R', 'V', 'C', '1'};
+inline constexpr std::uint32_t kServiceCheckpointVersion = 1;
+
+/// Envelope identity; exposed so the fuzz harness can seal hostile payloads
+/// with a valid CRC (the dual-path corpus pattern).
+run::EnvelopeSpec service_checkpoint_envelope();
+
+/// Atomically write the complete service state to `path`.
+void save_service_checkpoint(const std::string& path, const TrafficService& service);
+
+/// Load a checkpoint into a service built from the same config. Throws
+/// vbr::IoError on any envelope or payload defect; on a payload defect the
+/// service may hold partial state and must be discarded (the CLI rebuilds).
+void load_service_checkpoint(const std::string& path, TrafficService& service);
+
+}  // namespace vbr::service

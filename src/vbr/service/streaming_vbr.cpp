@@ -1,0 +1,199 @@
+#include "vbr/service/streaming_vbr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <utility>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
+#include "vbr/model/fgn_generator.hpp"
+#include "vbr/service/streaming_hosking.hpp"
+#include "vbr/service/streaming_onoff.hpp"
+#include "vbr/service/streaming_paxson.hpp"
+
+namespace vbr::service {
+
+/// Owns the marginal distribution alongside the map that references it;
+/// heap-allocated once per distinct parameter triple and shared immutably.
+struct MarginalMapEntry {
+  stats::GammaParetoDistribution dist;
+  model::TabulatedMarginalMap map;
+
+  explicit MarginalMapEntry(const stats::GammaParetoParams& params)
+      : dist(params), map(dist) {}
+};
+
+namespace {
+
+std::uint64_t double_bits(double x) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof x);
+  std::memcpy(&bits, &x, sizeof bits);
+  return bits;
+}
+
+struct MarginalMapCache {
+  std::mutex mutex;
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+           std::shared_ptr<const MarginalMapEntry>>
+      entries;
+};
+
+MarginalMapCache& marginal_map_cache() {
+  static MarginalMapCache cache;
+  return cache;
+}
+
+std::shared_ptr<const MarginalMapEntry> cached_marginal_map(
+    const stats::GammaParetoParams& params) {
+  const auto key = std::make_tuple(double_bits(params.mu_gamma), double_bits(params.sigma_gamma),
+                                   double_bits(params.tail_slope));
+  auto& cache = marginal_map_cache();
+  {
+    const std::scoped_lock lock(cache.mutex);
+    if (const auto it = cache.entries.find(key); it != cache.entries.end()) return it->second;
+  }
+  // Tabulating 10k quantiles is slow; build outside the lock (a racing
+  // duplicate is identical and the first insert wins).
+  auto entry = std::make_shared<const MarginalMapEntry>(params);
+  const std::scoped_lock lock(cache.mutex);
+  return cache.entries.emplace(key, std::move(entry)).first->second;
+}
+
+}  // namespace
+
+StreamingVbrSource::StreamingVbrSource(const model::VbrModelParams& params,
+                                       model::ModelVariant variant,
+                                       model::GeneratorBackend backend,
+                                       const StreamingTuning& tuning, Rng& parent)
+    : params_(params), variant_(variant), backend_(backend), rng_(parent) {
+  VBR_ENSURE(params.hurst > 0.0 && params.hurst < 1.0, "H must be in (0, 1)");
+  if (variant_ == model::ModelVariant::kIidGammaPareto) {
+    marginal_ = std::make_unique<stats::GammaParetoDistribution>(params.marginal);
+    return;
+  }
+  core_ = make_streaming_core(backend, params.hurst, 1.0, tuning, parent);
+  if (variant_ == model::ModelVariant::kFull) map_ = cached_marginal_map(params.marginal);
+}
+
+std::uint64_t StreamingVbrSource::position() const {
+  return core_ ? core_->position() : iid_position_;
+}
+
+void StreamingVbrSource::next_block(std::size_t n, std::vector<double>& out) {
+  if (variant_ == model::ModelVariant::kIidGammaPareto) {
+    out.reserve(out.size() + n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(marginal_->sample(rng_));
+    iid_position_ += n;
+    return;
+  }
+  // Let the core append, then transform its tail in place — no scratch
+  // buffer, so the wrapper adds nothing to the per-stream footprint.
+  const std::size_t base = out.size();
+  core_->next_block(n, out);
+  if (variant_ == model::ModelVariant::kGaussianFarima) {
+    for (std::size_t i = base; i < out.size(); ++i) {
+      VBR_DCHECK(std::isfinite(out[i]), "non-finite Gaussian core sample");
+      out[i] = std::max(0.0, params_.marginal.mu_gamma +
+                                 params_.marginal.sigma_gamma * out[i]);
+    }
+    return;
+  }
+  const model::TabulatedMarginalMap& map = map_->map;
+  for (std::size_t i = base; i < out.size(); ++i) out[i] = map(out[i]);
+}
+
+void StreamingVbrSource::save(std::ostream& out) const {
+  io::write_string(out, kind());
+  io::write_u8(out, static_cast<std::uint8_t>(variant_));
+  io::write_string(out, model::generator_backend_name(backend_));
+  io::write_f64(out, params_.marginal.mu_gamma);
+  io::write_f64(out, params_.marginal.sigma_gamma);
+  io::write_f64(out, params_.marginal.tail_slope);
+  io::write_f64(out, params_.hurst);
+  if (variant_ == model::ModelVariant::kIidGammaPareto) {
+    io::write_u64(out, iid_position_);
+    rng_.save(out);
+    return;
+  }
+  core_->save(out);
+}
+
+void StreamingVbrSource::restore(std::istream& in) {
+  io::read_tag(in, kind(), "StreamingVbrSource::restore");
+  const std::uint8_t variant = io::read_u8(in, "StreamingVbrSource::restore");
+  const std::string backend = io::read_string(in, 64, "StreamingVbrSource::restore");
+  const double mu = io::read_f64(in, "StreamingVbrSource::restore");
+  const double sigma = io::read_f64(in, "StreamingVbrSource::restore");
+  const double tail = io::read_f64(in, "StreamingVbrSource::restore");
+  const double hurst = io::read_f64(in, "StreamingVbrSource::restore");
+  if (variant != static_cast<std::uint8_t>(variant_) ||
+      backend != model::generator_backend_name(backend_) ||
+      mu != params_.marginal.mu_gamma || sigma != params_.marginal.sigma_gamma ||
+      tail != params_.marginal.tail_slope || hurst != params_.hurst) {
+    throw IoError("StreamingVbrSource::restore: configuration mismatch");
+  }
+  if (variant_ == model::ModelVariant::kIidGammaPareto) {
+    const std::uint64_t position = io::read_u64(in, "StreamingVbrSource::restore");
+    Rng rng;
+    rng.restore(in);
+    iid_position_ = position;
+    rng_ = rng;
+    return;
+  }
+  core_->restore(in);
+}
+
+std::size_t StreamingVbrSource::marginal_map_cache_size() {
+  auto& cache = marginal_map_cache();
+  const std::scoped_lock lock(cache.mutex);
+  return cache.entries.size();
+}
+
+void StreamingVbrSource::marginal_map_cache_clear() {
+  auto& cache = marginal_map_cache();
+  const std::scoped_lock lock(cache.mutex);
+  cache.entries.clear();
+}
+
+std::unique_ptr<StreamingSource> make_streaming_core(model::GeneratorBackend backend,
+                                                     double hurst, double variance,
+                                                     const StreamingTuning& tuning,
+                                                     Rng& parent) {
+  switch (backend) {
+    case model::GeneratorBackend::kHosking:
+      return std::make_unique<StreamingHosking>(
+          model::HoskingOptions{.hurst = hurst, .variance = variance},
+          tuning.hosking_horizon, parent);
+    case model::GeneratorBackend::kPaxson:
+      return std::make_unique<StreamingPaxson>(
+          model::PaxsonOptions{.hurst = hurst, .variance = variance},
+          tuning.paxson_window, tuning.paxson_overlap, parent);
+    case model::GeneratorBackend::kAggregatedOnOff:
+      return std::make_unique<StreamingOnOff>(
+          model::OnOffOptions{.hurst = hurst,
+                              .mean_active_sessions = tuning.onoff_mean_active_sessions,
+                              .min_session_frames = tuning.onoff_min_session_frames,
+                              .variance = variance},
+          parent);
+    case model::GeneratorBackend::kDaviesHarte:
+      throw InvalidArgument(
+          "davies-harte has no streaming form (whole-trace circulant embedding); "
+          "use hosking, paxson, or onoff");
+  }
+  throw InvalidArgument("unknown generator backend");
+}
+
+std::unique_ptr<StreamingSource> make_streaming_source(const model::VbrModelParams& params,
+                                                       model::ModelVariant variant,
+                                                       model::GeneratorBackend backend,
+                                                       const StreamingTuning& tuning,
+                                                       Rng& parent) {
+  return std::make_unique<StreamingVbrSource>(params, variant, backend, tuning, parent);
+}
+
+}  // namespace vbr::service

@@ -1,0 +1,65 @@
+// Streaming form of the paper's complete VBR source: a streaming LRD core
+// pushed through the model-variant head (Gamma/Pareto marginal map,
+// Gaussian affine clip, or i.i.d. marginal sampling), sample by sample.
+//
+// The head is stateless per sample, so the stream inherits the core's
+// block-size invariance and checkpoint exactness unchanged. The tabulated
+// marginal map — the only heavy head object — depends solely on the
+// marginal parameters, so all streams of one service share a single
+// immutable table through a process-wide cache; per-stream head state is
+// nothing (kFull / kGaussianFarima) or one Rng (kIidGammaPareto).
+//
+// Rng consumption mirrors VbrVideoSourceModel::generate exactly: the iid
+// variant draws straight from the handed per-stream Rng, the core variants
+// hand it to the core (which takes one split(), the batch hosking_farima
+// convention) — so an iid stream and a full-horizon hosking stream are
+// bit-identical to their batch counterparts (pinned by service_test).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "vbr/common/rng.hpp"
+#include "vbr/model/marginal_transform.hpp"
+#include "vbr/service/streaming_source.hpp"
+#include "vbr/stats/gamma_pareto.hpp"
+
+namespace vbr::service {
+
+/// Opaque shared head state: the marginal distribution plus the tabulated
+/// map that references it (defined in streaming_vbr.cpp).
+struct MarginalMapEntry;
+
+class StreamingVbrSource final : public StreamingSource {
+ public:
+  /// Throws vbr::InvalidArgument for invalid model parameters or a backend
+  /// with no streaming form (davies-harte).
+  StreamingVbrSource(const model::VbrModelParams& params, model::ModelVariant variant,
+                     model::GeneratorBackend backend, const StreamingTuning& tuning,
+                     Rng& parent);
+
+  using StreamingSource::next_block;
+  void next_block(std::size_t n, std::vector<double>& out) override;
+  std::uint64_t position() const override;
+  const char* kind() const override { return "vbr-stream"; }
+  void save(std::ostream& out) const override;
+  void restore(std::istream& in) override;
+
+  /// Process-wide marginal-map cache introspection.
+  static std::size_t marginal_map_cache_size();
+  static void marginal_map_cache_clear();
+
+ private:
+  model::VbrModelParams params_;
+  model::ModelVariant variant_;
+  model::GeneratorBackend backend_;
+  std::shared_ptr<const MarginalMapEntry> map_;  ///< kFull only
+  std::unique_ptr<StreamingSource> core_;        ///< null for kIidGammaPareto
+  std::unique_ptr<stats::GammaParetoDistribution> marginal_;  ///< kIidGammaPareto only
+  Rng rng_;                                      ///< kIidGammaPareto only
+  std::uint64_t iid_position_ = 0;
+};
+
+}  // namespace vbr::service

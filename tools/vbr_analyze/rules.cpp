@@ -126,9 +126,14 @@ void rule_token_scans(const SourceFile& f, std::vector<Finding>& out) {
 void rule_mutable_static(const SourceFile& f, std::vector<Finding>& out) {
   const std::string& p = f.rel_path();
   if (!under(p, "src")) return;
-  static constexpr std::array<std::string_view, 3> kAllow = {
+  // Reviewed caches: mutex-guarded, immutable-after-build shared tables
+  // (twiddle factors, Durbin-Levinson coefficient tables, marginal quantile
+  // maps). The service entries hold the per-(H, variance, horizon) predictor
+  // tables and per-params marginal maps shared across a million streams.
+  static constexpr std::array<std::string_view, 5> kAllow = {
       "src/vbr/model/davies_harte.cpp", "src/vbr/model/paxson_fgn.cpp",
-      "src/vbr/common/fft_fast.cpp"};
+      "src/vbr/common/fft_fast.cpp", "src/vbr/service/streaming_hosking.cpp",
+      "src/vbr/service/streaming_vbr.cpp"};
   if (std::find(kAllow.begin(), kAllow.end(), p) != kAllow.end()) return;
 
   const Toks& t = f.tokens();
@@ -978,11 +983,13 @@ void run_rules(const std::vector<SourceFile>& files,
                std::vector<Finding>& findings) {
   // A5's floating-point name sets are shared between a .cpp and its header
   // (members are declared in the .hpp, accumulated in the .cpp): merge by
-  // path stem within src/vbr/stream/.
+  // path stem within src/vbr/stream/ and src/vbr/service/ (the service
+  // keeps running totals over unbounded sample streams, exactly the sums
+  // A5 exists to protect).
   std::map<std::string, std::set<std::string>> stream_fp;
   for (const SourceFile& f : files) {
     const std::string& p = f.rel_path();
-    if (!under(p, "src/vbr/stream")) continue;
+    if (!under(p, "src/vbr/stream") && !under(p, "src/vbr/service")) continue;
     const std::size_t dot = p.rfind('.');
     collect_fp_names(f, stream_fp[p.substr(0, dot)]);
   }
@@ -998,7 +1005,7 @@ void run_rules(const std::vector<SourceFile>& files,
     rule_thread_boundary(f, findings);
     rule_contract_coverage(f, findings);
     const std::string& p = f.rel_path();
-    if (under(p, "src/vbr/stream")) {
+    if (under(p, "src/vbr/stream") || under(p, "src/vbr/service")) {
       const std::size_t dot = p.rfind('.');
       rule_naive_accumulation(f, stream_fp[p.substr(0, dot)], findings);
     }
