@@ -1,19 +1,29 @@
 // run_sweep: process-isolated §5 evaluation sweep with watchdogs, resource
-// ceilings, retry/quarantine, and a resumable manifest.
+// ceilings, retry/quarantine, an append-only result log, and sharded
+// multi-pool work-stealing dispatch.
 //
-// Drives vbr::sweep::run_sweep() from the command line: every cell of the
+// Single-pool mode drives vbr::sweep::run_sweep(): every cell of the
 // queue × Hurst × utilization × buffer × sources grid runs in a forked
 // worker under a watchdog deadline and setrlimit ceilings. Crashed, hung,
-// and OOM-killed workers are retried from the cell's deterministic seed;
+// and OOM-killed workers are retried from the cell's deterministic seed
+// (requeued with a due time — one flaky cell never stalls the rest);
 // cells that fail every attempt are quarantined with a structured failure
-// record and the sweep keeps going. Progress persists in the manifest after
-// every settled cell, so SIGKILLing this process and rerunning the same
-// command with --resume salvages all settled cells and finishes with a
-// results hash bit-identical to an uninterrupted run. The crash-soak
-// harness (scripts/crash_soak.sh sweep) does exactly that in a loop.
+// record. Progress appends to the VBRSWPL1 result log after every settled
+// cell — O(1) per cell — so SIGKILLing this process and rerunning the same
+// command with --resume truncates any torn tail, salvages all settled
+// cells, and finishes with a results hash bit-identical to an
+// uninterrupted run. The crash-soak harness (scripts/crash_soak.sh sweep)
+// does exactly that in a loop.
+//
+// Sharded mode (--shard-dir) forks N work-stealing pools over a shared
+// directory of per-shard logs claimed through file leases; a killed pool's
+// lease expires and a survivor steals and replays its shard from the log
+// prefix. Rerunning the same command resumes the whole sweep; --merge-only
+// collects without computing. scripts/crash_soak.sh --shard soaks this.
 //
 // Usage:
-//   ./run_sweep --manifest FILE [options]
+//   ./run_sweep --log FILE | --shard-dir DIR [options]
+//       --log FILE           single-pool result log (--manifest is an alias)
 //       --queues LIST        comma list of fluid,cell,fbm   (default fluid)
 //       --hursts LIST        comma list of H values         (default 0.8)
 //       --utilizations LIST  comma list in (0,1]            (default 0.9)
@@ -26,25 +36,41 @@
 //       --cpu-sec N          RLIMIT_CPU ceiling, 0 = off    (default 0)
 //       --attempts N         tries per cell                 (default 3)
 //       --backoff-ms N       base retry backoff             (default 0)
-//       --resume             continue from the manifest if present
-//       --durable            fsync manifest saves
+//       --no-isolate         evaluate in-process (no fork per cell; fastest
+//                            at large scale, no crash containment)
+//       --resume             continue from the log if present
+//       --durable            fsync log appends
 //       --hash-out FILE      write the results hash (hex) atomically
+//       --export-manifest F  also write merged records as a VBRSWEP1 manifest
 //       --quiet              suppress per-cell progress lines
+//   Sharded dispatch:
+//       --shard-dir DIR      shared sweep directory (enables sharded mode)
+//       --shards N           shard count                    (default 8)
+//       --pools N            work-stealing pool processes   (default 4)
+//       --lease-ttl X        steal leases staler than X sec (default 10)
+//       --heartbeat X        lease refresh period           (default 1)
+//       --merge-only         collect + merge existing logs, compute nothing
 //   Fault injection (soak/test seam; disabled by default):
 //       --fault-rate P       P(first attempt faults) per cell
 //       --fault-seed S       fault stream seed              (default 7)
 //       --fault-kinds LIST   comma subset of crash,hang,oom (default all)
 //       --poison LIST        comma list of cell indexes that always fail
+//       --kill-pool LIST     comma list of POOL:RECORDS — SIGKILL pool POOL
+//                            after it appends RECORDS records
+//       --torn-tail          killed pools also leave a torn log tail
+//       --duplicate-claim N  pool N claims one shard through a fresh lease
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "vbr/common/atomic_file.hpp"
 #include "vbr/common/error.hpp"
+#include "vbr/sweep/dispatch.hpp"
 #include "vbr/sweep/supervisor.hpp"
 
 namespace {
@@ -98,17 +124,75 @@ std::vector<std::uint64_t> parse_u64_list(const char* text, const char* flag) {
   return values;
 }
 
+/// "POOL:RECORDS" pairs for --kill-pool.
+std::map<std::size_t, std::uint64_t> parse_kill_plan(const char* text) {
+  std::map<std::size_t, std::uint64_t> plan;
+  for (const std::string& part : split_csv(text)) {
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "run_sweep: --kill-pool expects POOL:RECORDS, got %s\n",
+                   part.c_str());
+      std::exit(2);
+    }
+    const std::uint64_t pool = parse_u64(part.substr(0, colon).c_str(), "--kill-pool");
+    const std::uint64_t records =
+        parse_u64(part.substr(colon + 1).c_str(), "--kill-pool");
+    plan[static_cast<std::size_t>(pool)] = records;
+  }
+  return plan;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: run_sweep --manifest FILE [--queues LIST] [--hursts LIST]\n"
-               "                 [--utilizations LIST] [--buffers-ms LIST]\n"
-               "                 [--sources LIST] [--frames N] [--seed S]\n"
-               "                 [--deadline-sec X] [--mem-mib N] [--cpu-sec N]\n"
-               "                 [--attempts N] [--backoff-ms N] [--resume]\n"
-               "                 [--durable] [--hash-out FILE] [--quiet]\n"
+               "usage: run_sweep --log FILE | --shard-dir DIR [--queues LIST]\n"
+               "                 [--hursts LIST] [--utilizations LIST]\n"
+               "                 [--buffers-ms LIST] [--sources LIST] [--frames N]\n"
+               "                 [--seed S] [--deadline-sec X] [--mem-mib N]\n"
+               "                 [--cpu-sec N] [--attempts N] [--backoff-ms N]\n"
+               "                 [--no-isolate] [--resume] [--durable]\n"
+               "                 [--hash-out FILE] [--export-manifest FILE] [--quiet]\n"
+               "                 [--shards N] [--pools N] [--lease-ttl X]\n"
+               "                 [--heartbeat X] [--merge-only]\n"
                "                 [--fault-rate P] [--fault-seed S]\n"
-               "                 [--fault-kinds LIST] [--poison LIST]\n");
+               "                 [--fault-kinds LIST] [--poison LIST]\n"
+               "                 [--kill-pool LIST] [--torn-tail]\n"
+               "                 [--duplicate-claim N]\n");
   return 2;
+}
+
+void write_hash_out(const std::string& hash_out, std::uint64_t hash) {
+  if (hash_out.empty()) return;
+  char line[32];
+  std::snprintf(line, sizeof line, "%016" PRIx64 "\n", hash);
+  vbr::write_file_atomic(hash_out, line);
+}
+
+void export_manifest(const std::string& path, const vbr::sweep::SweepGrid& grid,
+                     const vbr::sweep::SweepReport& report) {
+  if (path.empty()) return;
+  vbr::sweep::SweepManifest manifest;
+  manifest.fingerprint = vbr::sweep::sweep_fingerprint(grid);
+  manifest.total_cells = report.total_cells;
+  manifest.records = report.records;
+  vbr::sweep::save_manifest(path, manifest);
+}
+
+void print_report(const vbr::sweep::SweepReport& report) {
+  std::printf("cells        %zu\n", report.total_cells);
+  std::printf("completed    %zu\n", report.completed);
+  std::printf("quarantined  %zu\n", report.quarantined);
+  std::printf("resumed      %zu\n", report.resumed_cells);
+  std::printf("retries      %zu\n", report.retried_attempts);
+  std::printf("results_hash %016" PRIx64 "\n", report.results_hash);
+  for (const vbr::sweep::CellRecord& record : report.records) {
+    if (record.status != vbr::sweep::CellStatus::kQuarantined) continue;
+    std::printf("quarantine   cell %" PRIu64 " %s attempts=%" PRIu64
+                " signal=%d exit=%d rss_kib=%" PRIu64 ": %s\n",
+                record.cell_index, vbr::sweep::failure_kind_name(record.failure.kind),
+                record.failure.attempts, record.failure.term_signal,
+                record.failure.exit_code, record.failure.max_rss_kib,
+                record.failure.message.c_str());
+  }
 }
 
 }  // namespace
@@ -117,7 +201,17 @@ int main(int argc, char** argv) {
   vbr::sweep::SweepOptions options;
   options.faults.seed = 7;
   std::string hash_out;
+  std::string manifest_out;
   bool quiet = false;
+
+  std::string shard_dir;
+  std::uint64_t shards = 8;
+  std::size_t pools = 4;
+  vbr::sweep::LeaseConfig lease{10.0, 1.0};
+  bool merge_only = false;
+  std::map<std::size_t, std::uint64_t> kill_plan;
+  bool torn_tail = false;
+  std::size_t duplicate_claim_pool = static_cast<std::size_t>(-1);
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -128,8 +222,8 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--manifest") {
-      options.manifest_path = next();
+    if (arg == "--log" || arg == "--manifest") {
+      options.log_path = next();
     } else if (arg == "--queues") {
       options.grid.queues.clear();
       for (const std::string& name : split_csv(next())) {
@@ -168,14 +262,30 @@ int main(int argc, char** argv) {
     } else if (arg == "--backoff-ms") {
       options.limits.backoff_seconds =
           static_cast<double>(parse_u64(next(), "--backoff-ms")) / 1000.0;
+    } else if (arg == "--no-isolate") {
+      options.limits.isolate = false;
     } else if (arg == "--resume") {
       options.resume = true;
     } else if (arg == "--durable") {
       options.durable = true;
     } else if (arg == "--hash-out") {
       hash_out = next();
+    } else if (arg == "--export-manifest") {
+      manifest_out = next();
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--shard-dir") {
+      shard_dir = next();
+    } else if (arg == "--shards") {
+      shards = parse_u64(next(), "--shards");
+    } else if (arg == "--pools") {
+      pools = static_cast<std::size_t>(parse_u64(next(), "--pools"));
+    } else if (arg == "--lease-ttl") {
+      lease.ttl_seconds = parse_f64(next(), "--lease-ttl");
+    } else if (arg == "--heartbeat") {
+      lease.heartbeat_seconds = parse_f64(next(), "--heartbeat");
+    } else if (arg == "--merge-only") {
+      merge_only = true;
     } else if (arg == "--fault-rate") {
       options.faults.rate = parse_f64(next(), "--fault-rate");
     } else if (arg == "--fault-seed") {
@@ -196,11 +306,18 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--poison") {
       options.faults.poison = parse_u64_list(next(), "--poison");
+    } else if (arg == "--kill-pool") {
+      kill_plan = parse_kill_plan(next());
+    } else if (arg == "--torn-tail") {
+      torn_tail = true;
+    } else if (arg == "--duplicate-claim") {
+      duplicate_claim_pool = static_cast<std::size_t>(parse_u64(next(), "--duplicate-claim"));
     } else {
       return usage();
     }
   }
-  if (options.manifest_path.empty()) return usage();
+  const bool sharded = !shard_dir.empty();
+  if (sharded == !options.log_path.empty()) return usage();  // exactly one mode
 
   if (!quiet) {
     options.on_cell_settled = [](const vbr::sweep::CellRecord& record) {
@@ -217,29 +334,55 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const vbr::sweep::SweepReport report = vbr::sweep::run_sweep(options);
-
-    std::printf("cells        %zu\n", report.total_cells);
-    std::printf("completed    %zu\n", report.completed);
-    std::printf("quarantined  %zu\n", report.quarantined);
-    std::printf("resumed      %zu\n", report.resumed_cells);
-    std::printf("retries      %zu\n", report.retried_attempts);
-    std::printf("results_hash %016" PRIx64 "\n", report.results_hash);
-    for (const vbr::sweep::CellRecord& record : report.records) {
-      if (record.status != vbr::sweep::CellStatus::kQuarantined) continue;
-      std::printf("quarantine   cell %" PRIu64 " %s attempts=%" PRIu64
-                  " signal=%d exit=%d rss_kib=%" PRIu64 ": %s\n",
-                  record.cell_index, vbr::sweep::failure_kind_name(record.failure.kind),
-                  record.failure.attempts, record.failure.term_signal,
-                  record.failure.exit_code, record.failure.max_rss_kib,
-                  record.failure.message.c_str());
+    if (!sharded) {
+      const vbr::sweep::SweepReport report = vbr::sweep::run_sweep(options);
+      print_report(report);
+      write_hash_out(hash_out, report.results_hash);
+      export_manifest(manifest_out, options.grid, report);
+      return 0;
     }
 
-    if (!hash_out.empty()) {
-      char line[32];
-      std::snprintf(line, sizeof line, "%016" PRIx64 "\n", report.results_hash);
-      vbr::write_file_atomic(hash_out, line);
+    vbr::sweep::PoolOptions pool_options;
+    pool_options.sweep_dir = shard_dir;
+    pool_options.grid = options.grid;
+    pool_options.shard_count = shards;
+    pool_options.lease = lease;
+    pool_options.limits = options.limits;
+    pool_options.faults = options.faults;
+    pool_options.durable = options.durable;
+    pool_options.on_cell_settled = options.on_cell_settled;
+
+    if (!merge_only) {
+      const vbr::sweep::MultiPoolReport multi = vbr::sweep::run_pools(
+          pool_options, pools, [&](std::size_t pool) {
+            vbr::sweep::PoolFaultPlan plan;
+            if (const auto it = kill_plan.find(pool); it != kill_plan.end()) {
+              plan.kill_after_records = it->second;
+              plan.torn_tail_on_kill = torn_tail;
+            }
+            plan.duplicate_claim = pool == duplicate_claim_pool;
+            return plan;
+          });
+      std::printf("pools        %zu\n", multi.pools);
+      std::printf("pools_failed %zu\n", multi.pools_failed);
+      if (!multi.sweep_complete) {
+        // Injected (or real) pool deaths outran the survivors. Everything
+        // settled so far is on disk; rerunning the same command steals the
+        // orphaned shards and finishes — the soak does exactly that.
+        std::fprintf(stderr,
+                     "run_sweep: sweep incomplete (%zu of %zu pools failed); "
+                     "rerun to resume\n",
+                     multi.pools_failed, multi.pools);
+        return 3;
+      }
     }
+
+    const vbr::sweep::SweepReport report =
+        vbr::sweep::collect_sweep(shard_dir, options.grid, shards,
+                                  /*require_complete=*/true);
+    print_report(report);
+    write_hash_out(hash_out, report.results_hash);
+    export_manifest(manifest_out, options.grid, report);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "run_sweep: %s\n", e.what());
     return 1;

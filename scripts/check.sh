@@ -97,7 +97,8 @@ if [[ $run_fuzz -eq 1 ]]; then
   # accepts the same flags, so this line works with either toolchain.
   for pair in huffman_decode:huffman rle_decode:rle trace_io:trace_io \
               stream_reader:stream_reader checkpoint:checkpoint \
-              sweep_manifest:sweep_manifest generation_plan:generation_plan \
+              sweep_manifest:sweep_manifest sweep_result_log:sweep_result_log \
+              generation_plan:generation_plan \
               service_checkpoint:service_checkpoint; do
     harness="${pair%%:*}" corpus="${pair##*:}"
     ./build-fuzz/fuzz/fuzz_"$harness" fuzz/corpus/"$corpus" -runs=12000 -seed=1
@@ -129,6 +130,8 @@ if [[ $run_crash -eq 1 ]]; then
   echo "=== crash: sweep soak — worker faults, SIGSTOP, supervisor kills ==="
   cmake --build build -j --target run_sweep >/dev/null
   ./scripts/crash_soak.sh --sweep ./build/examples/run_sweep 5
+  echo "=== crash: shard soak — pool kills, torn tails, stolen leases, dispatcher kills ==="
+  ./scripts/crash_soak.sh --shard ./build/examples/run_sweep 5 4 8 50
   echo "=== crash: service soak — SIGKILL serve_traffic, resume must be bit-identical ==="
   cmake --build build -j --target serve_traffic >/dev/null
   ./scripts/crash_soak.sh --service ./build/examples/serve_traffic 10

@@ -10,6 +10,7 @@ document's own name field, so one entry point covers every bench:
     python3 scripts/check_bench_schema.py path/to/BENCH_generator_pareto.json
     python3 scripts/check_bench_schema.py path/to/BENCH_engine_scaling.json
     python3 scripts/check_bench_schema.py path/to/BENCH_service.json
+    python3 scripts/check_bench_schema.py path/to/BENCH_sweep_shard.json
 """
 import json
 import sys
@@ -188,6 +189,61 @@ def check_generator_pareto(doc):
     print(f"schema check OK: {sys.argv[1]} ({len(gens)} generators)")
 
 
+def check_sweep_shard(doc):
+    """BENCH_sweep_shard.json: checkpoint I/O + steal latency + pool scaling."""
+    require(doc.get("contracts") in ("on", "off"), "contracts must be on/off")
+
+    io = doc.get("checkpoint_io")
+    require(isinstance(io, list) and io, "'checkpoint_io' must be a non-empty list")
+    prev_cells = 0
+    for row in io:
+        ctx = f"(cells {row.get('cells')})"
+        cells = check_number(row, "cells", lo=1, ctx=ctx)
+        require(cells > prev_cells, f"'cells' must be strictly increasing {ctx}")
+        prev_cells = cells
+        check_number(row, "manifest_rewrite_bytes", lo=1, ctx=ctx)
+        check_number(row, "manifest_rewrite_bytes_per_cell", lo=1.0, ctx=ctx)
+        check_number(row, "manifest_rewrite_seconds", lo=0.0, ctx=ctx)
+        check_number(row, "log_append_bytes", lo=1, ctx=ctx)
+        check_number(row, "log_append_bytes_per_cell", lo=1.0, ctx=ctx)
+        check_number(row, "log_append_seconds", lo=0.0, ctx=ctx)
+    require(isinstance(doc.get("log_bytes_per_cell_flat"), bool),
+            "'log_bytes_per_cell_flat' not bool")
+    # The tentpole claim: checkpoint cost per settled cell is O(1) for the
+    # append-only log. The bench exits nonzero when this fails, so a recorded
+    # artifact carrying false means someone pasted a broken run.
+    require(doc["log_bytes_per_cell_flat"],
+            "recorded run shows append-only log cost growing with sweep size")
+
+    steal = doc.get("steal")
+    require(isinstance(steal, dict), "missing 'steal' object")
+    check_number(steal, "iterations", lo=1)
+    check_number(steal, "mean_steal_seconds", lo=0.0)
+    check_number(steal, "salvage_records", lo=1)
+    check_number(steal, "mean_salvage_seconds", lo=0.0)
+    require(steal.get("all_steals_succeeded") is True,
+            "recorded run contains failed lease steals")
+
+    check_number(doc, "sweep_cells", lo=1)
+    pools = doc.get("pools")
+    require(isinstance(pools, list) and pools, "'pools' must be a non-empty list")
+    hashes = set()
+    for row in pools:
+        ctx = f"(pools {row.get('pools')})"
+        p = check_number(row, "pools", lo=1, ctx=ctx)
+        check_number(row, "shards", lo=p, ctx=ctx)
+        check_number(row, "pools_failed", lo=0, hi=0, ctx=ctx)
+        check_number(row, "wall_seconds", lo=0.0, ctx=ctx)
+        check_number(row, "cells_per_second", lo=0.0, ctx=ctx)
+        check_number(row, "speedup_vs_first", lo=0.0, ctx=ctx)
+        hashes.add(check_hash(row, "results_hash", ctx=ctx))
+    require(len(hashes) == 1, "results hashes differ across pool counts")
+    require(doc.get("bit_identical_across_pool_counts") is True,
+            "recorded run was not bit-identical across pool counts")
+    print(f"schema check OK: {sys.argv[1]} ({len(io)} sweep sizes, "
+          f"{len(pools)} pool counts)")
+
+
 def main():
     if len(sys.argv) != 2:
         fail("expected exactly one argument: path to a BENCH_*.json artifact")
@@ -200,6 +256,7 @@ def main():
     checkers = {
         "engine_scaling": check_engine_scaling,
         "service": check_service,
+        "sweep_shard": check_sweep_shard,
     }
     if doc.get("bench") == "generator_pareto":
         check_generator_pareto(doc)

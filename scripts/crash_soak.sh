@@ -169,6 +169,119 @@ if [[ "${1:-}" == "--sweep" ]]; then
   exit $fail
 fi
 
+if [[ "${1:-}" == "--shard" ]]; then
+  shift
+  BIN=${1:?usage: crash_soak.sh --shard <run_sweep-binary> [dispatcher_kills] [pools] [shards] [hurst_steps]}
+  KILLS=${2:-5}
+  POOLS=${3:-4}
+  SHARDS=${4:-8}
+  HURST_STEPS=${5:-6}
+  RANDOM=${CRASH_SOAK_SEED:-1994}
+
+  WORK=$(mktemp -d "${TMPDIR:-/tmp}/shard_soak.XXXXXX")
+  trap 'rm -rf "$WORK"' EXIT
+
+  # Grid scale is driven by the Hurst axis: hurst_steps x 4 utilizations x
+  # 2 buffers x 2 source counts = 16 cells per step. hurst_steps=6 keeps
+  # the ctest smoke fast; hurst_steps=6250 is the 10^5-cell acceptance run
+  # (the CSV stays ~56 KiB, inside the kernel's 128 KiB per-argument cap —
+  # the Hurst axis alone cannot reach 10^5 steps through argv).
+  HURSTS=$(awk -v n="$HURST_STEPS" 'BEGIN {
+    for (i = 0; i < n; i++) printf "%s%.6f", (i ? "," : ""), 0.55 + 0.4 * i / n }')
+  GRID=(--queues fluid --hursts "$HURSTS" --utilizations 0.8,0.85,0.9,0.95
+        --buffers-ms 5,20 --sources 1,2 --frames 64 --seed 1994 --no-isolate)
+  CELLS=$((HURST_STEPS * 16))
+  SHARDED=(--shard-dir "$WORK/sweep" --shards "$SHARDS" --pools "$POOLS"
+           --lease-ttl 2 --heartbeat 0.3)
+
+  fail=0
+  note() { echo "shard_soak: $*"; }
+
+  # Rerun a sharded sweep until it completes: exit 3 means injected (or
+  # real) pool deaths outran the survivors and a rerun resumes from the
+  # per-shard logs. Any other nonzero exit is a hard failure.
+  run_until_complete() {
+    local tries=0 rc
+    while :; do
+      "$BIN" "${SHARDED[@]}" "${GRID[@]}" "$@" --quiet >/dev/null 2>&1
+      rc=$?
+      ((rc == 0)) && return 0
+      ((rc != 3)) && return "$rc"
+      # Injected faults only on the first attempt; resume fault-free.
+      set -- --hash-out "$WORK/run.hash"
+      ((++tries >= 10)) && return 3
+    done
+  }
+
+  # Phase 1: single-pool fault-free reference.
+  t0=$(date +%s%N)
+  "$BIN" --log "$WORK/ref.log" "${GRID[@]}" --hash-out "$WORK/ref.hash" \
+    --quiet >/dev/null || {
+    note "reference sweep failed" >&2
+    exit 1
+  }
+  t1=$(date +%s%N)
+  window_ms=$(((t1 - t0) / 1000000))
+  ((window_ms < 50)) && window_ms=50
+  note "reference $(cat "$WORK/ref.hash") ($CELLS cells, ~${window_ms}ms)"
+
+  # Phase 2: injected pool faults — SIGKILL two pools mid-shard with torn
+  # log tails, plus one duplicate claim — healed by stealing and replay to
+  # the exact reference hash.
+  if run_until_complete --kill-pool "0:3,1:7" --torn-tail --duplicate-claim 2 \
+    --hash-out "$WORK/run.hash" && cmp -s "$WORK/ref.hash" "$WORK/run.hash"; then
+    note "pool kills + torn tails + duplicate claim: healed, hash identical"
+  else
+    note "pool faults: FAILED (rc or hash mismatch)"
+    fail=1
+  fi
+
+  # Phase 3: SIGKILL the whole dispatcher process group (dispatcher AND all
+  # its pools — a machine death) at a random instant, then rerun the same
+  # command: survivors-from-disk only. Every resume must reproduce the
+  # reference hash.
+  for i in $(seq 1 "$KILLS"); do
+    rm -rf "$WORK/sweep" "$WORK/run.hash"
+    delay_ms=$((RANDOM % window_ms))
+    setsid "$BIN" "${SHARDED[@]}" "${GRID[@]}" --hash-out "$WORK/run.hash" \
+      --quiet >/dev/null 2>&1 &
+    pid=$!
+    sleep "$(awk "BEGIN{printf \"%.3f\", $delay_ms / 1000}")"
+    if kill -9 -- "-$pid" 2>/dev/null; then outcome=killed; else outcome=completed; fi
+    wait "$pid" 2>/dev/null
+
+    if ! run_until_complete --hash-out "$WORK/run.hash"; then
+      note "iter $i (delay ${delay_ms}ms, $outcome): resume FAILED"
+      fail=1
+      continue
+    fi
+    if cmp -s "$WORK/ref.hash" "$WORK/run.hash"; then
+      note "iter $i (delay ${delay_ms}ms, $outcome): identical"
+    else
+      note "iter $i (delay ${delay_ms}ms, $outcome): HASH MISMATCH"
+      fail=1
+    fi
+  done
+
+  # Phase 4: a different grid against the same sweep directory must fail
+  # fast, naming both fingerprints — never silently mix two sweeps.
+  err=$("$BIN" "${SHARDED[@]}" "${GRID[@]}" --seed 4991 --quiet 2>&1 >/dev/null)
+  rc=$?
+  if ((rc == 1)) && grep -q "fingerprint" <<<"$err"; then
+    note "mismatched grid rejected: ${err##*run_sweep: }"
+  else
+    note "mismatched grid NOT rejected (rc=$rc): $err"
+    fail=1
+  fi
+
+  if ((fail)); then
+    note "FAILED (seed ${CRASH_SOAK_SEED:-1994})" >&2
+  else
+    note "2 pool kills + $KILLS dispatcher kills across $POOLS pools / $SHARDS shards: all bit-identical"
+  fi
+  exit $fail
+fi
+
 if [[ "${1:-}" == "--service" ]]; then
   shift
   BIN=${1:?usage: crash_soak.sh --service <serve_traffic-binary> [kills] [streams] [samples]}

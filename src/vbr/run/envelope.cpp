@@ -20,8 +20,10 @@ std::string seal_envelope(const EnvelopeSpec& spec, std::string_view payload) {
   return out.str();
 }
 
-std::string open_envelope(std::istream& in, const EnvelopeSpec& spec,
-                          const std::string& name) {
+namespace {
+
+std::string open_envelope_impl(std::istream& in, const EnvelopeSpec& spec,
+                               const std::string& name, bool require_eof) {
   const char* what = name.c_str();
   const std::string kind = spec.kind;
 
@@ -48,12 +50,65 @@ std::string open_envelope(std::istream& in, const EnvelopeSpec& spec,
   if (crc32(payload.data(), payload.size()) != expected_crc) {
     throw IoError(name + ": " + kind + " CRC mismatch (file corrupt or torn)");
   }
-  // The envelope must be the whole stream: bytes after the sealed payload
-  // mean the size field and the file disagree (forged header or dirty append).
-  if (in.peek() != std::char_traits<char>::eof()) {
+  // For whole-file envelopes, bytes after the sealed payload mean the size
+  // field and the file disagree (forged header or dirty append). Prefix
+  // opens skip this: framed records legitimately follow.
+  if (require_eof && in.peek() != std::char_traits<char>::eof()) {
     throw IoError(name + ": trailing bytes after " + kind + " payload");
   }
   return payload;
+}
+
+}  // namespace
+
+std::string open_envelope(std::istream& in, const EnvelopeSpec& spec,
+                          const std::string& name) {
+  return open_envelope_impl(in, spec, name, /*require_eof=*/true);
+}
+
+std::string open_envelope_prefix(std::istream& in, const EnvelopeSpec& spec,
+                                 const std::string& name) {
+  return open_envelope_impl(in, spec, name, /*require_eof=*/false);
+}
+
+std::string seal_record(std::string_view payload) {
+  std::ostringstream out(std::ios::binary);
+  io::write_u64(out, payload.size());
+  io::write_u32(out, crc32(payload.data(), payload.size()));
+  if (!payload.empty()) io::write_bytes(out, payload.data(), payload.size());
+  return out.str();
+}
+
+RecordRead read_record(std::istream& in, std::uint64_t max_payload,
+                       std::string& payload) {
+  payload.clear();
+  char header[kRecordFrameBytes];
+  in.read(header, sizeof header);
+  const std::streamsize got = in.gcount();
+  if (got == 0) return RecordRead::kEndOfStream;
+  if (got < static_cast<std::streamsize>(sizeof header)) {
+    return RecordRead::kTornTail;
+  }
+  std::uint64_t size = 0;
+  std::uint32_t expected_crc = 0;
+  std::memcpy(&size, header, sizeof size);
+  std::memcpy(&expected_crc, header + sizeof size, sizeof expected_crc);
+  // An implausible size field is indistinguishable from a frame header torn
+  // mid-write; both truncate the tail rather than reject the whole log.
+  if (size > max_payload) return RecordRead::kTornTail;
+  payload.resize(static_cast<std::size_t>(size));
+  if (!payload.empty()) {
+    in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (in.gcount() != static_cast<std::streamsize>(payload.size())) {
+      payload.clear();
+      return RecordRead::kTornTail;
+    }
+  }
+  if (crc32(payload.data(), payload.size()) != expected_crc) {
+    payload.clear();
+    return RecordRead::kTornTail;
+  }
+  return RecordRead::kRecord;
 }
 
 }  // namespace vbr::run

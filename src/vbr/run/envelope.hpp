@@ -14,6 +14,13 @@
 // artifact is rejected as a whole — a load never observes partial state.
 // Writers pair seal_envelope() with vbr::write_file_atomic so a crash during
 // a save leaves the previous complete artifact in place.
+//
+// Append-only formats (the sweep result log, VBRSWPL1) use the same sealed
+// envelope as a *header* via open_envelope_prefix(), then append CRC-framed
+// records (seal_record / read_record) behind it. A record whose frame fails
+// its CRC marks the torn tail left by an interrupted append — recoverable
+// state, not corruption — and recovery truncates back to the last whole
+// record instead of rejecting the file.
 #pragma once
 
 #include <array>
@@ -43,5 +50,35 @@ std::string seal_envelope(const EnvelopeSpec& spec, std::string_view payload);
 /// truncation, or CRC mismatch; `name` labels errors (usually the path).
 std::string open_envelope(std::istream& in, const EnvelopeSpec& spec,
                           const std::string& name);
+
+/// Like open_envelope, but for formats that append framed records *after*
+/// the sealed header (the VBRSWPL1 result log): verifies magic, version,
+/// size bound and CRC identically, but allows — and leaves the stream
+/// positioned at — bytes following the payload instead of requiring EOF.
+std::string open_envelope_prefix(std::istream& in, const EnvelopeSpec& spec,
+                                 const std::string& name);
+
+/// Frame one record for an append-only log: u64 payload size + u32 CRC-32 +
+/// payload. Records carry no magic of their own — the log's sealed header
+/// establishes identity; the per-record CRC exists to find the torn tail.
+std::string seal_record(std::string_view payload);
+
+/// The framing overhead of seal_record (size + CRC fields).
+inline constexpr std::uint64_t kRecordFrameBytes = 12;
+
+/// What read_record found at the current stream position.
+enum class RecordRead {
+  kRecord,       ///< a complete, CRC-verified record; `payload` is valid
+  kEndOfStream,  ///< the stream ended exactly on a record boundary
+  kTornTail,     ///< truncated frame header/payload, an implausible size
+                 ///< field, or a CRC mismatch — the write was interrupted
+};
+
+/// Read one framed record. Never throws: a torn tail is an *expected*
+/// outcome of crash recovery, not corruption of sealed state. The stream
+/// may be left in a failed/indeterminate position after kTornTail; callers
+/// track their own byte offsets (see sweep/result_log).
+RecordRead read_record(std::istream& in, std::uint64_t max_payload,
+                       std::string& payload);
 
 }  // namespace vbr::run

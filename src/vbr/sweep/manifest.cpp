@@ -12,9 +12,8 @@ namespace vbr::sweep {
 
 namespace {
 
-/// Bounds for untrusted fields: far above any real sweep, low enough that a
-/// forged count cannot drive a pathological allocation.
-constexpr std::uint64_t kMaxCells = std::uint64_t{1} << 24;
+/// Bounds for untrusted diagnostic strings (the cell count bound is the
+/// shared kMaxSweepCells in the header).
 constexpr std::uint64_t kMaxMessage = 4096;
 constexpr std::uint64_t kMaxStderrTail = 8192;
 
@@ -35,27 +34,65 @@ const char* failure_kind_name(FailureKind kind) {
   return "unknown";
 }
 
+void write_cell_record(std::ostream& out, const CellRecord& record) {
+  io::write_u64(out, record.cell_index);
+  io::write_u8(out, static_cast<std::uint8_t>(record.status));
+  if (record.status == CellStatus::kDone) {
+    write_cell_result(out, record.result);
+  } else {
+    const CellFailure& f = record.failure;
+    io::write_u32(out, static_cast<std::uint32_t>(f.kind));
+    io::write_u32(out, static_cast<std::uint32_t>(f.exit_code));
+    io::write_u32(out, static_cast<std::uint32_t>(f.term_signal));
+    io::write_u64(out, f.attempts);
+    io::write_u64(out, f.max_rss_kib);
+    io::write_f64(out, f.wall_seconds);
+    io::write_string(out, f.message);
+    io::write_string(out, f.stderr_tail);
+  }
+}
+
+CellRecord read_cell_record(std::istream& in, std::uint64_t total_cells,
+                            const std::string& name) {
+  const char* what = name.c_str();
+  CellRecord record;
+  record.cell_index = io::read_u64(in, what);
+  if (record.cell_index >= total_cells) {
+    throw IoError(name + ": sweep cell index out of range");
+  }
+  const std::uint8_t status = io::read_u8(in, what);
+  if (status == static_cast<std::uint8_t>(CellStatus::kDone)) {
+    record.status = CellStatus::kDone;
+    record.result = read_cell_result(in, what);
+  } else if (status == static_cast<std::uint8_t>(CellStatus::kQuarantined)) {
+    record.status = CellStatus::kQuarantined;
+    CellFailure& f = record.failure;
+    const std::uint32_t kind = io::read_u32(in, what);
+    if (kind < static_cast<std::uint32_t>(FailureKind::kCrash) ||
+        kind > static_cast<std::uint32_t>(FailureKind::kError)) {
+      throw IoError(name + ": sweep failure kind out of range");
+    }
+    f.kind = static_cast<FailureKind>(kind);
+    f.exit_code = static_cast<std::int32_t>(io::read_u32(in, what));
+    f.term_signal = static_cast<std::int32_t>(io::read_u32(in, what));
+    f.attempts = io::read_u64(in, what);
+    f.max_rss_kib = io::read_u64(in, what);
+    f.wall_seconds = io::read_f64(in, what);
+    f.message = io::read_string(in, kMaxMessage, what);
+    f.stderr_tail = io::read_string(in, kMaxStderrTail, what);
+  } else {
+    throw IoError(name + ": sweep cell status out of range");
+  }
+  return record;
+}
+
 std::string encode_manifest(const SweepManifest& manifest) {
   std::ostringstream payload(std::ios::binary);
   io::write_u64(payload, manifest.fingerprint);
   io::write_u64(payload, manifest.total_cells);
   io::write_u64(payload, manifest.records.size());
   for (const CellRecord& record : manifest.records) {
-    io::write_u64(payload, record.cell_index);
-    io::write_u8(payload, static_cast<std::uint8_t>(record.status));
-    if (record.status == CellStatus::kDone) {
-      write_cell_result(payload, record.result);
-    } else {
-      const CellFailure& f = record.failure;
-      io::write_u32(payload, static_cast<std::uint32_t>(f.kind));
-      io::write_u32(payload, static_cast<std::uint32_t>(f.exit_code));
-      io::write_u32(payload, static_cast<std::uint32_t>(f.term_signal));
-      io::write_u64(payload, f.attempts);
-      io::write_u64(payload, f.max_rss_kib);
-      io::write_f64(payload, f.wall_seconds);
-      io::write_string(payload, f.message);
-      io::write_string(payload, f.stderr_tail);
-    }
+    write_cell_record(payload, record);
   }
   return run::seal_envelope(manifest_envelope(), payload.str());
 }
@@ -68,7 +105,7 @@ SweepManifest parse_manifest(std::istream& in, const std::string& name) {
   SweepManifest manifest;
   manifest.fingerprint = io::read_u64(payload, what);
   manifest.total_cells = io::read_u64(payload, what);
-  if (manifest.total_cells == 0 || manifest.total_cells > kMaxCells) {
+  if (manifest.total_cells == 0 || manifest.total_cells > kMaxSweepCells) {
     throw IoError(name + ": implausible sweep cell count " +
                   std::to_string(manifest.total_cells));
   }
@@ -83,38 +120,11 @@ SweepManifest parse_manifest(std::istream& in, const std::string& name) {
   manifest.records.reserve(record_count);
   std::uint64_t previous_index = 0;
   for (std::size_t i = 0; i < record_count; ++i) {
-    CellRecord record;
-    record.cell_index = io::read_u64(payload, what);
-    if (record.cell_index >= manifest.total_cells) {
-      throw IoError(name + ": sweep manifest cell index out of range");
-    }
+    CellRecord record = read_cell_record(payload, manifest.total_cells, name);
     if (i > 0 && record.cell_index <= previous_index) {
       throw IoError(name + ": sweep manifest cell indexes not strictly increasing");
     }
     previous_index = record.cell_index;
-    const std::uint8_t status = io::read_u8(payload, what);
-    if (status == static_cast<std::uint8_t>(CellStatus::kDone)) {
-      record.status = CellStatus::kDone;
-      record.result = read_cell_result(payload, what);
-    } else if (status == static_cast<std::uint8_t>(CellStatus::kQuarantined)) {
-      record.status = CellStatus::kQuarantined;
-      CellFailure& f = record.failure;
-      const std::uint32_t kind = io::read_u32(payload, what);
-      if (kind < static_cast<std::uint32_t>(FailureKind::kCrash) ||
-          kind > static_cast<std::uint32_t>(FailureKind::kError)) {
-        throw IoError(name + ": sweep manifest failure kind out of range");
-      }
-      f.kind = static_cast<FailureKind>(kind);
-      f.exit_code = static_cast<std::int32_t>(io::read_u32(payload, what));
-      f.term_signal = static_cast<std::int32_t>(io::read_u32(payload, what));
-      f.attempts = io::read_u64(payload, what);
-      f.max_rss_kib = io::read_u64(payload, what);
-      f.wall_seconds = io::read_f64(payload, what);
-      f.message = io::read_string(payload, kMaxMessage, what);
-      f.stderr_tail = io::read_string(payload, kMaxStderrTail, what);
-    } else {
-      throw IoError(name + ": sweep manifest cell status out of range");
-    }
     manifest.records.push_back(std::move(record));
   }
 

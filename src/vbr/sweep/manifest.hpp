@@ -36,6 +36,11 @@ inline constexpr std::array<char, 8> kManifestMagic = {'V', 'B', 'R', 'S',
                                                        'W', 'E', 'P', '1'};
 inline constexpr std::uint32_t kManifestVersion = 1;
 
+/// Hard bound on any sweep's cell count: far above the 10^6-cell target,
+/// low enough that a forged count cannot drive a pathological allocation.
+/// Shared by the manifest, the result log and the shard planner.
+inline constexpr std::uint64_t kMaxSweepCells = std::uint64_t{1} << 24;
+
 /// Terminal state of a settled cell.
 enum class CellStatus : std::uint8_t {
   kDone = 1,         ///< evaluated; `result` is valid
@@ -82,6 +87,15 @@ struct SweepManifest {
   std::uint64_t total_cells = 0;
   std::vector<CellRecord> records;  ///< settled cells, ascending cell_index
 };
+
+/// Serialize / parse one settled-cell record body (index + status + result
+/// or failure). This is the shared per-record payload of the VBRSWEP1
+/// manifest and the VBRSWPL1 append-only result log; read_cell_record
+/// validates index range, status and failure-kind enums, and the bounded
+/// diagnostic strings, throwing vbr::IoError on any violation.
+void write_cell_record(std::ostream& out, const CellRecord& record);
+CellRecord read_cell_record(std::istream& in, std::uint64_t total_cells,
+                            const std::string& name);
 
 /// Serialize to the full envelope.
 std::string encode_manifest(const SweepManifest& manifest);

@@ -1,0 +1,280 @@
+#include "vbr/sweep/result_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/serialize.hpp"
+#include "vbr/run/envelope.hpp"
+
+namespace vbr::sweep {
+
+namespace {
+
+/// Hard bound on one framed record payload. A settled record is at most
+/// index + status + failure header + bounded message/stderr strings, well
+/// under this; a larger size field is a torn or forged frame header.
+constexpr std::uint64_t kMaxRecordPayload = std::uint64_t{1} << 16;
+
+run::EnvelopeSpec log_envelope() {
+  return {kResultLogMagic, kResultLogVersion, kLogHeaderPayloadBytes,
+          "sweep result log"};
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+ResultLogHeader parse_log_header(const std::string& body, const std::string& name) {
+  const char* what = name.c_str();
+  std::istringstream payload(body, std::ios::binary);
+  ResultLogHeader header;
+  header.sweep_fingerprint = io::read_u64(payload, what);
+  header.shard_fingerprint = io::read_u64(payload, what);
+  header.total_cells = io::read_u64(payload, what);
+  header.shard_count = io::read_u64(payload, what);
+  header.shard_index = io::read_u64(payload, what);
+  header.first_cell = io::read_u64(payload, what);
+  header.end_cell = io::read_u64(payload, what);
+  if (header.total_cells == 0 || header.total_cells > kMaxSweepCells) {
+    throw IoError(name + ": implausible sweep cell count " +
+                  std::to_string(header.total_cells));
+  }
+  if (header.shard_count == 0 || header.shard_index >= header.shard_count) {
+    throw IoError(name + ": result log shard index " +
+                  std::to_string(header.shard_index) + " out of range for " +
+                  std::to_string(header.shard_count) + " shards");
+  }
+  if (header.first_cell > header.end_cell ||
+      header.end_cell > header.total_cells) {
+    throw IoError(name + ": result log cell range [" +
+                  std::to_string(header.first_cell) + ", " +
+                  std::to_string(header.end_cell) + ") out of bounds");
+  }
+  return header;
+}
+
+/// Fail fast and loudly on a log that belongs to a different sweep or
+/// shard: the error names BOTH fingerprints so an operator can tell an
+/// edited grid from a misrouted shard file at a glance. Never re-seed.
+void require_matching_header(const ResultLogHeader& header,
+                             const ResultLogHeader& expected,
+                             const std::string& name) {
+  if (header.sweep_fingerprint != expected.sweep_fingerprint) {
+    throw IoError(name + ": sweep fingerprint mismatch: grid expects " +
+                  hex16(expected.sweep_fingerprint) + ", log carries " +
+                  hex16(header.sweep_fingerprint) +
+                  " (the log belongs to a different sweep grid)");
+  }
+  if (header.shard_fingerprint != expected.shard_fingerprint) {
+    throw IoError(name + ": shard fingerprint mismatch: shard expects " +
+                  hex16(expected.shard_fingerprint) + ", log carries " +
+                  hex16(header.shard_fingerprint) +
+                  " (the log belongs to a different shard plan)");
+  }
+  if (header != expected) {
+    throw IoError(name + ": result log shape disagrees with the sweep plan");
+  }
+}
+
+}  // namespace
+
+std::string encode_log_header(const ResultLogHeader& header) {
+  std::ostringstream payload(std::ios::binary);
+  io::write_u64(payload, header.sweep_fingerprint);
+  io::write_u64(payload, header.shard_fingerprint);
+  io::write_u64(payload, header.total_cells);
+  io::write_u64(payload, header.shard_count);
+  io::write_u64(payload, header.shard_index);
+  io::write_u64(payload, header.first_cell);
+  io::write_u64(payload, header.end_cell);
+  return run::seal_envelope(log_envelope(), payload.str());
+}
+
+ResultLogScan scan_result_log(std::istream& in, const std::string& name,
+                              const ResultLogHeader* expected) {
+  // Generic istreams cannot report "bytes remaining" after a failed framed
+  // read, so measure the stream once up front and track offsets ourselves.
+  in.seekg(0, std::ios::end);
+  const auto stream_end = in.tellg();
+  if (stream_end < 0) throw IoError(name + ": result log is not seekable");
+  const std::uint64_t stream_size = static_cast<std::uint64_t>(stream_end);
+  in.seekg(0, std::ios::beg);
+
+  ResultLogScan scan;
+  const std::string body = run::open_envelope_prefix(in, log_envelope(), name);
+  scan.header = parse_log_header(body, name);
+  if (expected != nullptr) require_matching_header(scan.header, *expected, name);
+  scan.valid_bytes = kLogHeaderSealedBytes;
+
+  std::map<std::uint64_t, CellRecord> settled;
+  std::string payload;
+  for (;;) {
+    const run::RecordRead read = run::read_record(in, kMaxRecordPayload, payload);
+    if (read != run::RecordRead::kRecord) break;
+    std::istringstream record_stream(payload, std::ios::binary);
+    CellRecord record = read_cell_record(record_stream, scan.header.total_cells, name);
+    if (record_stream.peek() != std::char_traits<char>::eof()) {
+      throw IoError(name + ": result log record has trailing bytes");
+    }
+    // A CRC-valid record is not a crash artifact, so its content is held to
+    // the full contract: in this shard's range, and consistent with any
+    // earlier record for the same cell. Byte-identical duplicates are the
+    // legitimate trace of a healed duplicate claim or stolen lease (two
+    // pools briefly appending the same deterministic cell) and collapse;
+    // conflicting ones mean the "pure function of the spec" contract broke
+    // and the log cannot be trusted.
+    if (record.cell_index < scan.header.first_cell ||
+        record.cell_index >= scan.header.end_cell) {
+      throw IoError(name + ": result log cell " +
+                    std::to_string(record.cell_index) +
+                    " outside the shard range [" +
+                    std::to_string(scan.header.first_cell) + ", " +
+                    std::to_string(scan.header.end_cell) + ")");
+    }
+    const auto it = settled.find(record.cell_index);
+    if (it != settled.end()) {
+      const CellRecord& prior = it->second;
+      const bool consistent =
+          prior.status == record.status &&
+          (record.status != CellStatus::kDone || prior.result == record.result);
+      if (!consistent) {
+        throw IoError(name + ": conflicting duplicate records for cell " +
+                      std::to_string(record.cell_index));
+      }
+      scan.duplicate_records += 1;
+    } else {
+      settled.emplace(record.cell_index, std::move(record));
+    }
+    scan.valid_bytes += run::kRecordFrameBytes + payload.size();
+  }
+
+  scan.torn_bytes = stream_size - scan.valid_bytes;
+  scan.records.reserve(settled.size());
+  for (auto& [index, record] : settled) scan.records.push_back(std::move(record));
+  return scan;
+}
+
+std::optional<ResultLogScan> recover_result_log(const std::filesystem::path& path,
+                                                const ResultLogHeader& expected) {
+  std::error_code ec;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) return std::nullopt;  // no log yet: the caller starts fresh
+  // A file shorter than the sealed header is an append torn inside the
+  // header itself; no record can precede the header, so nothing settled is
+  // lost by recreating. A *complete* header that fails its CRC or names a
+  // different sweep is rejected below instead — recreating would silently
+  // discard someone's settled cells.
+  if (size < kLogHeaderSealedBytes) return std::nullopt;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open sweep result log: " + path.string());
+  ResultLogScan scan = scan_result_log(in, path.string(), &expected);
+  in.close();
+  if (scan.torn_bytes > 0) {
+    std::filesystem::resize_file(path, scan.valid_bytes, ec);
+    if (ec) {
+      throw IoError(path.string() + ": cannot truncate torn result log tail: " +
+                    ec.message());
+    }
+    scan.torn_bytes = 0;
+  }
+  return scan;
+}
+
+namespace {
+
+/// One whole frame per write(2) call: an append interrupted by SIGKILL
+/// tears only the file tail, and concurrent appenders (a healed duplicate
+/// claim) interleave at frame granularity under O_APPEND, never mid-frame.
+void write_frame(int fd, std::string_view frame, const char* what) {
+  const char* data = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string(what) + ": result log append failed: " +
+                    std::strerror(errno));
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+ResultLogWriter ResultLogWriter::create(const std::filesystem::path& path,
+                                        const ResultLogHeader& header,
+                                        bool durable) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    throw IoError("cannot create sweep result log: " + path.string() + ": " +
+                  std::strerror(errno));
+  }
+  ResultLogWriter writer(fd, durable);
+  const std::string sealed = encode_log_header(header);
+  write_frame(fd, sealed, path.c_str());
+  writer.bytes_written_ = sealed.size();
+  if (durable) (void)::fsync(fd);
+  return writer;
+}
+
+ResultLogWriter ResultLogWriter::append_to(const std::filesystem::path& path,
+                                           const ResultLogScan& scan,
+                                           bool durable) {
+  (void)scan;  // the healthy prefix is already on disk; O_APPEND continues it
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) {
+    throw IoError("cannot open sweep result log for append: " + path.string() +
+                  ": " + std::strerror(errno));
+  }
+  return ResultLogWriter(fd, durable);
+}
+
+ResultLogWriter::ResultLogWriter(ResultLogWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      durable_(other.durable_),
+      bytes_written_(other.bytes_written_) {}
+
+ResultLogWriter& ResultLogWriter::operator=(ResultLogWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    durable_ = other.durable_;
+    bytes_written_ = other.bytes_written_;
+  }
+  return *this;
+}
+
+ResultLogWriter::~ResultLogWriter() { close(); }
+
+void ResultLogWriter::append(const CellRecord& record) {
+  VBR_ENSURE(fd_ >= 0, "append to a closed sweep result log");
+  std::ostringstream payload(std::ios::binary);
+  write_cell_record(payload, record);
+  const std::string frame = run::seal_record(payload.str());
+  write_frame(fd_, frame, "sweep result log");
+  bytes_written_ += frame.size();
+  if (durable_) (void)::fsync(fd_);
+}
+
+void ResultLogWriter::close() {
+  if (fd_ < 0) return;
+  if (durable_) (void)::fsync(fd_);
+  (void)::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace vbr::sweep

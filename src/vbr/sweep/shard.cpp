@@ -1,0 +1,106 @@
+#include "vbr/sweep/shard.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "vbr/common/error.hpp"
+#include "vbr/common/rng.hpp"
+#include "vbr/sweep/supervisor.hpp"
+
+namespace vbr::sweep {
+
+ShardRange shard_cell_range(std::uint64_t total_cells, std::uint64_t shard_count,
+                            std::uint64_t shard_index) {
+  VBR_ENSURE(shard_count >= 1 && shard_count <= kMaxShards,
+             "sweep shard count out of range");
+  VBR_ENSURE(shard_index < shard_count, "sweep shard index out of range");
+  VBR_ENSURE(total_cells <= kMaxSweepCells, "sweep cell count out of range");
+  const std::uint64_t base = total_cells / shard_count;
+  const std::uint64_t extra = total_cells % shard_count;
+  ShardRange range;
+  range.first = shard_index * base + std::min(shard_index, extra);
+  range.end = range.first + base + (shard_index < extra ? 1 : 0);
+  return range;
+}
+
+std::vector<std::uint64_t> derive_shard_fingerprints(std::uint64_t sweep_fingerprint,
+                                                     std::uint64_t shard_count) {
+  VBR_ENSURE(shard_count >= 1 && shard_count <= kMaxShards,
+             "sweep shard count out of range");
+  Rng master(sweep_fingerprint);
+  std::vector<std::uint64_t> fingerprints;
+  fingerprints.reserve(static_cast<std::size_t>(shard_count));
+  for (std::uint64_t i = 0; i < shard_count; ++i) {
+    fingerprints.push_back(master.split()());
+  }
+  return fingerprints;
+}
+
+ResultLogHeader shard_log_header(const SweepGrid& grid, std::uint64_t shard_count,
+                                 std::uint64_t shard_index) {
+  grid.validate();
+  const std::uint64_t cells = cell_count(grid);
+  const ShardRange range = shard_cell_range(cells, shard_count, shard_index);
+  ResultLogHeader header;
+  header.sweep_fingerprint = sweep_fingerprint(grid);
+  header.shard_fingerprint =
+      derive_shard_fingerprints(header.sweep_fingerprint,
+                                shard_count)[static_cast<std::size_t>(shard_index)];
+  header.total_cells = cells;
+  header.shard_count = shard_count;
+  header.shard_index = shard_index;
+  header.first_cell = range.first;
+  header.end_cell = range.end;
+  return header;
+}
+
+ShardMerge merge_shard_records(const std::vector<std::vector<CellRecord>>& shards,
+                               std::uint64_t total_cells, bool require_complete) {
+  // Fold everything into the one total order every pool agrees on. The map
+  // makes the merge manifestly order-invariant: any permutation or
+  // interleaving of shards and records lands in the same sorted, deduped
+  // state, so the merged bytes — and results_hash — cannot depend on which
+  // pool settled what, or in what order the logs were collected.
+  std::map<std::uint64_t, const CellRecord*> merged;
+  ShardMerge out;
+  for (const std::vector<CellRecord>& shard : shards) {
+    for (const CellRecord& record : shard) {
+      if (record.cell_index >= total_cells) {
+        throw IoError("shard merge: cell index " +
+                      std::to_string(record.cell_index) + " out of range for " +
+                      std::to_string(total_cells) + " cells");
+      }
+      const auto [it, inserted] = merged.emplace(record.cell_index, &record);
+      if (!inserted) {
+        const CellRecord& prior = *it->second;
+        const bool consistent =
+            prior.status == record.status &&
+            (record.status != CellStatus::kDone || prior.result == record.result);
+        if (!consistent) {
+          throw IoError("shard merge: conflicting records for cell " +
+                        std::to_string(record.cell_index) +
+                        " (cell purity contract violated)");
+        }
+        out.duplicate_records += 1;
+      }
+    }
+  }
+  if (require_complete && merged.size() != total_cells) {
+    throw IoError("shard merge: " + std::to_string(merged.size()) + " of " +
+                  std::to_string(total_cells) + " cells settled (sweep incomplete)");
+  }
+  out.records.reserve(merged.size());
+  for (const auto& [index, record] : merged) {
+    if (record->status == CellStatus::kDone) {
+      out.completed += 1;
+    } else {
+      out.quarantined += 1;
+    }
+    out.records.push_back(*record);
+  }
+  out.results_hash = results_hash(out.records);
+  return out;
+}
+
+}  // namespace vbr::sweep

@@ -17,11 +17,19 @@
 // cell is bit-identical to one that succeeded first try; a cell that
 // exhausts max_attempts is quarantined with a structured CellFailure
 // (kind, exit/signal, rusage peak RSS, captured stderr tail) and the sweep
-// moves on. Progress persists in the manifest after every settled cell via
-// the shared CRC envelope + atomic temp-and-rename write, so SIGKILLing
-// the *supervisor* and rerunning with resume salvages every settled cell
-// and reproduces the uninterrupted sweep's merged results bit-for-bit
-// (scripts/crash_soak.sh sweep mode enforces exactly that).
+// moves on. A failed attempt is *requeued with a due time* (backoff *
+// 2^(k-1) from the failure) instead of sleeping the dispatch loop, so one
+// flaky cell's exponential backoff never stalls the healthy cells behind
+// it — and because every record is a pure function of its spec, the final
+// results hash is independent of settling order.
+//
+// Progress persists in the VBRSWPL1 append-only result log (result_log.hpp)
+// — one CRC-framed record per settled cell, O(1) write cost per settle —
+// so SIGKILLing the *supervisor* and rerunning with resume truncates any
+// torn tail, salvages every settled cell, and reproduces the uninterrupted
+// sweep's merged results bit-for-bit (scripts/crash_soak.sh sweep and
+// shard modes enforce exactly that). Multi-pool work-stealing dispatch
+// over sharded logs lives in dispatch.hpp and shares settle_cells().
 #pragma once
 
 #include <cstdint>
@@ -40,7 +48,13 @@ namespace vbr::sweep {
 struct SweepLimits {
   WorkerLimits worker;          ///< deadline / memory / CPU per attempt
   std::size_t max_attempts = 3; ///< total tries per cell (>= 1)
-  double backoff_seconds = 0.0; ///< sleep before retry k: backoff * 2^(k-1)
+  double backoff_seconds = 0.0; ///< retry k due backoff * 2^(k-1) after failure k
+  /// Fork one worker process per attempt (crash/hang/OOM containment).
+  /// false evaluates cells in-process — no isolation, but ~1 ms less
+  /// overhead per cell, the right trade at 10^5+ cells of trusted specs;
+  /// a structured vbr::Error still quarantines, and crash/hang/OOM fault
+  /// injection is rejected (those need a worker process to kill).
+  bool isolate = true;
 };
 
 /// Seeded deterministic fault injection (the soak harness seam). A cell's
@@ -62,16 +76,20 @@ struct SweepFaultPlan {
 
 struct SweepOptions {
   SweepGrid grid;
-  /// Manifest path; empty disables persistence (and resume).
-  std::filesystem::path manifest_path;
-  /// Continue from manifest_path if it exists; a fresh sweep otherwise.
+  /// VBRSWPL1 result-log path; empty disables persistence (and resume).
+  std::filesystem::path log_path;
+  /// Continue from log_path if it exists (torn tail truncated, settled
+  /// cells salvaged); a fresh sweep otherwise. Resuming against a log whose
+  /// header carries a different sweep fingerprint fails fast with an
+  /// IoError naming both fingerprints — never a silent re-seed.
   bool resume = false;
-  /// fsync manifest saves (power-loss safety; SIGKILL safety needs none).
+  /// fsync log appends (power-loss safety; SIGKILL safety needs none).
   bool durable = false;
   SweepLimits limits;
   SweepFaultPlan faults;
-  /// Optional per-cell progress hook, called after each cell settles (also
-  /// for cells salvaged from the manifest on resume), in cell order.
+  /// Optional per-cell progress hook: salvaged cells first (ascending cell
+  /// index), then fresh cells in settling order — which can differ from
+  /// cell order when a retry is deferred past healthy cells.
   std::function<void(const CellRecord&)> on_cell_settled;
 };
 
@@ -79,7 +97,7 @@ struct SweepReport {
   std::size_t total_cells = 0;
   std::size_t completed = 0;
   std::size_t quarantined = 0;
-  /// Cells salvaged from the manifest instead of re-run.
+  /// Cells salvaged from the result log instead of re-run.
   std::size_t resumed_cells = 0;
   /// Attempts beyond each cell's first (watchdog fires, crashes absorbed).
   std::size_t retried_attempts = 0;
@@ -95,7 +113,7 @@ struct SweepReport {
 /// nature and deliberately excluded.
 std::uint64_t results_hash(std::span<const CellRecord> records);
 
-/// Run (or resume) a sweep. Throws vbr::IoError on manifest I/O failures
+/// Run (or resume) a sweep. Throws vbr::IoError on result-log I/O failures
 /// and fingerprint mismatches, vbr::InvalidArgument on a bad grid or an
 /// unsafe fault plan (OOM injection without a memory ceiling, hang
 /// injection without a watchdog deadline). Worker failures never propagate:
@@ -105,5 +123,26 @@ SweepReport run_sweep(const SweepOptions& options);
 /// The deterministic per-attempt fault decision (exposed for tests).
 InjectedFault fault_for_attempt(const SweepFaultPlan& faults, std::uint64_t cell_index,
                                 std::size_t attempt);
+
+/// Statistics from one settle_cells call.
+struct SettleStats {
+  std::size_t retried_attempts = 0;
+};
+
+/// Settle an arbitrary set of cells under the non-blocking retry scheduler
+/// — the shared core of run_sweep and the shard pools (dispatch.hpp). A
+/// failed attempt requeues its cell with a due time instead of sleeping,
+/// so healthy cells keep settling while a flaky cell backs off.
+/// `on_settled` receives each record as it settles; returning false stops
+/// early (a pool abandons a lost lease this way). `tick` runs at least
+/// once per attempt and during idle waits — the lease-heartbeat seam.
+/// Throws vbr::InvalidArgument on a bad grid, an out-of-range cell index,
+/// or an unsafe fault plan (crash/hang/OOM injection without isolation,
+/// OOM without a memory ceiling, hang without a watchdog deadline).
+void settle_cells(const SweepGrid& grid, const std::vector<std::uint64_t>& cells,
+                  const SweepLimits& limits, const SweepFaultPlan& faults,
+                  const std::function<bool(const CellRecord&)>& on_settled,
+                  const std::function<void()>& tick = {},
+                  SettleStats* stats = nullptr);
 
 }  // namespace vbr::sweep

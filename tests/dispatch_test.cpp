@@ -1,0 +1,220 @@
+// Tests for lease-based multi-pool dispatch: the file-lease primitives
+// (claim / heartbeat / steal / release), multi-pool sweeps over a shared
+// directory, and fault healing — killed pools, torn tails, and duplicate
+// claims must all end at the single-pool fault-free results hash.
+#include "vbr/sweep/dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "vbr/common/error.hpp"
+#include "vbr/sweep/supervisor.hpp"
+
+namespace vbr::sweep {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(std::filesystem::temp_directory_path() / ("vbr_dispatch_" + tag)) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// In-process evaluation keeps fork count down to the pools themselves.
+SweepGrid test_grid() {
+  SweepGrid grid;
+  grid.queues = {QueueKind::kFluid, QueueKind::kFbm};
+  grid.hursts = {0.7, 0.8, 0.9};
+  grid.utilizations = {0.8, 0.9};
+  grid.buffer_ms = {10.0};
+  grid.sources = {1};
+  grid.frames_per_source = 64;
+  grid.seed = 1994;
+  return grid;
+}
+
+PoolOptions base_pool_options(const TempDir& dir, std::uint64_t shards) {
+  PoolOptions options;
+  options.sweep_dir = dir.path() / "sweep";
+  options.grid = test_grid();
+  options.shard_count = shards;
+  options.lease.ttl_seconds = 1.0;
+  options.lease.heartbeat_seconds = 0.2;
+  options.limits.isolate = false;
+  options.limits.max_attempts = 3;
+  return options;
+}
+
+/// The fault-free single-pool reference hash for test_grid().
+std::uint64_t reference_hash() {
+  SweepOptions options;
+  options.grid = test_grid();
+  options.limits.isolate = false;
+  return run_sweep(options).results_hash;
+}
+
+// ---------------------------------------------------------------------------
+// Lease primitives
+
+TEST(Lease, ClaimIsExclusiveUntilReleased) {
+  TempDir dir("claim");
+  const auto lease = dir.path() / "shard.lease";
+  EXPECT_EQ(claim_lease(lease, "alpha", 30.0, true), LeaseClaim::kClaimed);
+  EXPECT_EQ(claim_lease(lease, "bravo", 30.0, true), LeaseClaim::kHeld);
+  EXPECT_TRUE(heartbeat_lease(lease, "alpha"));
+  EXPECT_FALSE(heartbeat_lease(lease, "bravo"));
+
+  release_lease(lease, "bravo");  // not the holder: no-op
+  EXPECT_TRUE(heartbeat_lease(lease, "alpha"));
+  release_lease(lease, "alpha");
+  EXPECT_FALSE(heartbeat_lease(lease, "alpha"));
+  EXPECT_EQ(claim_lease(lease, "bravo", 30.0, true), LeaseClaim::kClaimed);
+}
+
+TEST(Lease, StaleLeaseIsStolenFreshIsNot) {
+  TempDir dir("steal");
+  const auto lease = dir.path() / "shard.lease";
+  ASSERT_EQ(claim_lease(lease, "dead-pool", 30.0, true), LeaseClaim::kClaimed);
+
+  // Fresh: not stealable, even with permission to steal stale ones.
+  EXPECT_EQ(claim_lease(lease, "thief", 30.0, true), LeaseClaim::kHeld);
+
+  // Age the lease past its ttl the way a SIGKILLed holder would: its mtime
+  // stops advancing.
+  std::filesystem::last_write_time(
+      lease, std::filesystem::file_time_type::clock::now() - std::chrono::hours(1));
+  EXPECT_EQ(claim_lease(lease, "patient", 30.0, /*steal_stale=*/false),
+            LeaseClaim::kHeld);
+  EXPECT_EQ(claim_lease(lease, "thief", 30.0, true), LeaseClaim::kStolen);
+
+  // The dead pool's token no longer opens the lease.
+  EXPECT_FALSE(heartbeat_lease(lease, "dead-pool"));
+  EXPECT_TRUE(heartbeat_lease(lease, "thief"));
+}
+
+TEST(Lease, DuplicateClaimFaultIgnoresFreshness) {
+  TempDir dir("dup");
+  const auto lease = dir.path() / "shard.lease";
+  ASSERT_EQ(claim_lease(lease, "owner", 30.0, true), LeaseClaim::kClaimed);
+  EXPECT_EQ(claim_lease(lease, "rogue", 30.0, true, /*ignore_fresh=*/true),
+            LeaseClaim::kStolen);
+  EXPECT_FALSE(heartbeat_lease(lease, "owner"));
+}
+
+// ---------------------------------------------------------------------------
+// Pools end-to-end
+
+TEST(Dispatch, SinglePoolShardedSweepMatchesReferenceHash) {
+  TempDir dir("single");
+  PoolOptions options = base_pool_options(dir, 3);
+  const PoolReport report = run_pool(options);
+  EXPECT_TRUE(report.sweep_complete);
+  EXPECT_EQ(report.shards_completed, 3u);
+  EXPECT_EQ(report.cells_settled, cell_count(options.grid));
+
+  const SweepReport merged =
+      collect_sweep(options.sweep_dir, options.grid, options.shard_count);
+  EXPECT_EQ(merged.completed, cell_count(options.grid));
+  EXPECT_EQ(merged.results_hash, reference_hash());
+}
+
+TEST(Dispatch, MultiplePoolsSplitTheWorkAndMatchReferenceHash) {
+  TempDir dir("multi");
+  PoolOptions options = base_pool_options(dir, 4);
+  const MultiPoolReport multi = run_pools(options, 3);
+  EXPECT_EQ(multi.pools, 3u);
+  EXPECT_EQ(multi.pools_failed, 0u);
+  EXPECT_TRUE(multi.sweep_complete);
+
+  const SweepReport merged =
+      collect_sweep(options.sweep_dir, options.grid, options.shard_count);
+  EXPECT_EQ(merged.results_hash, reference_hash());
+}
+
+TEST(Dispatch, KilledPoolWithTornTailIsStolenAndHealed) {
+  TempDir dir("killed");
+  PoolOptions options = base_pool_options(dir, 4);
+  const MultiPoolReport multi =
+      run_pools(options, 3, [](std::size_t pool) {
+        PoolFaultPlan plan;
+        if (pool == 0) {
+          plan.kill_after_records = 2;  // SIGKILL mid-shard
+          plan.torn_tail_on_kill = true;
+        }
+        return plan;
+      });
+  EXPECT_EQ(multi.pools_failed, 1u);
+  EXPECT_TRUE(multi.sweep_complete);  // survivors stole the wreckage
+
+  const SweepReport merged =
+      collect_sweep(options.sweep_dir, options.grid, options.shard_count);
+  EXPECT_EQ(merged.completed, cell_count(options.grid));
+  EXPECT_EQ(merged.results_hash, reference_hash());
+}
+
+TEST(Dispatch, DuplicateClaimOverlapHealsToReferenceHash) {
+  TempDir dir("dupclaim");
+  PoolOptions options = base_pool_options(dir, 3);
+  const MultiPoolReport multi =
+      run_pools(options, 2, [](std::size_t pool) {
+        PoolFaultPlan plan;
+        plan.duplicate_claim = pool == 1;
+        return plan;
+      });
+  EXPECT_TRUE(multi.sweep_complete);
+
+  const SweepReport merged =
+      collect_sweep(options.sweep_dir, options.grid, options.shard_count);
+  EXPECT_EQ(merged.results_hash, reference_hash());
+}
+
+TEST(Dispatch, InterruptedSweepResumesAcrossInvocations) {
+  TempDir dir("resume");
+  PoolOptions options = base_pool_options(dir, 4);
+  // Every pool dies mid-shard: the sweep cannot complete this invocation.
+  const MultiPoolReport first =
+      run_pools(options, 2, [](std::size_t) {
+        PoolFaultPlan plan;
+        plan.kill_after_records = 1;
+        plan.torn_tail_on_kill = true;
+        return plan;
+      });
+  EXPECT_EQ(first.pools_failed, 2u);
+  EXPECT_FALSE(first.sweep_complete);
+  EXPECT_THROW((void)collect_sweep(options.sweep_dir, options.grid, 4), IoError);
+
+  // A fresh fault-free invocation salvages the logs and finishes.
+  const MultiPoolReport second = run_pools(options, 2);
+  EXPECT_TRUE(second.sweep_complete);
+  const SweepReport merged = collect_sweep(options.sweep_dir, options.grid, 4);
+  EXPECT_EQ(merged.results_hash, reference_hash());
+  EXPECT_GT(merged.resumed_cells + merged.completed, 0u);
+}
+
+TEST(Dispatch, MismatchedGridIsRejectedByTheSweepMeta) {
+  TempDir dir("meta");
+  PoolOptions options = base_pool_options(dir, 2);
+  (void)run_pool(options);
+
+  PoolOptions other = options;
+  other.grid.seed += 1;
+  EXPECT_THROW((void)run_pool(other), IoError);
+  EXPECT_THROW((void)collect_sweep(options.sweep_dir, other.grid, 2), IoError);
+  // A mismatched shard count is a different partition of the same grid:
+  // also rejected (shard fingerprints would not line up).
+  EXPECT_THROW((void)collect_sweep(options.sweep_dir, options.grid, 3), IoError);
+}
+
+}  // namespace
+}  // namespace vbr::sweep

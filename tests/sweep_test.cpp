@@ -2,13 +2,16 @@
 // enumeration and split-seed derivation, pure-function cell evaluation,
 // manifest round-trip and corruption rejection, worker frame protocol,
 // deterministic fault injection, crash/hang/OOM retry, poison quarantine,
-// and kill/resume determinism (a resumed sweep's results hash must equal an
+// scheduling-independence of the results hash, and kill/resume determinism
+// against the VBRSWPL1 log (a resumed sweep's results hash must equal an
 // uninterrupted one's, bit for bit).
 #include "vbr/sweep/supervisor.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csignal>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -19,6 +22,8 @@
 #include "vbr/common/error.hpp"
 #include "vbr/sweep/cell_eval.hpp"
 #include "vbr/sweep/manifest.hpp"
+#include "vbr/sweep/result_log.hpp"
+#include "vbr/sweep/shard.hpp"
 #include "vbr/sweep/sweep_plan.hpp"
 #include "vbr/sweep/worker.hpp"
 
@@ -350,10 +355,10 @@ TEST(FaultPlan, DecisionIsDeterministicAndSeedSensitive) {
 // ---------------------------------------------------------------------------
 // Supervisor end-to-end (forks real workers)
 
-SweepOptions base_options(const TempManifest& manifest) {
+SweepOptions base_options(const TempManifest& log) {
   SweepOptions options;
   options.grid = small_grid();
-  options.manifest_path = manifest.path();
+  options.log_path = log.path();
   options.limits.worker.deadline_seconds = 30.0;
   options.limits.max_attempts = 3;
   return options;
@@ -465,23 +470,22 @@ TEST(Supervisor, OomUnderMemoryCeilingIsRetried) {
 }
 
 TEST(Supervisor, ResumeSalvagesSettledCellsBitIdentically) {
-  TempManifest reference_manifest("resume_ref");
-  SweepOptions reference_options = base_options(reference_manifest);
+  TempManifest reference_log("resume_ref");
+  SweepOptions reference_options = base_options(reference_log);
   const SweepReport reference = run_sweep(reference_options);
 
-  // Simulate a supervisor killed mid-sweep: a manifest holding only the
-  // first two settled records.
+  // Simulate a supervisor killed mid-sweep: a log holding only the first
+  // two settled records.
   TempManifest partial("resume_partial");
   {
-    SweepManifest half;
-    half.fingerprint = sweep_fingerprint(reference_options.grid);
-    half.total_cells = reference.total_cells;
-    half.records.assign(reference.records.begin(), reference.records.begin() + 2);
-    save_manifest(partial.path(), half, false);
+    ResultLogWriter writer = ResultLogWriter::create(
+        partial.path(), shard_log_header(reference_options.grid, 1, 0), false);
+    writer.append(reference.records[0]);
+    writer.append(reference.records[1]);
+    writer.close();
   }
 
   SweepOptions resumed_options = base_options(partial);
-  resumed_options.manifest_path = partial.path();
   resumed_options.resume = true;
   const SweepReport resumed = run_sweep(resumed_options);
 
@@ -489,20 +493,62 @@ TEST(Supervisor, ResumeSalvagesSettledCellsBitIdentically) {
   EXPECT_EQ(resumed.completed, reference.completed);
   EXPECT_EQ(resumed.results_hash, reference.results_hash);
 
-  // The resumed manifest reloads to the full record set.
-  const SweepManifest final_manifest = load_manifest(partial.path());
-  EXPECT_EQ(final_manifest.records.size(), reference.records.size());
+  // The resumed log recovers to the full record set.
+  const auto healed =
+      recover_result_log(partial.path(), shard_log_header(reference_options.grid, 1, 0));
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(healed->records.size(), reference.records.size());
+  EXPECT_EQ(healed->torn_bytes, 0u);
 }
 
-TEST(Supervisor, ResumeRejectsManifestFromDifferentGrid) {
-  TempManifest manifest("fingerprint");
-  SweepOptions options = base_options(manifest);
+TEST(Supervisor, ResumeSalvagesThroughATornTail) {
+  TempManifest reference_log("torn_ref");
+  SweepOptions reference_options = base_options(reference_log);
+  const SweepReport reference = run_sweep(reference_options);
+
+  // A log killed mid-append: two whole records, then half a frame header.
+  TempManifest torn("torn_partial");
+  {
+    ResultLogWriter writer = ResultLogWriter::create(
+        torn.path(), shard_log_header(reference_options.grid, 1, 0), false);
+    writer.append(reference.records[0]);
+    writer.append(reference.records[1]);
+    writer.close();
+    std::ofstream tail(torn.path(), std::ios::binary | std::ios::app);
+    tail.write("\x40\x00\x00\x00\x00\x00\x00", 7);
+  }
+
+  SweepOptions resumed_options = base_options(torn);
+  resumed_options.resume = true;
+  const SweepReport resumed = run_sweep(resumed_options);
+  EXPECT_EQ(resumed.resumed_cells, 2u);
+  EXPECT_EQ(resumed.results_hash, reference.results_hash);
+}
+
+TEST(Supervisor, ResumeRejectsLogFromDifferentGridNamingBothFingerprints) {
+  TempManifest log("fingerprint");
+  SweepOptions options = base_options(log);
   (void)run_sweep(options);
 
   SweepOptions other = options;
   other.grid.hursts = {0.6, 0.85};
   other.resume = true;
-  EXPECT_THROW(run_sweep(other), IoError);
+  try {
+    (void)run_sweep(other);
+    FAIL() << "mismatched grid must not resume";
+  } catch (const IoError& e) {
+    // Fail-fast diagnostics must name BOTH identities: the grid the caller
+    // asked for and the grid the log actually belongs to.
+    char expected[17];
+    char found[17];
+    std::snprintf(expected, sizeof expected, "%016llx",
+                  static_cast<unsigned long long>(sweep_fingerprint(other.grid)));
+    std::snprintf(found, sizeof found, "%016llx",
+                  static_cast<unsigned long long>(sweep_fingerprint(options.grid)));
+    const std::string what = e.what();
+    EXPECT_NE(what.find(expected), std::string::npos) << what;
+    EXPECT_NE(what.find(found), std::string::npos) << what;
+  }
 }
 
 TEST(Supervisor, UnsafeFaultPlansAreRejected) {
@@ -518,6 +564,63 @@ TEST(Supervisor, UnsafeFaultPlansAreRejected) {
   options.faults.hang = true;
   options.limits.worker.deadline_seconds = 0.0;  // but no watchdog
   EXPECT_THROW(run_sweep(options), InvalidArgument);
+}
+
+TEST(Supervisor, RetryBackoffDoesNotBlockOtherCells) {
+  // Find a fault seed under which cell 0 faults on its first attempt and
+  // cell 1 does not (the rate decision is deterministic per seed).
+  SweepFaultPlan faults;
+  faults.rate = 0.5;
+  faults.hang = false;
+  faults.oom = false;
+  for (faults.seed = 1; faults.seed < 10000; ++faults.seed) {
+    if (fault_for_attempt(faults, 0, 1) != InjectedFault::kNone &&
+        fault_for_attempt(faults, 1, 1) == InjectedFault::kNone) {
+      break;
+    }
+  }
+  ASSERT_NE(fault_for_attempt(faults, 0, 1), InjectedFault::kNone);
+  ASSERT_EQ(fault_for_attempt(faults, 1, 1), InjectedFault::kNone);
+
+  const SweepGrid grid = small_grid();
+  SweepLimits limits;
+  limits.worker.deadline_seconds = 30.0;
+  limits.max_attempts = 3;
+  limits.backoff_seconds = 1.0;  // long enough that blocking would reorder
+
+  std::vector<std::uint64_t> settle_order;
+  std::vector<CellRecord> settled;
+  SettleStats stats;
+  settle_cells(grid, {0, 1}, limits, faults,
+               [&](const CellRecord& record) {
+                 settle_order.push_back(record.cell_index);
+                 settled.push_back(record);
+                 return true;
+               },
+               {}, &stats);
+
+  // Cell 0's retry waits out a 1 s backoff; a requeue-with-due-time
+  // scheduler settles cell 1 meanwhile, a blocking sleep would not.
+  ASSERT_EQ(settle_order.size(), 2u);
+  EXPECT_EQ(settle_order[0], 1u);
+  EXPECT_EQ(settle_order[1], 0u);
+  EXPECT_EQ(stats.retried_attempts, 1u);
+
+  // Scheduling must be invisible in the results: the hash of the settled
+  // records equals a fault-free, backoff-free settle of the same cells.
+  std::vector<CellRecord> reference;
+  SweepLimits plain;
+  plain.worker.deadline_seconds = 30.0;
+  settle_cells(grid, {0, 1}, plain, SweepFaultPlan{},
+               [&](const CellRecord& record) {
+                 reference.push_back(record);
+                 return true;
+               });
+  std::sort(settled.begin(), settled.end(),
+            [](const CellRecord& a, const CellRecord& b) {
+              return a.cell_index < b.cell_index;
+            });
+  EXPECT_EQ(results_hash(settled), results_hash(reference));
 }
 
 TEST(Supervisor, ResultsHashIgnoresNondeterministicDiagnostics) {
