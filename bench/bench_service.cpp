@@ -10,7 +10,10 @@
 //   3. Footprint — peak RSS, normalized to MiB per 10^6 streams so runs at
 //      different scales land on one comparable number.
 // A final save/load round-trip times the VBRSRVC1 checkpoint path and
-// verifies the restored service reproduces the same results hash.
+// verifies the restored service reproduces the same results hash, and an
+// overload phase prices the governor: fault-isolation overhead, shed
+// latency, and streams served under a seeded pressure window (with the
+// degraded-mode hash doubling as a determinism witness).
 //
 // Usage:
 //   ./bench_service [streams] [samples_per_stream] [block] [thread_list]
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "bench_support.hpp"
+#include "vbr/service/governor.hpp"
 #include "vbr/service/service_checkpoint.hpp"
 #include "vbr/service/traffic_service.hpp"
 
@@ -181,6 +185,104 @@ int main(int argc, char** argv) {
           "  \"checkpoint\": {\"save_seconds\": %.6f, \"load_seconds\": %.6f, "
           "\"hash_match\": %s},\n",
           save_seconds, load_seconds, checkpoint_hash_match ? "true" : "false");
+
+  // Overload phase: attach the governor and measure what resilience costs.
+  //   - quarantine_overhead_fraction: the snapshot-every-round guard (full
+  //     retry/quarantine protection on every block) vs the ungoverned loop.
+  //   - shed_latency_seconds: wall time of the advance_round that crosses the
+  //     level-1 pressure epoch and applies the shed.
+  //   - streams_served_under_pressure: streams still serving once shed and
+  //     quarantine have both been applied.
+  // The seeded schedule (2 faults + a level-1 window) must yield exactly 2
+  // StreamFailure records and a results hash invariant to thread count; the
+  // bench exits nonzero otherwise, so a recorded artifact is itself a
+  // determinism witness for the degraded mode.
+  const std::uint64_t total_samples = static_cast<std::uint64_t>(rounds) * block;
+  vbr::service::GovernorConfig overload;
+  overload.policy.max_attempts = 3;
+  overload.stream_faults = {
+      {std::min<std::size_t>(1, config.num_streams - 1),
+       std::max<std::uint64_t>(1, total_samples / 2), vbr::run::FaultKind::kPermanent, 1},
+      {std::min<std::size_t>(3, config.num_streams - 1),
+       std::max<std::uint64_t>(2, total_samples / 4), vbr::run::FaultKind::kTransient, 3},
+  };
+  overload.pressure_schedule = {{std::max<std::uint64_t>(3, total_samples / 3), 1},
+                                {std::max<std::uint64_t>(4, 2 * total_samples / 3), 0}};
+  const std::size_t expected_failures =
+      overload.stream_faults[0].stream == overload.stream_faults[1].stream ? 1 : 2;
+
+  struct OverloadRun {
+    std::uint64_t hash = 0;
+    std::size_t failures = 0;
+    std::uint64_t retries = 0;
+    double shed_latency_seconds = 0.0;
+    std::size_t streams_under_pressure = 0;
+  };
+  const auto run_overloaded = [&](std::size_t threads) {
+    vbr::service::ServiceConfig c = config;
+    c.threads = threads;
+    vbr::service::TrafficService svc(c);
+    vbr::service::OverloadGovernor governor(svc, overload);
+    const std::uint64_t shed_epoch = overload.pressure_schedule.front().at_epoch;
+    OverloadRun run;
+    while (governor.epoch() < total_samples) {
+      const std::uint64_t before = governor.epoch();
+      const auto step =
+          static_cast<std::size_t>(std::min<std::uint64_t>(block, total_samples - before));
+      const bool crosses = before < shed_epoch && before + step >= shed_epoch;
+      const auto round_start = std::chrono::steady_clock::now();
+      governor.advance_round(step);
+      if (crosses) {
+        run.shed_latency_seconds = seconds_since(round_start);
+        run.streams_under_pressure =
+            c.num_streams - governor.shed_streams() - governor.quarantined_streams();
+      }
+    }
+    run.hash = svc.results_hash();
+    run.failures = governor.failures().size();
+    run.retries = governor.transient_retries();
+    return run;
+  };
+
+  // Isolation overhead: same fleet, same rounds, no faults — first bare,
+  // then behind the always-snapshot guard.
+  config.threads = thread_counts.back();
+  double plain_seconds = 0.0;
+  double guarded_seconds = 0.0;
+  {
+    vbr::service::TrafficService svc(config);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < rounds; ++r) svc.advance_round(block);
+    plain_seconds = seconds_since(start);
+  }
+  {
+    vbr::service::TrafficService svc(config);
+    vbr::service::GovernorConfig snapshot_only;
+    snapshot_only.snapshot_every_round = true;
+    vbr::service::OverloadGovernor governor(svc, snapshot_only);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < rounds; ++r) governor.advance_round(block);
+    guarded_seconds = seconds_since(start);
+  }
+  const double quarantine_overhead =
+      plain_seconds > 0.0 ? guarded_seconds / plain_seconds - 1.0 : 0.0;
+
+  const OverloadRun first = run_overloaded(thread_counts.front());
+  const OverloadRun last = run_overloaded(thread_counts.back());
+  const bool overload_hash_match = first.hash == last.hash &&
+                                   first.failures == expected_failures &&
+                                   last.failures == expected_failures;
+
+  appendf(json,
+          "  \"overload\": {\"plain_seconds\": %.6f, \"guarded_seconds\": %.6f, "
+          "\"quarantine_overhead_fraction\": %.4f, \"shed_latency_seconds\": %.6f, "
+          "\"streams_served_under_pressure\": %zu, \"stream_failures\": %zu, "
+          "\"expected_stream_failures\": %zu, \"transient_retries\": %llu, "
+          "\"results_hash\": \"%016llx\", \"hash_match\": %s},\n",
+          plain_seconds, guarded_seconds, quarantine_overhead, last.shed_latency_seconds,
+          last.streams_under_pressure, last.failures, expected_failures,
+          static_cast<unsigned long long>(last.retries),
+          static_cast<unsigned long long>(last.hash), overload_hash_match ? "true" : "false");
   appendf(json, "  \"build_seconds\": %.6f,\n", build_seconds_first);
   appendf(json, "  \"serve_rss_mib\": %.1f,\n", serve_rss);
   appendf(json, "  \"peak_rss_mib\": %.1f,\n", rss_mib("VmHWM:"));
@@ -191,5 +293,5 @@ int main(int argc, char** argv) {
   appendf(json, "}\n");
   std::fputs(json.c_str(), stdout);
   vbrbench::emit_bench_json("service", json);
-  return (bit_identical && checkpoint_hash_match) ? 0 : 1;
+  return (bit_identical && checkpoint_hash_match && overload_hash_match) ? 0 : 1;
 }

@@ -132,9 +132,9 @@ if [[ $run_crash -eq 1 ]]; then
   ./scripts/crash_soak.sh --sweep ./build/examples/run_sweep 5
   echo "=== crash: shard soak — pool kills, torn tails, stolen leases, dispatcher kills ==="
   ./scripts/crash_soak.sh --shard ./build/examples/run_sweep 5 4 8 50
-  echo "=== crash: service soak — SIGKILL serve_traffic, resume must be bit-identical ==="
+  echo "=== crash: service soak — SIGKILL serve_traffic (plain + degraded mode), resume must be bit-identical ==="
   cmake --build build -j --target serve_traffic >/dev/null
-  ./scripts/crash_soak.sh --service ./build/examples/serve_traffic 10
+  ./scripts/crash_soak.sh --service --overload ./build/examples/serve_traffic 10
 fi
 
 if [[ $run_service -eq 1 ]]; then

@@ -112,6 +112,24 @@ def check_service(doc):
     check_number(ck, "save_seconds", lo=0.0)
     check_number(ck, "load_seconds", lo=0.0)
     require(ck.get("hash_match") is True, "checkpoint round-trip hash mismatch")
+    ov = doc.get("overload")
+    require(isinstance(ov, dict), "missing 'overload' object")
+    check_number(ov, "plain_seconds", lo=0.0)
+    check_number(ov, "guarded_seconds", lo=0.0)
+    # The always-snapshot guard costs something but must stay sane; a
+    # recorded 3x slowdown means the isolation path regressed.
+    check_number(ov, "quarantine_overhead_fraction", lo=-0.5, hi=2.0)
+    check_number(ov, "shed_latency_seconds", lo=0.0)
+    check_number(ov, "streams_served_under_pressure", lo=1)
+    failures = check_number(ov, "stream_failures", lo=0)
+    expected = check_number(ov, "expected_stream_failures", lo=1)
+    require(failures == expected,
+            f"seeded fault schedule produced {failures} StreamFailure records, "
+            f"expected exactly {expected}")
+    check_number(ov, "transient_retries", lo=0)
+    check_hash(ov, "results_hash", ctx="(overload)")
+    require(ov.get("hash_match") is True,
+            "degraded-mode results hash not invariant across thread counts")
     check_number(doc, "build_seconds", lo=0.0)
     check_number(doc, "serve_rss_mib", lo=0.0)
     check_number(doc, "peak_rss_mib", lo=0.0)

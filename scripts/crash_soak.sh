@@ -19,11 +19,16 @@
 #
 # Service mode tortures the streaming traffic service the same way:
 #
-#   crash_soak.sh --service <serve_traffic-binary> [kills] [streams] [samples]
+#   crash_soak.sh --service [--overload] <serve_traffic-binary> [kills] [streams] [samples]
 #
 # It runs one uninterrupted serve_traffic as the reference, then SIGKILLs
 # checkpointing runs at random instants, resumes each from its VBRSRVC1
 # checkpoint, and requires the resumed results_hash to be bit-identical.
+# With --overload it additionally tortures the overload governor: a seeded
+# fault + pressure schedule (quarantines, shedding, degraded blocks) runs as
+# a governed reference, SIGKILLs land inside the degraded window, and an
+# injected mid-run sink I/O fault must checkpoint-then-exit-4; every resume
+# must reproduce the governed reference hash bit-for-bit.
 #
 # It (1) runs a fault-free reference sweep, (2) replays it with every cell's
 # first worker attempt crashing/hanging/OOMing and requires the retried
@@ -284,7 +289,12 @@ fi
 
 if [[ "${1:-}" == "--service" ]]; then
   shift
-  BIN=${1:?usage: crash_soak.sh --service <serve_traffic-binary> [kills] [streams] [samples]}
+  OVERLOAD=0
+  if [[ "${1:-}" == "--overload" ]]; then
+    OVERLOAD=1
+    shift
+  fi
+  BIN=${1:?usage: crash_soak.sh --service [--overload] <serve_traffic-binary> [kills] [streams] [samples]}
   KILLS=${2:-10}
   STREAMS=${3:-64}
   SAMPLES=${4:-16384}
@@ -334,8 +344,79 @@ if [[ "${1:-}" == "--service" ]]; then
     fi
   done
 
+  if ((OVERLOAD)); then
+    # Overload phase: the governed run quarantines two streams on a seeded
+    # schedule and walks the pressure ladder (shed at 1/3, degraded block at
+    # 1/2, recovery at 7/8 of the run). The degraded-mode hash is the
+    # reference every torture below must reproduce.
+    GOV=(--stream-fault "1@$((SAMPLES / 2)):permanent"
+         --stream-fault "3@$((SAMPLES / 4)):transient:3"
+         --pressure "$((SAMPLES / 3)):1" --pressure "$((SAMPLES / 2)):2"
+         --pressure "$((SAMPLES - SAMPLES / 8)):0" --shed-fraction 0.25)
+
+    out=$("$BIN" "${common[@]}" "${GOV[@]}" --checkpoint "$WORK/oref.ckpt" \
+      --hash-out "$WORK/oref.hash" --json 2>/dev/null) || {
+      echo "service_soak: governed reference run failed" >&2
+      exit 1
+    }
+    failures=$(grep -o '"kind":' <<<"$out" | wc -l)
+    if ((failures != 2)); then
+      echo "service_soak: overload: expected exactly 2 StreamFailure records, got $failures"
+      fail=1
+    fi
+    echo "service_soak: overload reference $(cat "$WORK/oref.hash") ($failures streams quarantined)"
+
+    # SIGKILL inside the degraded window (the ladder is active through the
+    # middle of the run), resume with the same governor flags, compare.
+    for i in $(seq 1 "$KILLS"); do
+      rm -f "$WORK"/orun.*
+      delay_ms=$((window_ms / 3 + RANDOM % (window_ms / 2 + 1)))
+      "$BIN" "${common[@]}" "${GOV[@]}" --checkpoint "$WORK/orun.ckpt" \
+        --hash-out "$WORK/orun.hash" >/dev/null 2>&1 &
+      pid=$!
+      sleep "$(awk "BEGIN{printf \"%.3f\", $delay_ms / 1000}")"
+      if kill -9 "$pid" 2>/dev/null; then outcome=killed; else outcome=completed; fi
+      wait "$pid" 2>/dev/null
+
+      if ! "$BIN" "${common[@]}" "${GOV[@]}" --checkpoint "$WORK/orun.ckpt" --resume \
+        --hash-out "$WORK/orun.hash" >/dev/null 2>&1; then
+        echo "service_soak: overload iter $i (delay ${delay_ms}ms, $outcome): resume FAILED"
+        fail=1
+        continue
+      fi
+      if cmp -s "$WORK/oref.hash" "$WORK/orun.hash"; then
+        echo "service_soak: overload iter $i (delay ${delay_ms}ms, $outcome): identical"
+      else
+        echo "service_soak: overload iter $i (delay ${delay_ms}ms, $outcome): HASH MISMATCH"
+        fail=1
+      fi
+    done
+
+    # Mid-run sink I/O fault: must report, checkpoint, and exit 4 (the
+    # documented resumable-failure code), and the resume must still land on
+    # the governed reference hash.
+    rm -f "$WORK"/orun.*
+    "$BIN" "${common[@]}" "${GOV[@]}" --checkpoint "$WORK/orun.ckpt" \
+      --inject-io-fault 5 >/dev/null 2>&1
+    rc=$?
+    if ((rc != 4)); then
+      echo "service_soak: overload: injected I/O fault exited $rc, want 4"
+      fail=1
+    fi
+    if "$BIN" "${common[@]}" "${GOV[@]}" --checkpoint "$WORK/orun.ckpt" --resume \
+      --hash-out "$WORK/orun.hash" >/dev/null 2>&1 &&
+      cmp -s "$WORK/oref.hash" "$WORK/orun.hash"; then
+      echo "service_soak: overload: injected I/O fault checkpointed, resume identical"
+    else
+      echo "service_soak: overload: I/O fault resume FAILED or HASH MISMATCH"
+      fail=1
+    fi
+  fi
+
   if ((fail)); then
     echo "service_soak: FAILED (seed ${CRASH_SOAK_SEED:-1994})" >&2
+  elif ((OVERLOAD)); then
+    echo "service_soak: $KILLS plain kills + $KILLS degraded-mode kills + 1 injected I/O fault, all resumes bit-identical"
   else
     echo "service_soak: $KILLS kills, all resumes bit-identical"
   fi

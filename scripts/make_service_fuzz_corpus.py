@@ -22,7 +22,7 @@ import tempfile
 import zlib
 
 MAGIC = b"VBRSRVC1"
-VERSION = 1
+VERSION = 2  # version 2 appended the governor flag to the payload
 
 
 def seal(payload: bytes, magic: bytes = MAGIC, version: int = VERSION,
@@ -64,7 +64,7 @@ def main() -> int:
         "truncated": valid[: len(valid) * 2 // 5],
         "truncated_header": valid[:10],
         "bad_magic": b"VBRSRVX1" + valid[8:],
-        "version_skew": seal(payload, version=2),
+        "version_skew": seal(payload, version=1),
         "size_lies": seal(payload, size=1 << 40),
         "bad_crc": valid[:header_len]
         + payload[: len(payload) // 2]

@@ -4,11 +4,17 @@
 // magic:
 //
 //   8 bytes  magic  "VBRSRVC1"
-//   u32      version (currently 1)
+//   u32      version (currently 2)
 //   u64      payload size
 //   u32      CRC-32 of the payload
 //   payload  TrafficService state (config fingerprint + counters + hash +
-//            queue + sink + every live stream)
+//            queue + sink + every live stream), then a u8 governor flag
+//            and, when set, the OverloadGovernor state (ladder position,
+//            shed set, failure records, remaining fault schedule) so a
+//            checkpoint taken mid-degradation resumes bit-identically
+//
+// Version 2 added the governor flag; version-1 files are rejected at the
+// envelope (no deployed checkpoints outlive a run, so no migration path).
 //
 // Writes go through write_file_atomic, so a SIGKILL mid-save leaves the
 // previous complete checkpoint in place; loads verify magic, version, size
@@ -24,24 +30,31 @@
 #include <string>
 
 #include "vbr/run/envelope.hpp"
+#include "vbr/service/governor.hpp"
 #include "vbr/service/traffic_service.hpp"
 
 namespace vbr::service {
 
 inline constexpr std::array<char, 8> kServiceCheckpointMagic = {'V', 'B', 'R', 'S',
                                                                 'R', 'V', 'C', '1'};
-inline constexpr std::uint32_t kServiceCheckpointVersion = 1;
+inline constexpr std::uint32_t kServiceCheckpointVersion = 2;
 
 /// Envelope identity; exposed so the fuzz harness can seal hostile payloads
 /// with a valid CRC (the dual-path corpus pattern).
 run::EnvelopeSpec service_checkpoint_envelope();
 
-/// Atomically write the complete service state to `path`.
-void save_service_checkpoint(const std::string& path, const TrafficService& service);
+/// Atomically write the complete service state to `path`, with the
+/// governing OverloadGovernor's state when one is attached.
+void save_service_checkpoint(const std::string& path, const TrafficService& service,
+                             const OverloadGovernor* governor = nullptr);
 
-/// Load a checkpoint into a service built from the same config. Throws
-/// vbr::IoError on any envelope or payload defect; on a payload defect the
-/// service may hold partial state and must be discarded (the CLI rebuilds).
-void load_service_checkpoint(const std::string& path, TrafficService& service);
+/// Load a checkpoint into a service built from the same config (and a
+/// governor built from the same GovernorConfig, when the run is governed).
+/// Throws vbr::IoError on any envelope or payload defect — including a
+/// governed checkpoint loaded without a governor or vice versa; on a
+/// payload defect the service may hold partial state and must be discarded
+/// (the CLI rebuilds).
+void load_service_checkpoint(const std::string& path, TrafficService& service,
+                             OverloadGovernor* governor = nullptr);
 
 }  // namespace vbr::service

@@ -53,7 +53,12 @@ std::uint64_t TrafficService::results_hash() const {
   return combined.digest();
 }
 
-void TrafficService::advance_round(std::size_t block) {
+std::uint64_t TrafficService::stream_digest(std::size_t stream) const {
+  VBR_ENSURE(stream < stream_hash_.size(), "stream index out of range");
+  return stream_hash_[stream];
+}
+
+void TrafficService::advance_round(std::size_t block, StreamGovernor* governor) {
   VBR_ENSURE(block >= 1, "round block must be at least 1");
   const std::size_t n = streams_.size();
   const std::size_t threads =
@@ -61,20 +66,32 @@ void TrafficService::advance_round(std::size_t block) {
 
   aggregate_.assign(block, KahanSum{});
   scratch_.resize(std::min(n, kChunkStreams));
+  quarantine_pending_.assign(scratch_.size(), 0);
 
   for (std::size_t base = 0; base < n; base += kChunkStreams) {
     const std::size_t count = std::min(kChunkStreams, n - base);
-    // Parallel generation: worker i writes only scratch_[i]; scheduling
-    // decides who computes each stream, never what is computed.
+    // Parallel generation: worker i writes only scratch_[i] (and its own
+    // quarantine byte); scheduling decides who computes each stream, never
+    // what is computed. The governor hook catches every stream exception
+    // internally, so nothing escapes the worker.
     engine::parallel_for_index(count, std::min(threads, count), [&](std::size_t i) {
       std::vector<double>& buf = scratch_[i];
       buf.clear();
-      if (status_[base + i] == StreamStatus::kActive) streams_[base + i]->next_block(block, buf);
+      quarantine_pending_[i] = 0;
+      if (status_[base + i] != StreamStatus::kActive) return;
+      if (governor != nullptr) {
+        if (!governor->generate(base + i, *streams_[base + i], block, buf)) {
+          quarantine_pending_[i] = 1;
+        }
+      } else {
+        streams_[base + i]->next_block(block, buf);
+      }
     });
     // Sequential fold in stream order: hash, sink, totals, aggregate. This
     // is the only place round results are observed, so thread count can
     // never reorder the reduction.
     for (std::size_t i = 0; i < count; ++i) {
+      if (quarantine_pending_[i] != 0) status_[base + i] = StreamStatus::kQuarantined;
       const std::vector<double>& buf = scratch_[i];
       if (buf.empty()) continue;
       const std::span<const double> samples(buf);
@@ -214,7 +231,7 @@ void TrafficService::restore_state(std::istream& in) {
   moments_.restore(in);
   for (std::size_t i = 0; i < config_.num_streams; ++i) {
     const std::uint8_t status = io::read_u8(in, "TrafficService::restore");
-    if (status > static_cast<std::uint8_t>(StreamStatus::kRetired)) {
+    if (status > static_cast<std::uint8_t>(StreamStatus::kQuarantined)) {
       throw IoError("TrafficService::restore: corrupt stream status");
     }
     const std::uint64_t stream_hash = io::read_u64(in, "TrafficService::restore");

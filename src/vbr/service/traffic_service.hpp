@@ -52,6 +52,26 @@ enum class StreamStatus : std::uint8_t {
   kActive = 0,
   kPaused = 1,
   kRetired = 2,
+  /// Frozen by the overload governor after a generation fault. Like
+  /// kPaused the stream state is retained (and checkpointed), but the
+  /// lifecycle API will not resume it — quarantine is the governor's
+  /// verdict, not a scheduling decision.
+  kQuarantined = 3,
+};
+
+/// Generation hook for the overload governor (service/governor.hpp): when
+/// advance_round is given a governor, every active stream's block is
+/// produced through generate() instead of a direct next_block() call.
+/// Called concurrently for distinct streams, never concurrently for the
+/// same stream. `out` is empty on entry; return false to quarantine the
+/// stream after this round — `out` may then hold a deterministic partial
+/// block (the samples emitted before the fault), which is still folded
+/// into the stream's digest.
+class StreamGovernor {
+ public:
+  virtual ~StreamGovernor() = default;
+  virtual bool generate(std::size_t stream, StreamingSource& source, std::size_t block,
+                        std::vector<double>& out) = 0;
 };
 
 /// Everything needed to reproduce a service run. Stream i's Rng is the
@@ -83,7 +103,10 @@ class TrafficService {
   const ServiceConfig& config() const { return config_; }
 
   /// Advance every active stream by `block` samples, in stream order.
-  void advance_round(std::size_t block);
+  /// With a governor, each block is produced through the governor's
+  /// generate() hook and a false return quarantines that stream at the end
+  /// of the round (its partial block, if any, is folded normally).
+  void advance_round(std::size_t block, StreamGovernor* governor = nullptr);
 
   /// Freeze a stream; its state is retained and resume() continues the
   /// sample sequence bit-exactly where it stopped.
@@ -107,6 +130,10 @@ class TrafficService {
   /// block size, thread count, and pause scheduling; the SIGKILL soak
   /// compares exactly this value.
   std::uint64_t results_hash() const;
+  /// One stream's own FNV-1a digest (the per-stream term results_hash()
+  /// folds). Lets the fault-isolation tests assert that healthy streams
+  /// are bit-identical to a fault-free run, stream by stream.
+  std::uint64_t stream_digest(std::size_t stream) const;
 
   const stream::StreamingMoments& moments() const { return moments_; }
   /// Null unless the config enables the queue feed.
@@ -133,6 +160,9 @@ class TrafficService {
   std::uint64_t total_samples_ = 0;
   /// Recycled per-chunk generation buffers (bounded scratch pool).
   std::vector<std::vector<double>> scratch_;
+  /// Per-chunk quarantine verdicts from the governor hook (one byte per
+  /// scratch slot; each worker writes only its own slot).
+  std::vector<std::uint8_t> quarantine_pending_;
   /// Per-frame-offset aggregate accumulators, reset every round.
   std::vector<KahanSum> aggregate_;
 };

@@ -1,0 +1,27 @@
+// vbr-analyze-fixture: src/vbr/service/fixture_silent_catch.cpp
+// Catch handlers on the service/run fault-isolation path must rethrow or
+// record a structured failure; log-and-continue (or swallow-and-continue)
+// turns a stream fault into silent data loss.
+#include <cstdio>
+#include <exception>
+
+namespace vbr::service {
+
+void drain_stream() {}
+
+void swallow_everything() {
+  try {
+    drain_stream();
+  } catch (const std::exception& e) {  // VIOLATION(vbr-silent-catch)
+    std::fprintf(stderr, "oops: %s\n", e.what());
+  }
+}
+
+void swallow_silently() {
+  try {
+    drain_stream();
+  } catch (...) {  // VIOLATION(vbr-silent-catch)
+  }
+}
+
+}  // namespace vbr::service

@@ -1,0 +1,42 @@
+// vbr-analyze-fixture: src/vbr/service/fixture_recorded_catch.cpp
+// The three sanctioned shapes for a catch handler on the fault-isolation
+// path: rethrow, record a structured failure, or carry a justified NOLINT.
+#include <exception>
+#include <string>
+
+namespace vbr::service {
+
+struct StreamFailure {
+  std::string error;
+};
+
+void drain_stream() {}
+void record_failure(StreamFailure) {}
+
+void rethrows() {
+  try {
+    drain_stream();
+  } catch (const std::exception&) {
+    throw;
+  }
+}
+
+void records() {
+  try {
+    drain_stream();
+  } catch (const std::exception& e) {
+    record_failure(StreamFailure{e.what()});
+  }
+}
+
+bool probe_optional_feature() {
+  try {
+    drain_stream();
+    return true;
+    // NOLINTNEXTLINE(vbr-silent-catch): feature probe; absence is an answer, not a fault.
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace vbr::service

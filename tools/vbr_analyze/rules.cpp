@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cctype>
 #include <map>
 #include <set>
 #include <sstream>
@@ -931,6 +932,58 @@ void rule_naive_accumulation(const SourceFile& f,
   }
 }
 
+// ---------------------------------------------------------------------------
+// A6 silent-catch
+// ---------------------------------------------------------------------------
+
+/// Catch handlers in the service and run layers sit on the fault-isolation
+/// path: PR 10's contract is that a stream fault becomes either a rethrow or
+/// a structured failure record (StreamFailure / SourceFailure), never a
+/// swallowed exception. The heuristic for "records a failure" is an
+/// identifier in the handler body mentioning fail/quarantine — the repo's
+/// failure-recording surface (`record_failure`, `StreamFailure`,
+/// `SourceFailure`, `quarantined`) all do; a bare log-and-continue does not.
+void rule_silent_catch(const SourceFile& f, std::vector<Finding>& out) {
+  const std::string& p = f.rel_path();
+  if (!under(p, "src/vbr/service") && !under(p, "src/vbr/run")) return;
+  const Toks& t = f.tokens();
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(t[i], "catch") || !is_punct(t[i + 1], "(")) continue;
+    const std::size_t params_close = f.match(i + 1);
+    if (params_close == SourceFile::npos || params_close + 1 >= t.size() ||
+        !is_punct(t[params_close + 1], "{")) {
+      continue;
+    }
+    const std::size_t body_open = params_close + 1;
+    const std::size_t body_close = f.match(body_open);
+    if (body_close == SourceFile::npos) continue;
+
+    bool handled = false;
+    for (std::size_t j = body_open + 1; j < body_close; ++j) {
+      if (t[j].kind != TokKind::kIdent) continue;
+      if (t[j].text == "throw") {
+        handled = true;
+        break;
+      }
+      std::string lower(t[j].text);
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (lower.find("fail") != std::string::npos ||
+          lower.find("quarantine") != std::string::npos) {
+        handled = true;
+        break;
+      }
+    }
+    if (!handled) {
+      report(out, f, t[i].line, "vbr-silent-catch",
+             "catch handler on the fault-isolation path neither rethrows nor "
+             "records a structured failure; rethrow, record a "
+             "StreamFailure/SourceFailure, or justify with "
+             "NOLINT(vbr-silent-catch)");
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -955,6 +1008,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"vbr-naive-accumulation", "A5",
        "floating-point += reductions in src/vbr/stream/ loops use the "
        "Kahan/pairwise helpers"},
+      {"vbr-silent-catch", "A6",
+       "catch handlers in src/vbr/service/ and src/vbr/run/ rethrow or "
+       "record a structured failure, never swallow"},
       {"vbr-rng-purity", "R1",
        "stdlib RNGs appear only in src/vbr/common/rng.cpp"},
       {"vbr-lgamma-reentrancy", "R2",
@@ -1004,6 +1060,7 @@ void run_rules(const std::vector<SourceFile>& files,
     rule_rng_discipline(f, findings);
     rule_thread_boundary(f, findings);
     rule_contract_coverage(f, findings);
+    rule_silent_catch(f, findings);
     const std::string& p = f.rel_path();
     if (under(p, "src/vbr/stream") || under(p, "src/vbr/service")) {
       const std::size_t dot = p.rfind('.');
